@@ -1,0 +1,96 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Section 7) — workload characteristics, performance, power, area, energy,
+   scalability, mapper comparison, domain specialization — plus the design
+   ablations and a full bit-exact verification pass.  Output lines carry the
+   paper's reference numbers inline so paper-vs-measured can be read off
+   directly (also recorded in EXPERIMENTS.md).
+
+   Part 2 runs Bechamel microbenchmarks of the toolchain itself (motif
+   generation, the exact-latency router, the hierarchical mapper, the
+   cycle-level simulator), one Test.make per component. *)
+
+let run_experiments () =
+  let ctx = Plaid_exp.Ctx.create () in
+  ignore (Plaid_exp.Experiments.all ctx)
+
+(* --- microbenchmarks --------------------------------------------------- *)
+
+let gemm_dfg = lazy (Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find "gemm_u2"))
+
+let plaid = lazy (Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"plaid_2x2" ())
+
+let st_arch = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st_4x4")
+
+let bench_motif_gen =
+  Bechamel.Test.make ~name:"motif-generation(gemm_u2)"
+    (Bechamel.Staged.stage (fun () ->
+         let g = Lazy.force gemm_dfg in
+         Plaid_core.Motif_gen.generate ~rng:(Plaid_util.Rng.create 11) g))
+
+let bench_router =
+  Bechamel.Test.make ~name:"exact-latency-route(4x4,II=2)"
+    (Bechamel.Staged.stage (fun () ->
+         let arch = Lazy.force st_arch in
+         let mrrg = Plaid_mapping.Mrrg.create arch ~ii:2 in
+         let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+         let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+         let dst = Plaid_arch.Mesh.fu_of_pe p ~row:3 ~col:3 in
+         Plaid_mapping.Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:6
+           ~mode:Plaid_mapping.Route.Hard))
+
+let bench_hier_mapper =
+  Bechamel.Test.make ~name:"hier-map(gemm_u2->plaid2x2)"
+    (Bechamel.Staged.stage (fun () ->
+         Plaid_core.Hier_mapper.map
+           ~params:Plaid_core.Hier_mapper.quick
+           ~plaid:(Lazy.force plaid) ~seed:5 (Lazy.force gemm_dfg)))
+
+let bench_simulator =
+  let mapping =
+    lazy
+      (match
+         (Plaid_core.Hier_mapper.map ~plaid:(Lazy.force plaid) ~seed:5 (Lazy.force gemm_dfg))
+           .Plaid_core.Hier_mapper.mapping
+       with
+      | Some m -> m
+      | None -> failwith "bench: mapping failed")
+  in
+  let spm =
+    lazy
+      (let entry = Plaid_workloads.Suite.find "gemm_u2" in
+       let kernel =
+         Plaid_ir.Unroll.apply entry.Plaid_workloads.Suite.base
+           entry.Plaid_workloads.Suite.unroll
+       in
+       Plaid_sim.Spm.of_kernel kernel ~params:(Plaid_workloads.Suite.params entry) ~seed:3)
+  in
+  Bechamel.Test.make ~name:"cycle-sim(gemm_u2 on plaid)"
+    (Bechamel.Staged.stage (fun () ->
+         Plaid_sim.Cycle_sim.run (Lazy.force mapping) (Plaid_sim.Spm.copy (Lazy.force spm))))
+
+let run_microbenches () =
+  Plaid_exp.Ascii.heading "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 200) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+             Toolkit.Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-36s %12.1f ns/run\n" name t
+          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+        results)
+    [ bench_motif_gen; bench_router; bench_hier_mapper; bench_simulator ]
+
+let () =
+  run_experiments ();
+  run_microbenches ();
+  print_endline "\nbench: done"

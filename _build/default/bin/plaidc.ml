@@ -1,0 +1,397 @@
+(* plaidc: command-line driver for the Plaid toolchain.
+
+   Subcommands:
+     list                         show the evaluated kernel suite
+     map -k <kernel> -a <arch>    compile one kernel and report the mapping
+     motifs -k <kernel>           run motif generation, dump DOT with clusters
+     exp [-e <name>]              regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let arch_names = [ "st"; "st6"; "stml"; "plaid"; "plaid3"; "plaidml"; "spatial" ]
+
+let list_cmd =
+  let run () : int =
+    let () =
+    Plaid_exp.Ascii.table
+      ~headers:[ "kernel"; "domain"; "unroll"; "nodes"; "compute"; "memory" ]
+      (List.map
+         (fun e ->
+           let g = Plaid_workloads.Suite.dfg e in
+           [ Plaid_workloads.Suite.name e;
+             Plaid_workloads.Suite.domain_to_string e.Plaid_workloads.Suite.domain;
+             string_of_int e.Plaid_workloads.Suite.unroll;
+             string_of_int (Plaid_ir.Dfg.n_nodes g);
+             string_of_int (Plaid_ir.Dfg.n_compute g);
+             string_of_int (Plaid_ir.Dfg.n_memory g) ])
+         Plaid_workloads.Suite.table2)
+    in
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the evaluated kernels (Table 2 suite)")
+    Term.(const run $ const ())
+
+let kernel_arg =
+  let doc = "Kernel name, e.g. gemm_u2 (see 'plaidc list')." in
+  Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc)
+
+let arch_arg =
+  let doc = Printf.sprintf "Target architecture: %s." (String.concat ", " arch_names) in
+  Arg.(value & opt string "plaid" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"SEED" ~doc:"Mapper RNG seed.")
+
+let report_mapping ctx name (m : Plaid_mapping.Mapping.t) =
+  Printf.printf "%s on %s: II=%d, cycles=%d (outer-scaled %d)\n" name
+    m.arch.Plaid_arch.Arch.name m.ii
+    (Plaid_mapping.Mapping.perf_cycles m)
+    (Plaid_exp.Ctx.cycles ctx m);
+  Printf.printf "fabric power %.1f uW, energy %.1f pJ, area %.0f um2\n"
+    (Plaid_model.Power.fabric_total m)
+    (Plaid_exp.Ctx.energy ctx m)
+    (Plaid_model.Area.fabric_total m.arch)
+
+let resolve_arch name =
+  let ctx = Plaid_exp.Ctx.create () in
+  match name with
+  | "st_4x4" -> Some (Plaid_exp.Ctx.st ctx)
+  | "st_6x6" -> Some (Plaid_exp.Ctx.st6 ctx)
+  | "st_ml_4x4" -> Some (Plaid_exp.Ctx.st_ml ctx)
+  | "plaid_2x2" -> Some (Plaid_exp.Ctx.plaid2 ctx).Plaid_core.Pcu.arch
+  | "plaid_3x3" -> Some (Plaid_exp.Ctx.plaid3 ctx).Plaid_core.Pcu.arch
+  | "plaid_ml_2x2" -> Some (Plaid_exp.Ctx.plaid_ml ctx).Plaid_core.Pcu.arch
+  | "spatial4x4" -> Some (Plaid_spatial.Spatial.arch ())
+  | _ -> None
+
+let map_cmd =
+  let viz_arg =
+    Arg.(value & flag & info [ "viz" ] ~doc:"Print per-slot fabric occupancy and routes.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o" ] ~docv:"FILE" ~doc:"Save the mapping object file here.")
+  in
+  let run kernel arch seed viz out =
+    match Plaid_workloads.Suite.find kernel with
+    | exception Not_found ->
+      Printf.eprintf "unknown kernel %s; try 'plaidc list'\n" kernel;
+      1
+    | entry -> (
+      let ctx = Plaid_exp.Ctx.create ~seed () in
+      if String.length arch > 0 && arch.[0] = '@' then begin
+        (* architecture from an ADL file *)
+        match Plaid_core.Fabrics.of_file (String.sub arch 1 (String.length arch - 1)) with
+        | Error e ->
+          Printf.eprintf "%s\n" e;
+          1
+        | Ok built -> (
+          let dfg = Plaid_workloads.Suite.dfg entry in
+          let mapping =
+            match built.Plaid_core.Fabrics.pcu with
+            | Some pcu ->
+              (Plaid_core.Hier_mapper.map ~plaid:pcu ~seed dfg).Plaid_core.Hier_mapper.mapping
+            | None ->
+              (Plaid_mapping.Driver.best_of
+                 ~algos:
+                   [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
+                     Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
+                 ~arch:built.Plaid_core.Fabrics.arch ~dfg ~seed)
+                .Plaid_mapping.Driver.mapping
+          in
+          match mapping with
+          | None ->
+            Printf.eprintf "mapper found no valid mapping\n";
+            1
+          | Some m ->
+            report_mapping ctx kernel m;
+            0)
+      end
+      else
+      match arch with
+      | "spatial" -> (
+        match Plaid_exp.Ctx.spatial ctx entry with
+        | Error e ->
+          Printf.eprintf "spatial mapping failed: %s\n" e;
+          1
+        | Ok r ->
+          Printf.printf "%s on spatial 4x4: %d segments, cycles=%d, energy=%.1f pJ\n" kernel
+            (List.length r.mappings)
+            (Plaid_exp.Ctx.spatial_cycles ctx r)
+            (Plaid_exp.Ctx.spatial_energy ctx r);
+          0)
+      | _ -> (
+        let mapping =
+          match arch with
+          | "st" -> Plaid_exp.Ctx.map_st ctx entry
+          | "st6" -> Plaid_exp.Ctx.map_st6 ctx entry
+          | "stml" -> Plaid_exp.Ctx.map_st_ml ctx entry
+          | "plaid" -> (Plaid_exp.Ctx.map_plaid ctx entry).Plaid_core.Hier_mapper.mapping
+          | "plaid3" -> (Plaid_exp.Ctx.map_plaid3 ctx entry).Plaid_core.Hier_mapper.mapping
+          | "plaidml" -> (Plaid_exp.Ctx.map_plaid_ml ctx entry).Plaid_core.Hier_mapper.mapping
+          | other ->
+            Printf.eprintf "unknown arch %s (choose from %s)\n" other
+              (String.concat ", " arch_names);
+            exit 2
+        in
+        match mapping with
+        | None ->
+          Printf.eprintf "mapper found no valid mapping\n";
+          1
+        | Some m ->
+          report_mapping ctx kernel m;
+          (* verify against the golden reference while we're here *)
+          let k =
+            Plaid_ir.Unroll.apply entry.Plaid_workloads.Suite.base
+              entry.Plaid_workloads.Suite.unroll
+          in
+          let spm =
+            Plaid_sim.Spm.of_kernel k ~params:(Plaid_workloads.Suite.params entry) ~seed:77
+          in
+          (match Plaid_sim.Cycle_sim.verify m spm with
+          | Ok stats ->
+            Printf.printf "simulation: bit-exact vs reference (%d firings, %d wire hops)\n"
+              stats.fu_firings stats.wire_hops
+          | Error msg -> Printf.printf "simulation MISMATCH: %s\n" msg);
+          if viz then Format.printf "%a@." Plaid_mapping.Viz.pp m;
+          (match out with
+          | None -> ()
+          | Some path ->
+            Plaid_mapping.Mapfile.save m ~path;
+            Printf.printf "saved %s\n" path);
+          0))
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map one kernel onto an architecture and verify it")
+    Term.(const run $ kernel_arg $ arch_arg $ seed_arg $ viz_arg $ out_arg)
+
+let run_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Mapping object file from 'plaidc map -o'.")
+  in
+  let run file =
+    match Plaid_mapping.Mapfile.load ~resolve:resolve_arch ~path:file with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      1
+    | Ok m ->
+      let g = m.Plaid_mapping.Mapping.dfg in
+      Printf.printf "loaded %s on %s: II=%d\n" g.Plaid_ir.Dfg.name
+        m.arch.Plaid_arch.Arch.name m.ii;
+      (* run against deterministic data like the kernel flow would *)
+      let spm = Plaid_sim.Spm.create () in
+      let rng = Plaid_util.Rng.create 77 in
+      List.iter
+        (fun (name, extent) ->
+          Plaid_sim.Spm.ensure spm name extent;
+          for i = 0 to extent - 1 do
+            Plaid_sim.Spm.write spm name i (Plaid_util.Rng.int rng 256 - 128)
+          done)
+        (Plaid_ir.Dfg.arrays g);
+      (match Plaid_sim.Cycle_sim.verify m spm with
+      | Ok stats ->
+        Printf.printf "simulation: bit-exact (%d cycles, %d firings)\n" stats.cycles
+          stats.fu_firings
+      | Error msg -> Printf.printf "simulation MISMATCH: %s\n" msg);
+      let words_in, words_out = Plaid_sim.Host.kernel_words g in
+      let cost = Plaid_sim.Host.invoke m ~words_in ~words_out in
+      Printf.printf
+        "host invocation: %d config + %d dma-in + %d compute + %d dma-out = %d cycles\n"
+        cost.config_cycles cost.dma_in_cycles cost.compute_cycles cost.dma_out_cycles
+        (Plaid_sim.Host.total cost);
+      0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Load a mapping object file, simulate and price it")
+    Term.(const run $ file_arg)
+
+let motifs_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write DOT here.")
+  in
+  let run kernel out =
+    match Plaid_workloads.Suite.find kernel with
+    | exception Not_found ->
+      Printf.eprintf "unknown kernel %s\n" kernel;
+      1
+    | entry ->
+      let g = Plaid_workloads.Suite.dfg entry in
+      let hier = Plaid_core.Motif_gen.generate ~rng:(Plaid_util.Rng.create 11) g in
+      Printf.printf "%s: %d motifs, %d/%d compute nodes covered\n" kernel
+        (Array.length hier.Plaid_core.Motif_gen.motifs)
+        (Plaid_core.Motif_gen.covered_compute g hier)
+        (Plaid_ir.Dfg.n_compute g);
+      Array.iteri
+        (fun i m ->
+          Printf.printf "  motif %d: %s (%s)\n" i
+            (Plaid_core.Motif.kind_to_string m.Plaid_core.Motif.kind)
+            (String.concat ", "
+               (List.map
+                  (fun v -> (Plaid_ir.Dfg.node g v).label)
+                  (Plaid_core.Motif.nodes m))))
+        hier.Plaid_core.Motif_gen.motifs;
+      (match out with
+      | None -> ()
+      | Some path ->
+        let clusters =
+          Array.to_list hier.Plaid_core.Motif_gen.motifs
+          |> List.mapi (fun i m ->
+                 ( Printf.sprintf "%s %d" (Plaid_core.Motif.kind_to_string m.Plaid_core.Motif.kind) i,
+                   Plaid_core.Motif.nodes m ))
+        in
+        Plaid_ir.Dot.write_file path (Plaid_ir.Dot.to_dot ~clusters g);
+        Printf.printf "wrote %s\n" path);
+      0
+  in
+  Cmd.v
+    (Cmd.info "motifs" ~doc:"Run motif generation (Algorithm 1) on a kernel")
+    Term.(const run $ kernel_arg $ out_arg)
+
+let compile_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Kernel source file (surface syntax).")
+  in
+  let config_arg =
+    Arg.(value & flag & info [ "config" ] ~doc:"Print the configuration bitstream listing.")
+  in
+  let param_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc:"Live-in parameter value (repeatable).")
+  in
+  let run file arch seed show_config param_values =
+    match Plaid_ir.Parse.kernel_of_file file with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Plaid_ir.Parse.pp_error e;
+      1
+    | Ok kernel -> (
+      let dfg = Plaid_ir.Lower.lower kernel in
+      Format.printf "%a@." Plaid_ir.Dfg.pp_stats dfg;
+      let dfg, opt_stats = Plaid_ir.Opt.optimize dfg in
+      Format.printf "optimizer: %a@." Plaid_ir.Opt.pp_stats opt_stats;
+      let ctx = Plaid_exp.Ctx.create ~seed () in
+      let mapping =
+        match arch with
+        | "plaid" ->
+          (Plaid_core.Hier_mapper.map ~plaid:(Plaid_exp.Ctx.plaid2 ctx) ~seed dfg)
+            .Plaid_core.Hier_mapper.mapping
+        | "st" ->
+          (Plaid_mapping.Driver.best_of
+             ~algos:
+               [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
+                 Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
+             ~arch:(Plaid_exp.Ctx.st ctx) ~dfg ~seed)
+            .Plaid_mapping.Driver.mapping
+        | other ->
+          Printf.eprintf "compile supports -a plaid or -a st, not %s\n" other;
+          exit 2
+      in
+      match mapping with
+      | None ->
+        Printf.eprintf "mapper found no valid mapping\n";
+        1
+      | Some m ->
+        report_mapping ctx kernel.Plaid_ir.Kernel.name m;
+        (* unspecified live-ins default to 3 so verification always runs *)
+        let params =
+          List.map
+            (fun name ->
+              (name, try List.assoc name param_values with Not_found -> 3))
+            (Plaid_ir.Parse.params kernel)
+        in
+        let spm = Plaid_sim.Spm.of_kernel kernel ~params ~seed:77 in
+        (match Plaid_sim.Cycle_sim.verify m spm with
+        | Ok _ -> Printf.printf "simulation: bit-exact vs reference\n"
+        | Error msg -> Printf.printf "simulation MISMATCH: %s\n" msg);
+        (if show_config then
+           match Plaid_mapping.Bitstream.generate m with
+           | Ok bs -> Format.printf "%a@." Plaid_mapping.Bitstream.pp_listing bs
+           | Error e -> Printf.printf "bitstream error: %s\n" e);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a kernel source file end to end")
+    Term.(const run $ file_arg $ arch_arg $ seed_arg $ config_arg $ param_arg)
+
+let rtl_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write Verilog here.")
+  in
+  let run arch out =
+    let ctx = Plaid_exp.Ctx.create () in
+    let a =
+      match arch with
+      | "st" -> Plaid_exp.Ctx.st ctx
+      | "st6" -> Plaid_exp.Ctx.st6 ctx
+      | "stml" -> Plaid_exp.Ctx.st_ml ctx
+      | "plaid" -> (Plaid_exp.Ctx.plaid2 ctx).Plaid_core.Pcu.arch
+      | "plaid3" -> (Plaid_exp.Ctx.plaid3 ctx).Plaid_core.Pcu.arch
+      | "plaidml" -> (Plaid_exp.Ctx.plaid_ml ctx).Plaid_core.Pcu.arch
+      | "spatial" -> Plaid_spatial.Spatial.arch ()
+      | other ->
+        Printf.eprintf "unknown arch %s\n" other;
+        exit 2
+    in
+    (match out with
+    | Some path ->
+      Plaid_arch.Verilog.write_file a ~path;
+      let regs, muxes, wires = Plaid_arch.Verilog.stats a in
+      Printf.printf "wrote %s (%d regs, %d muxes, %d wires)\n" path regs muxes wires
+    | None -> print_string (Plaid_arch.Verilog.emit a));
+    0
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Emit a structural Verilog netlist of an architecture")
+    Term.(const run $ arch_arg $ out_arg)
+
+let exp_cmd =
+  let exp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "experiment" ] ~docv:"NAME"
+          ~doc:
+            "Which experiment to run: table2, fig2, fig12, fig13, fig14, fig15, fig16, fig17, \
+             fig18, fig19, utilization, ablations, verify.  Default: all.")
+  in
+  let run name seed =
+    let ctx = Plaid_exp.Ctx.create ~seed () in
+    let open Plaid_exp.Experiments in
+    let runners =
+      [ ("table2", table2); ("fig2", fig2); ("fig12", fig12); ("fig13", fig13);
+        ("fig14", fig14); ("fig15", fig15); ("fig16", fig16); ("fig17", fig17);
+        ("fig18", fig18); ("fig19", fig19); ("utilization", utilization);
+        ("ablations", ablations); ("dse", dse); ("verify", verify_all) ]
+    in
+    match name with
+    | None ->
+      ignore (all ctx);
+      0
+    | Some n -> (
+      match List.assoc_opt n runners with
+      | Some f ->
+        ignore (f ctx);
+        0
+      | None ->
+        Printf.eprintf "unknown experiment %s\n" n;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ exp_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "plaidc" ~version:"1.0"
+      ~doc:"Plaid CGRA toolchain: motif-based hierarchical mapping, baselines, evaluation"
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; map_cmd; run_cmd; motifs_cmd; compile_cmd; rtl_cmd; exp_cmd ]))

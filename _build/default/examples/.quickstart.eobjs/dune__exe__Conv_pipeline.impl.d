@@ -1,0 +1,1 @@
+examples/conv_pipeline.ml: Array List Plaid_core Plaid_exp Plaid_workloads Printf Suite

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Analysis Dfg Format List Op Plaid_arch Plaid_core Plaid_ir Plaid_mapping Plaid_model Plaid_spatial Printf

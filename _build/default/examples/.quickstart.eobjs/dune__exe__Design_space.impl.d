@@ -1,0 +1,1 @@
+examples/design_space.ml: List Plaid_core Plaid_mapping Plaid_model Plaid_workloads Printf

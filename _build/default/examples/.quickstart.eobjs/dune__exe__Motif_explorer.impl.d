@@ -1,0 +1,1 @@
+examples/motif_explorer.ml: Array List Plaid_core Plaid_ir Plaid_util Plaid_workloads Printf String Suite Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dfg Format Kernel Lower Op Plaid_core Plaid_ir Plaid_mapping Plaid_model Plaid_sim Plaid_util Printf

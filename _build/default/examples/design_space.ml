@@ -1,0 +1,30 @@
+(* Design-space exploration with the architecture model: sweep the Plaid
+   fabric size and compare area, per-kernel II, and energy on one workload —
+   the kind of study Section 7.2 (scalability) performs.
+
+   Run with: dune exec examples/design_space.exe *)
+
+let () =
+  let entry = Plaid_workloads.Suite.find "gemm_u4" in
+  let dfg = Plaid_workloads.Suite.dfg entry in
+  Printf.printf "workload: %s\n\n" (Plaid_workloads.Suite.name entry);
+  Printf.printf "%-10s %-8s %-6s %-12s %-12s %-12s\n" "fabric" "FUs" "II" "cycles" "area um2"
+    "energy pJ";
+  List.iter
+    (fun (rows, cols) ->
+      let plaid =
+        Plaid_core.Pcu.build ~rows ~cols ~name:(Printf.sprintf "plaid_%dx%d" rows cols) ()
+      in
+      match (Plaid_core.Hier_mapper.map ~plaid ~seed:5 dfg).Plaid_core.Hier_mapper.mapping with
+      | Some m ->
+        Printf.printf "%-10s %-8d %-6d %-12d %-12.0f %-12.1f\n"
+          (Printf.sprintf "%dx%d" rows cols)
+          (Plaid_core.Pcu.n_fus plaid) m.Plaid_mapping.Mapping.ii
+          (Plaid_mapping.Mapping.perf_cycles m)
+          (Plaid_model.Area.fabric_total plaid.Plaid_core.Pcu.arch)
+          (Plaid_model.Energy.fabric_energy m)
+      | None ->
+        Printf.printf "%-10s %-8d mapping failed\n"
+          (Printf.sprintf "%dx%d" rows cols)
+          (Plaid_core.Pcu.n_fus plaid))
+    [ (1, 2); (2, 2); (2, 3); (3, 3) ]

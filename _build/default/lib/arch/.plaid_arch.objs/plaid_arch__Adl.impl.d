@@ -1,0 +1,1 @@
+lib/arch/adl.ml: Format List Mesh Printf String

@@ -1,0 +1,1 @@
+lib/arch/adl.mli: Arch Format Mesh

@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Array Format List Plaid_ir Printf

@@ -1,0 +1,1 @@
+lib/arch/config_bits.ml: Arch Array List

@@ -1,0 +1,1 @@
+lib/arch/mesh.ml: Arch Config_bits List Plaid_ir Printf

@@ -1,0 +1,1 @@
+lib/arch/mesh.mli: Arch Plaid_ir

@@ -1,0 +1,1 @@
+lib/arch/verilog.ml: Arch Array Buffer Config_bits Hashtbl List Printf String

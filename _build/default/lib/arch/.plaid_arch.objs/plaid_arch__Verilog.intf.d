@@ -1,0 +1,1 @@
+lib/arch/verilog.mli: Arch

@@ -1,0 +1,79 @@
+type spec =
+  | Mesh_spec of Mesh.params
+  | Plaid_spec of { rows : int; cols : int; bypass : bool }
+
+type error = { line : int; msg : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.msg
+
+exception Bad of error
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Bad { line; msg })) fmt
+
+let bool_of line = function
+  | "true" -> true
+  | "false" -> false
+  | other -> fail line "expected true/false, got %s" other
+
+let int_of line s =
+  match int_of_string_opt s with Some v -> v | None -> fail line "expected integer, got %s" s
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let kvs =
+    List.mapi (fun i l -> (i + 1, String.trim l)) lines
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+    |> List.map (fun (i, l) ->
+           match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+           | [ k; v ] -> (i, k, v)
+           | _ -> raise (Bad { line = i; msg = "expected 'key value'" }))
+  in
+  try
+    let family =
+      match List.find_opt (fun (_, k, _) -> k = "family") kvs with
+      | Some (_, _, v) -> v
+      | None -> raise (Bad { line = 1; msg = "missing 'family' (mesh or plaid)" })
+    in
+    match family with
+    | "mesh" ->
+      let p = ref Mesh.spatio_temporal_4x4 in
+      List.iter
+        (fun (line, k, v) ->
+          match k with
+          | "family" -> ()
+          | "rows" -> p := { !p with Mesh.rows = int_of line v }
+          | "cols" -> p := { !p with Mesh.cols = int_of line v }
+          | "regs_per_pe" -> p := { !p with Mesh.regs_per_pe = int_of line v }
+          | "config_entries" -> p := { !p with Mesh.config_entries = int_of line v }
+          | "clock_gated" -> p := { !p with Mesh.clock_gated = bool_of line v }
+          | "mem_cols" -> p := { !p with Mesh.mem_cols = int_of line v }
+          | "mem_stripes" -> p := { !p with Mesh.mem_stripes = bool_of line v }
+          | other -> fail line "unknown mesh key %s" other)
+        kvs;
+      if !p.Mesh.rows < 1 || !p.Mesh.cols < 1 then
+        raise (Bad { line = 1; msg = "rows/cols must be positive" });
+      Ok (Mesh_spec !p)
+    | "plaid" ->
+      let rows = ref 2 and cols = ref 2 and bypass = ref true in
+      List.iter
+        (fun (line, k, v) ->
+          match k with
+          | "family" -> ()
+          | "rows" -> rows := int_of line v
+          | "cols" -> cols := int_of line v
+          | "bypass" -> bypass := bool_of line v
+          | other -> fail line "unknown plaid key %s" other)
+        kvs;
+      if !rows < 1 || !cols < 1 then raise (Bad { line = 1; msg = "rows/cols must be positive" });
+      Ok (Plaid_spec { rows = !rows; cols = !cols; bypass = !bypass })
+    | other -> raise (Bad { line = 1; msg = "unknown family " ^ other })
+  with Bad e -> Error e
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let build_mesh = Mesh.build

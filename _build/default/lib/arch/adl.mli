@@ -1,0 +1,46 @@
+(** Architecture description language: define fabrics in text.
+
+    A minimal key-value format (CGRA-ME keeps its architectures in XML; we
+    keep ours in something greppable) describing either baseline meshes or
+    Plaid fabrics:
+
+    {v
+    # 4x4 spatio-temporal CGRA with a 4-entry register file
+    family mesh
+    rows 4
+    cols 4
+    regs_per_pe 4
+    config_entries 16
+    clock_gated false
+    mem_cols 1
+    mem_stripes false
+    v}
+
+    or
+
+    {v
+    family plaid
+    rows 2
+    cols 2
+    v}
+
+    Unknown keys and malformed values are rejected with a line number;
+    missing keys take the published defaults (the paper's Section 6
+    parameters).  Plaid fabrics come back as a *spec* — constructing the
+    PCU structure lives a layer up (in [plaid_core]), which this library
+    cannot depend on. *)
+
+type spec =
+  | Mesh_spec of Mesh.params
+  | Plaid_spec of { rows : int; cols : int; bypass : bool }
+
+type error = { line : int; msg : string }
+
+val of_string : string -> (spec, error) result
+
+val of_file : string -> (spec, error) result
+
+val build_mesh : Mesh.params -> name:string -> Arch.t
+(** Convenience re-export of {!Mesh.build} for ADL consumers. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,156 @@
+type fu_class = { fu_ops : Plaid_ir.Op.t list; fu_memory : bool }
+
+type kind = Fu of fu_class | Port | Reg
+
+type resource = {
+  id : int;
+  rname : string;
+  kind : kind;
+  tile : int * int;
+  area_class : string;
+}
+
+type link = { lsrc : int; ldst : int; latency : int }
+
+type config_profile = {
+  compute_bits : int;
+  comm_bits : int;
+  entries : int;
+  clock_gated : bool;
+}
+
+type t = {
+  name : string;
+  resources : resource array;
+  links : link array;
+  out_links : (int * int) list array;
+  in_links : (int * int) list array;
+  fus : int array;
+  mem_fus : int array;
+  config : config_profile;
+  allow_fu_routethrough : bool;
+}
+
+type builder = {
+  bname : string;
+  bconfig : config_profile;
+  broutethrough : bool;
+  mutable bresources : resource list;  (* reversed *)
+  mutable blinks : link list;
+  mutable next : int;
+}
+
+let builder ?(allow_fu_routethrough = true) ~name ~config () =
+  { bname = name; bconfig = config; broutethrough = allow_fu_routethrough;
+    bresources = []; blinks = []; next = 0 }
+
+let add_resource b ~name ~kind ~tile ~area_class =
+  let id = b.next in
+  b.next <- id + 1;
+  b.bresources <- { id; rname = name; kind; tile; area_class } :: b.bresources;
+  id
+
+let add_link b ~src ~dst ~latency = b.blinks <- { lsrc = src; ldst = dst; latency } :: b.blinks
+
+(* A combinational loop is a cycle of latency-0 links.  Registers never emit
+   such cycles because their incoming links are latency 1; this check catches
+   builder mistakes, playing the role of the paper's EDA loop check. *)
+let check_no_combinational_loop name resources out_links =
+  let n = Array.length resources in
+  let color = Array.make n 0 in
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun (v, lat) ->
+        if lat = 0 then
+          if color.(v) = 1 then
+            invalid_arg (Printf.sprintf "Arch %s: combinational loop through %s" name resources.(v).rname)
+          else if color.(v) = 0 then dfs v)
+      out_links.(u);
+    color.(u) <- 2
+  in
+  for u = 0 to n - 1 do
+    if color.(u) = 0 then dfs u
+  done
+
+let freeze b =
+  let resources = Array.of_list (List.rev b.bresources) in
+  let links = Array.of_list (List.rev b.blinks) in
+  let n = Array.length resources in
+  let out_links = Array.make n [] and in_links = Array.make n [] in
+  Array.iter
+    (fun l ->
+      if l.lsrc < 0 || l.lsrc >= n || l.ldst < 0 || l.ldst >= n then
+        invalid_arg (Printf.sprintf "Arch %s: link endpoint out of range" b.bname);
+      if l.latency < 0 || l.latency > 1 then
+        invalid_arg (Printf.sprintf "Arch %s: link latency must be 0 or 1" b.bname);
+      (match resources.(l.lsrc).kind with
+      | Fu _ ->
+        if l.latency <> 1 then
+          invalid_arg
+            (Printf.sprintf "Arch %s: FU %s output link must have latency 1" b.bname
+               resources.(l.lsrc).rname)
+      | Port | Reg -> ());
+      (match resources.(l.ldst).kind with
+      | Reg ->
+        if l.latency <> 1 then
+          invalid_arg
+            (Printf.sprintf "Arch %s: register %s write link must have latency 1" b.bname
+               resources.(l.ldst).rname)
+      | Fu _ | Port -> ());
+      out_links.(l.lsrc) <- (l.ldst, l.latency) :: out_links.(l.lsrc);
+      in_links.(l.ldst) <- (l.lsrc, l.latency) :: in_links.(l.ldst))
+    links;
+  Array.iteri (fun i l -> out_links.(i) <- List.rev l) out_links;
+  Array.iteri (fun i l -> in_links.(i) <- List.rev l) in_links;
+  check_no_combinational_loop b.bname resources out_links;
+  let fus =
+    Array.to_list resources
+    |> List.filter_map (fun r -> match r.kind with Fu _ -> Some r.id | _ -> None)
+    |> Array.of_list
+  in
+  let mem_fus =
+    Array.to_list resources
+    |> List.filter_map (fun r ->
+           match r.kind with Fu c when c.fu_memory -> Some r.id | _ -> None)
+    |> Array.of_list
+  in
+  { name = b.bname; resources; links; out_links; in_links; fus; mem_fus;
+    config = b.bconfig; allow_fu_routethrough = b.broutethrough }
+
+let resource t id = t.resources.(id)
+
+let n_resources t = Array.length t.resources
+
+let fu_supports t id op =
+  match t.resources.(id).kind with
+  | Fu c ->
+    List.exists (Plaid_ir.Op.equal op) c.fu_ops
+    && ((not (Plaid_ir.Op.is_memory op || op = Plaid_ir.Op.Input)) || c.fu_memory)
+  | Port | Reg -> false
+
+let capacity t =
+  { Plaid_ir.Analysis.total_slots = max 1 (Array.length t.fus);
+    memory_slots = max 1 (Array.length t.mem_fus) }
+
+let alu_compute_class = { fu_ops = Plaid_ir.Op.all_compute; fu_memory = false }
+
+let alsu_class =
+  { fu_ops = Plaid_ir.Op.all_compute @ [ Plaid_ir.Op.Load; Plaid_ir.Op.Store; Plaid_ir.Op.Input ];
+    fu_memory = true }
+
+let base_route_cost t id =
+  match t.resources.(id).kind with
+  | Fu _ -> 4.0  (* route-through burns an issue slot *)
+  | Port -> 1.0
+  | Reg -> 1.2
+
+let config_bits_per_entry t = t.config.compute_bits + t.config.comm_bits
+
+let set_config t config = { t with config }
+
+let pp_summary fmt t =
+  let count k = Array.to_list t.resources |> List.filter (fun r -> r.kind = k) |> List.length in
+  Format.fprintf fmt "%s: %d FUs (%d memory-capable), %d ports, %d regs, %d links, %d cfg bits/entry"
+    t.name (Array.length t.fus) (Array.length t.mem_fus) (count Port) (count Reg)
+    (Array.length t.links) (config_bits_per_entry t)

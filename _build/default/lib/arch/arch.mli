@@ -1,0 +1,110 @@
+(** Generic CGRA architecture description.
+
+    An architecture is a directed graph of timing-annotated resources.  The
+    model follows the registered-hop convention of typical spatio-temporal
+    CGRAs:
+
+    - A functional unit ([Fu]) executes one DFG node per cycle.  Links out of
+      an FU carry latency 1 (the result lands in the PE's output register at
+      the next cycle).  Links into an FU carry latency 0 (operands are read
+      combinationally at issue).
+    - A register ([Reg]) stores one value per cycle: links into a register
+      have latency 1 (the write), links out have latency 0, and a register
+      may hold data across cycles via its implicit self-link.
+    - A port ([Port]) is combinational wiring (crossbar legs, NoC ports):
+      latency 0 in and out.  Inter-tile links connect port to port with the
+      latencies the builder assigns (registered mesh hops use the producing
+      side's output register, so port-to-port links are latency 0).
+
+    With this convention a route's cycle count equals the number of
+    latency-1 links it crosses, and no combinational loop can form as long
+    as every cycle of latency-0 links is broken by a register — asserted by
+    {!check_no_combinational_loop}, mirroring the paper's post-synthesis EDA
+    check (Section 4.2). *)
+
+type fu_class = {
+  fu_ops : Plaid_ir.Op.t list;  (** operations this unit executes *)
+  fu_memory : bool;             (** has a scratchpad datapath (ALSU) *)
+}
+
+type kind =
+  | Fu of fu_class
+  | Port
+  | Reg
+
+type resource = {
+  id : int;
+  rname : string;
+  kind : kind;
+  tile : int * int;        (** grid coordinates of the owning tile *)
+  area_class : string;     (** key into the technology model, e.g. "alu" *)
+}
+
+type link = { lsrc : int; ldst : int; latency : int }
+
+type config_profile = {
+  compute_bits : int;  (** per configuration entry: FU op + immediates *)
+  comm_bits : int;     (** per entry: router / mux select fields *)
+  entries : int;       (** configuration memory depth (max II) *)
+  clock_gated : bool;  (** spatial CGRAs freeze config after loading *)
+}
+
+type t = private {
+  name : string;
+  resources : resource array;
+  links : link array;
+  out_links : (int * int) list array;  (** per resource: (dst, latency) *)
+  in_links : (int * int) list array;   (** per resource: (src, latency) *)
+  fus : int array;                     (** resource ids of all FUs *)
+  mem_fus : int array;                 (** FUs with [fu_memory = true] *)
+  config : config_profile;
+  allow_fu_routethrough : bool;
+}
+
+(** {1 Building} *)
+
+type builder
+
+val builder :
+  ?allow_fu_routethrough:bool -> name:string -> config:config_profile -> unit -> builder
+
+val add_resource :
+  builder -> name:string -> kind:kind -> tile:int * int -> area_class:string -> int
+
+val add_link : builder -> src:int -> dst:int -> latency:int -> unit
+
+val freeze : builder -> t
+(** @raise Invalid_argument if a link endpoint is out of range, if an FU->*
+    link has latency <> 1, or if a purely combinational (all latency-0)
+    cycle exists. *)
+
+(** {1 Queries} *)
+
+val resource : t -> int -> resource
+
+val n_resources : t -> int
+
+val fu_supports : t -> int -> Plaid_ir.Op.t -> bool
+(** Whether resource [id] is an FU that can execute the op (memory-class ops
+    additionally require [fu_memory]). *)
+
+val capacity : t -> Plaid_ir.Analysis.capacity
+(** FU counts, for ResMII. *)
+
+val alu_compute_class : fu_class
+(** The paper's 15-operation, 16-bit ALU (no memory access). *)
+
+val alsu_class : fu_class
+(** ALU operations plus load/store: the Arithmetic-Load-Store Unit. *)
+
+val base_route_cost : t -> int -> float
+(** Router cost of occupying a resource: cheap for ports and registers,
+    expensive for FU route-throughs (they burn an issue slot). *)
+
+val config_bits_per_entry : t -> int
+
+val set_config : t -> config_profile -> t
+(** Replace the configuration profile (builders compute bit counts from the
+    frozen structure, then attach them). *)
+
+val pp_summary : Format.formatter -> t -> unit

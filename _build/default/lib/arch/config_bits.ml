@@ -1,0 +1,34 @@
+let op_select_bits = 4
+
+let immediate_bits = 8
+
+let fu_operand_muxes = 2
+
+let ceil_log2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  if n <= 1 then 0 else go 0 1
+
+let compute_bits (arch : Arch.t) =
+  Array.length arch.fus * (op_select_bits + immediate_bits)
+
+let mux_overhead_bits = 1
+
+(* A mux select is needed wherever a resource chooses among several sources.
+   FUs have one mux per operand; registers and ports one each.  A +1 inside
+   the log accounts for the "hold / no-op" encoding, and each mux carries
+   [mux_overhead_bits] of enable/mode encoding, as in real instruction
+   formats. *)
+let comm_bits (arch : Arch.t) =
+  Array.fold_left
+    (fun acc (r : Arch.resource) ->
+      let indeg = List.length arch.in_links.(r.id) in
+      if indeg <= 1 then acc
+      else
+        let sel = ceil_log2 (indeg + 1) + mux_overhead_bits in
+        let muxes = match r.kind with Arch.Fu _ -> fu_operand_muxes | Arch.Port | Arch.Reg -> 1 in
+        acc + (sel * muxes))
+    0 arch.resources
+
+let attach arch ~entries ~clock_gated =
+  Arch.set_config arch
+    { Arch.compute_bits = compute_bits arch; comm_bits = comm_bits arch; entries; clock_gated }

@@ -1,0 +1,32 @@
+(** Configuration-encoding size derived from the architecture structure.
+
+    Every cycle, a spatio-temporal CGRA reads one configuration entry per
+    tile.  The entry encodes (a) compute fields: operation select and an
+    8-bit immediate per FU, and (b) communication fields: one select per mux
+    input of every steerable sink (FU operand muxes, register write muxes,
+    output-register source muxes).  Deriving the counts from the frozen
+    resource graph keeps the encoding honest: trimming datapaths (as Plaid
+    does) automatically shrinks the configuration memory, which is where the
+    paper's 48%-of-power configuration cost lives (Figure 2). *)
+
+val op_select_bits : int
+(** 4: selects among the 15 ALU operations (+nop). *)
+
+val immediate_bits : int
+(** 8: per-instruction constant operand (Section 4.3). *)
+
+val fu_operand_muxes : int
+(** 2: ALU operand A and B muxes. *)
+
+val mux_overhead_bits : int
+(** 1: per-mux enable bit beyond the select field. *)
+
+val compute_bits : Arch.t -> int
+(** Total compute-configuration bits per entry, summed over FUs. *)
+
+val comm_bits : Arch.t -> int
+(** Total communication-configuration bits per entry: mux select widths from
+    actual in-degrees. *)
+
+val attach : Arch.t -> entries:int -> clock_gated:bool -> Arch.t
+(** Compute both and install the resulting {!Arch.config_profile}. *)

@@ -1,0 +1,150 @@
+type params = {
+  rows : int;
+  cols : int;
+  regs_per_pe : int;
+  config_entries : int;
+  clock_gated : bool;
+  mem_cols : int;
+  mem_stripes : bool;
+  pruned_ops : Plaid_ir.Op.t list option;
+}
+
+let spatio_temporal_4x4 =
+  { rows = 4; cols = 4; regs_per_pe = 4; config_entries = 16; clock_gated = false; mem_cols = 1;
+    mem_stripes = false; pruned_ops = None }
+
+let spatio_temporal_6x6 = { spatio_temporal_4x4 with rows = 6; cols = 6 }
+
+(* The spatial baseline keeps one node per PE for a whole segment, so it
+   needs more simultaneous scratchpad access points than a time-multiplexed
+   fabric: two memory columns (8 memory PEs over dual-ported banks), as in
+   SNAFU/Riptide-class designs. *)
+let spatial_4x4 =
+  { spatio_temporal_4x4 with clock_gated = true; mem_cols = 0; mem_stripes = true }
+
+(* Resource layout per PE, in creation order:
+   fu, in_N, in_S, in_E, in_W, out_N, out_S, out_E, out_W,
+   byp_N, byp_S, byp_E, byp_W, reg_0..reg_{k-1}.
+   Each direction owns an output register with its own source mux — the
+   "adequate degrees of freedom" provisioning of typical spatio-temporal
+   CGRAs that Plaid calls out as overprovisioned.  The byp_* ports are
+   HyCUBE-style single-cycle multi-hop wires: a value may continue straight
+   through a PE combinationally (no register), so long straight routes cost
+   one cycle; turns must take the registered crossbar.  Straight-only
+   bypasses cannot form a combinational loop. *)
+let per_pe p = 13 + p.regs_per_pe
+
+let pe_base p ~row ~col = ((row * p.cols) + col) * per_pe p
+
+let fu_of_pe p ~row ~col = pe_base p ~row ~col
+
+let build p ~name =
+  let dummy_config =
+    { Arch.compute_bits = 0; comm_bits = 0; entries = p.config_entries;
+      clock_gated = p.clock_gated }
+  in
+  let b = Arch.builder ~name ~config:dummy_config () in
+  for row = 0 to p.rows - 1 do
+    for col = 0 to p.cols - 1 do
+      let tile = (row, col) in
+      let pe = Printf.sprintf "pe%d_%d" row col in
+      let memory_pe = if p.mem_stripes then col mod 2 = 0 else col < p.mem_cols in
+      let cls = if memory_pe then Arch.alsu_class else Arch.alu_compute_class in
+      let cls =
+        match p.pruned_ops with
+        | None -> cls
+        | Some ops ->
+          let mem_ops = [ Plaid_ir.Op.Load; Plaid_ir.Op.Store; Plaid_ir.Op.Input ] in
+          { cls with Arch.fu_ops = (if cls.Arch.fu_memory then ops @ mem_ops else ops) }
+      in
+      let base_class = if cls.Arch.fu_memory then "alsu" else "alu" in
+      let area_class = if p.pruned_ops = None then base_class else base_class ^ "_pruned" in
+      let fu = Arch.add_resource b ~name:(pe ^ ".fu") ~kind:(Arch.Fu cls) ~tile ~area_class in
+      let inports =
+        List.map
+          (fun d ->
+            Arch.add_resource b ~name:(Printf.sprintf "%s.in_%s" pe d) ~kind:Arch.Port ~tile
+              ~area_class:"router_port")
+          [ "n"; "s"; "e"; "w" ]
+      in
+      let outregs =
+        List.map
+          (fun d ->
+            Arch.add_resource b ~name:(Printf.sprintf "%s.out_%s" pe d) ~kind:Arch.Reg ~tile
+              ~area_class:"out_reg")
+          [ "n"; "s"; "e"; "w" ]
+      in
+      let regs =
+        List.init p.regs_per_pe (fun i ->
+            Arch.add_resource b ~name:(Printf.sprintf "%s.r%d" pe i) ~kind:Arch.Reg ~tile
+              ~area_class:"reg")
+      in
+      (* FU result can be steered to any direction's output register. *)
+      List.iter (fun o -> Arch.add_link b ~src:fu ~dst:o ~latency:1) outregs;
+      (* Crossbar: input ports feed operands, every output register
+         (route-through in any direction) and the register file. *)
+      List.iter
+        (fun ip ->
+          Arch.add_link b ~src:ip ~dst:fu ~latency:0;
+          List.iter (fun o -> Arch.add_link b ~src:ip ~dst:o ~latency:1) outregs;
+          List.iter (fun r -> Arch.add_link b ~src:ip ~dst:r ~latency:1) regs)
+        inports;
+      (* Registers feed the FU and the output registers, and hold. *)
+      List.iter
+        (fun r ->
+          Arch.add_link b ~src:r ~dst:fu ~latency:0;
+          List.iter (fun o -> Arch.add_link b ~src:r ~dst:o ~latency:1) outregs;
+          Arch.add_link b ~src:r ~dst:r ~latency:1)
+        regs;
+      (* Output registers feed the local FU back and hold. *)
+      List.iter
+        (fun o ->
+          Arch.add_link b ~src:o ~dst:fu ~latency:0;
+          Arch.add_link b ~src:o ~dst:o ~latency:1)
+        outregs;
+      (* Straight-through bypasses: arriving from one side may leave through
+         the opposite side within the same cycle. *)
+      let byps =
+        List.map
+          (fun d ->
+            Arch.add_resource b ~name:(Printf.sprintf "%s.byp_%s" pe d) ~kind:Arch.Port ~tile
+              ~area_class:"router_port")
+          [ "n"; "s"; "e"; "w" ]
+      in
+      let ip d = List.nth inports (match d with "n" -> 0 | "s" -> 1 | "e" -> 2 | _ -> 3) in
+      let bp d = List.nth byps (match d with "n" -> 0 | "s" -> 1 | "e" -> 2 | _ -> 3) in
+      (* data entering from the south continues north, etc. *)
+      Arch.add_link b ~src:(ip "s") ~dst:(bp "n") ~latency:0;
+      Arch.add_link b ~src:(ip "n") ~dst:(bp "s") ~latency:0;
+      Arch.add_link b ~src:(ip "w") ~dst:(bp "e") ~latency:0;
+      Arch.add_link b ~src:(ip "e") ~dst:(bp "w") ~latency:0
+    done
+  done;
+  (* Mesh: each direction's output register drives the facing input port of
+     the neighbour (combinational wire; the hop is registered at the source). *)
+  let out_of ~row ~col d =
+    let o = match d with "n" -> 5 | "s" -> 6 | "e" -> 7 | "w" -> 8 | _ -> assert false in
+    pe_base p ~row ~col + o
+  in
+  let byp_of ~row ~col d =
+    let o = match d with "n" -> 9 | "s" -> 10 | "e" -> 11 | "w" -> 12 | _ -> assert false in
+    pe_base p ~row ~col + o
+  in
+  let inport_of ~row ~col d =
+    let o = match d with "n" -> 1 | "s" -> 2 | "e" -> 3 | "w" -> 4 | _ -> assert false in
+    pe_base p ~row ~col + o
+  in
+  for row = 0 to p.rows - 1 do
+    for col = 0 to p.cols - 1 do
+      let wire d ~dst =
+        Arch.add_link b ~src:(out_of ~row ~col d) ~dst ~latency:0;
+        Arch.add_link b ~src:(byp_of ~row ~col d) ~dst ~latency:0
+      in
+      if row > 0 then wire "n" ~dst:(inport_of ~row:(row - 1) ~col "s");
+      if row < p.rows - 1 then wire "s" ~dst:(inport_of ~row:(row + 1) ~col "n");
+      if col > 0 then wire "w" ~dst:(inport_of ~row ~col:(col - 1) "e");
+      if col < p.cols - 1 then wire "e" ~dst:(inport_of ~row ~col:(col + 1) "w")
+    done
+  done;
+  let arch = Arch.freeze b in
+  Config_bits.attach arch ~entries:p.config_entries ~clock_gated:p.clock_gated

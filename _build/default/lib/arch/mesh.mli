@@ -1,0 +1,41 @@
+(** Baseline mesh CGRA builders (Figure 3 of the paper).
+
+    Each PE owns: a functional unit, four directional input ports, an output
+    register, and a small register file.  The internal crossbar lets any
+    input port or register feed the FU operands, the output register, or the
+    register file; the output register drives the four neighbours.  Memory
+    capability (ALSU-class FU with a scratchpad datapath) is given to the
+    PEs of the westmost column, matching common designs where edge PEs face
+    the SPM banks. *)
+
+type params = {
+  rows : int;
+  cols : int;
+  regs_per_pe : int;      (** register-file depth, besides the output register *)
+  config_entries : int;   (** configuration memory depth (bounds II) *)
+  clock_gated : bool;     (** true for the spatial baseline *)
+  mem_cols : int;         (** leftmost columns whose PEs are memory-capable *)
+  mem_stripes : bool;
+      (** put memory PEs on every even column instead of the leftmost ones
+          (the spatial baseline: spatial dataflow needs its access points
+          spread across the fabric, while compute PEs stay vertically
+          adjacent for recurrence rings) *)
+  pruned_ops : Plaid_ir.Op.t list option;
+      (** domain-pruned ALU operation set (REVAMP-style ST-ML baseline);
+          [None] keeps the full 15-operation ALU *)
+}
+
+val spatio_temporal_4x4 : params
+(** The paper's high-performance baseline: 4x4, 16-entry config memory. *)
+
+val spatio_temporal_6x6 : params
+(** Scaled baseline compared against 3x3 Plaid. *)
+
+val spatial_4x4 : params
+(** The energy-minimal spatial baseline: mesh identical to the
+    spatio-temporal one, single frozen configuration, clock-gated config. *)
+
+val build : params -> name:string -> Arch.t
+
+val fu_of_pe : params -> row:int -> col:int -> int
+(** Resource id of the FU of PE (row, col); useful in tests. *)

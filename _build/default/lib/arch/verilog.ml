@@ -1,0 +1,154 @@
+(* Identifier discipline: resource names like "pe0_1.in_n" become
+   "pe0_1__in_n"; every datapath value is a 16-bit wire named after the
+   resource driving it. *)
+
+let sanitize name =
+  String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+  |> String.map (fun c -> if c = '_' then '_' else c)
+
+let wire_of (r : Arch.resource) = sanitize r.rname
+
+let ceil_log2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  if n <= 1 then 0 else go 0 1
+
+let is_fu (r : Arch.resource) = match r.kind with Arch.Fu _ -> true | _ -> false
+
+let emit (arch : Arch.t) =
+  let buf = Buffer.create 8192 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let module_name = sanitize arch.name in
+  let cfg_bits = Arch.config_bits_per_entry arch in
+  pf "// Structural netlist generated from the %s resource graph.\n" arch.name;
+  pf "// %d resources, %d links, %d configuration bits per entry, %d entries.\n\n"
+    (Arch.n_resources arch) (Array.length arch.links) cfg_bits arch.config.entries;
+  pf "module %s (\n" module_name;
+  pf "  input  wire        clk,\n";
+  pf "  input  wire        rst_n,\n";
+  pf "  input  wire [%d:0] cfg_entry,   // current configuration word\n" (max 0 (cfg_bits - 1));
+  pf "  input  wire [15:0] spm_rdata,\n";
+  pf "  output wire [15:0] spm_wdata,\n";
+  pf "  output wire [15:0] spm_addr\n";
+  pf ");\n\n";
+  (* wires for every resource *)
+  Array.iter (fun r -> pf "  wire [15:0] %s;\n" (wire_of r)) arch.resources;
+  pf "\n";
+  (* config field slicing, in resource order: one select per mux *)
+  let offset = ref 0 in
+  let selects = Hashtbl.create 64 in
+  Array.iter
+    (fun (r : Arch.resource) ->
+      let indeg = List.length arch.in_links.(r.id) in
+      if indeg > 1 then begin
+        let width = ceil_log2 (indeg + 1) + Config_bits.mux_overhead_bits in
+        let muxes = if is_fu r then Config_bits.fu_operand_muxes else 1 in
+        for m = 0 to muxes - 1 do
+          let name = Printf.sprintf "sel_%s_%d" (wire_of r) m in
+          pf "  wire [%d:0] %s = cfg_entry[%d:%d];\n" (width - 1) name (!offset + width - 1)
+            !offset;
+          Hashtbl.replace selects (r.id, m) name;
+          offset := !offset + width
+        done
+      end)
+    arch.resources;
+  pf "\n";
+  let mux_expr (r : Arch.resource) m =
+    let sel = Hashtbl.find selects (r.id, m) in
+    let sources = List.map (fun (src, _) -> Arch.resource arch src) arch.in_links.(r.id) in
+    let arms =
+      List.mapi (fun i s -> Printf.sprintf "%s == %d ? %s" sel (i + 1) (wire_of s)) sources
+    in
+    String.concat " :\n                 " arms ^ " : 16'd0"
+  in
+  (* datapath: FUs, registers, and multi-driver ports *)
+  let n_regs = ref 0 and n_muxes = ref 0 in
+  Array.iter
+    (fun (r : Arch.resource) ->
+      let indeg = List.length arch.in_links.(r.id) in
+      match r.kind with
+      | Arch.Fu c ->
+        let ops = List.length c.Arch.fu_ops in
+        if indeg > 1 then n_muxes := !n_muxes + Config_bits.fu_operand_muxes;
+        pf "  // functional unit %s: %d operations%s\n" r.rname ops
+          (if c.Arch.fu_memory then " + scratchpad datapath" else "");
+        if indeg > 1 then begin
+          pf "  wire [15:0] %s_opa = %s;\n" (wire_of r) (mux_expr r 0);
+          pf "  wire [15:0] %s_opb = %s;\n" (wire_of r) (mux_expr r 1)
+        end
+        else begin
+          let src =
+            match arch.in_links.(r.id) with
+            | (s, _) :: _ -> wire_of (Arch.resource arch s)
+            | [] -> "16'd0"
+          in
+          pf "  wire [15:0] %s_opa = %s;\n" (wire_of r) src;
+          pf "  wire [15:0] %s_opb = 16'd0;\n" (wire_of r)
+        end;
+        incr n_regs;
+        pf "  %s #(.N_OPS(%d)) u_%s (.clk(clk), .rst_n(rst_n), .opa(%s_opa), .opb(%s_opb), .q(%s));\n\n"
+          (if c.Arch.fu_memory then "alsu" else "alu")
+          ops (wire_of r) (wire_of r) (wire_of r) (wire_of r)
+      | Arch.Reg ->
+        incr n_regs;
+        if indeg > 1 then begin
+          incr n_muxes;
+          pf "  reg [15:0] %s_q;\n" (wire_of r);
+          pf "  always @(posedge clk) %s_q <= %s;\n" (wire_of r) (mux_expr r 0);
+          pf "  assign %s = %s_q;\n\n" (wire_of r) (wire_of r)
+        end
+        else begin
+          let src =
+            match arch.in_links.(r.id) with
+            | (s, _) :: _ -> wire_of (Arch.resource arch s)
+            | [] -> "16'd0"
+          in
+          pf "  reg [15:0] %s_q;\n" (wire_of r);
+          pf "  always @(posedge clk) %s_q <= %s;\n" (wire_of r) src;
+          pf "  assign %s = %s_q;\n\n" (wire_of r) (wire_of r)
+        end
+      | Arch.Port ->
+        if indeg > 1 then begin
+          incr n_muxes;
+          pf "  assign %s = %s;\n\n" (wire_of r) (mux_expr r 0)
+        end
+        else begin
+          let src =
+            match arch.in_links.(r.id) with
+            | (s, _) :: _ -> wire_of (Arch.resource arch s)
+            | [] -> "16'd0"
+          in
+          pf "  assign %s = %s;\n" (wire_of r) src
+        end)
+    arch.resources;
+  (* scratchpad interface: or-reduce the memory-capable FUs *)
+  let mem_wires = Array.to_list arch.mem_fus |> List.map (fun fu -> wire_of (Arch.resource arch fu)) in
+  (match mem_wires with
+  | [] ->
+    pf "\n  assign spm_wdata = 16'd0;\n  assign spm_addr = 16'd0;\n"
+  | ws ->
+    pf "\n  assign spm_wdata = %s;\n" (String.concat " | " ws);
+    pf "  assign spm_addr  = %s;\n" (String.concat " ^ " ws));
+  pf "\nendmodule\n";
+  Buffer.contents buf
+
+let stats arch =
+  let regs = ref 0 and muxes = ref 0 and wires = ref 0 in
+  Array.iter
+    (fun (r : Arch.resource) ->
+      incr wires;
+      let indeg = List.length arch.Arch.in_links.(r.id) in
+      match r.kind with
+      | Arch.Fu _ ->
+        incr regs;
+        if indeg > 1 then muxes := !muxes + Config_bits.fu_operand_muxes
+      | Arch.Reg ->
+        incr regs;
+        if indeg > 1 then incr muxes
+      | Arch.Port -> if indeg > 1 then incr muxes)
+    arch.Arch.resources;
+  (!regs, !muxes, !wires)
+
+let write_file arch ~path =
+  let oc = open_out path in
+  output_string oc (emit arch);
+  close_out oc

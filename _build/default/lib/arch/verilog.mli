@@ -1,0 +1,26 @@
+(** Structural Verilog export of an architecture — the RTL skeleton the
+    paper synthesizes (Section 6.1).
+
+    The netlist is generated directly from the frozen resource graph:
+
+    - each functional unit becomes an [alu]/[alsu] instance with operand
+      muxes sized to its in-degree;
+    - each register resource becomes a 16-bit register with a source mux;
+    - each port resource becomes a wire (with a mux when it has several
+      drivers);
+    - the configuration memory is emitted as a register file of
+      [entries x bits-per-entry], with the per-mux select fields sliced out
+      of the current entry in the same order {!Config_bits} counts them.
+
+    The output is synthesizable-style structural Verilog intended for area
+    sanity checks and inspection, not a verified tapeout netlist; the
+    datapath semantics live in the OCaml simulator. *)
+
+val emit : Arch.t -> string
+(** Complete module text. *)
+
+val write_file : Arch.t -> path:string -> unit
+
+val stats : Arch.t -> int * int * int
+(** (register instances, mux instances, wire declarations) in the emitted
+    netlist — used by tests to pin the netlist to the resource graph. *)

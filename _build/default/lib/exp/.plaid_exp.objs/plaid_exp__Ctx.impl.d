@@ -1,0 +1,1 @@
+lib/exp/ctx.ml: Hashtbl Lazy List Plaid_arch Plaid_core Plaid_ir Plaid_mapping Plaid_model Plaid_spatial Plaid_workloads Suite

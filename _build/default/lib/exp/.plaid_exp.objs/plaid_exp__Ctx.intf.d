@@ -1,0 +1,1 @@
+lib/exp/ctx.mli: Plaid_arch Plaid_core Plaid_mapping Plaid_spatial Plaid_workloads

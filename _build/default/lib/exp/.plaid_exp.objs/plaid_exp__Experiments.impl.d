@@ -1,0 +1,1 @@
+lib/exp/experiments.ml: Ascii Ctx Dnn Format Hashtbl List Option Plaid_core Plaid_ir Plaid_mapping Plaid_model Plaid_sim Plaid_spatial Plaid_util Plaid_workloads Printf String Suite Unix

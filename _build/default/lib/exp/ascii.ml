@@ -1,0 +1,32 @@
+let table ~headers rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s%s" (List.nth widths c) cell (if c = cols - 1 then "\n" else "  "))
+      row
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let geomean xs =
+  let xs = List.filter (fun x -> x > 0.0) xs in
+  match xs with
+  | [] -> 1.0
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let heading s =
+  Printf.printf "\n%s\n%s\n" s (String.make (String.length s) '=')

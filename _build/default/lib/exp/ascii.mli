@@ -1,0 +1,19 @@
+(** Plain-text table rendering and small statistics helpers for the
+    experiment harness. *)
+
+val table : headers:string list -> string list list -> unit
+(** Column-aligned table on stdout. *)
+
+val geomean : float list -> float
+(** Geometric mean; 1.0 on the empty list; ignores non-positive values. *)
+
+val f2 : float -> string
+(** Two-decimal rendering. *)
+
+val f1 : float -> string
+
+val pct : float -> string
+(** 0.43 -> "43.0%". *)
+
+val heading : string -> unit
+(** Underlined section heading. *)

@@ -1,0 +1,148 @@
+open Plaid_workloads
+
+type t = {
+  seed : int;
+  outer_trips : int;
+  st : Plaid_arch.Arch.t Lazy.t;
+  st6 : Plaid_arch.Arch.t Lazy.t;
+  st_ml : Plaid_arch.Arch.t Lazy.t;
+  plaid2 : Plaid_core.Pcu.t Lazy.t;
+  plaid3 : Plaid_core.Pcu.t Lazy.t;
+  plaid_ml : Plaid_core.Pcu.t Lazy.t;
+  mappings : (string, Plaid_mapping.Mapping.t option) Hashtbl.t;
+  hier : (string, Plaid_core.Hier_mapper.outcome) Hashtbl.t;
+  spatials : (string, (Plaid_spatial.Spatial.result, string) result) Hashtbl.t;
+}
+
+let create ?(seed = 2025) ?(outer = 16) () =
+  {
+    seed;
+    outer_trips = outer;
+    st = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st_4x4");
+    st6 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_6x6 ~name:"st_6x6");
+    st_ml = lazy (Plaid_core.Specialize.st_ml ());
+    plaid2 = lazy (Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"plaid_2x2" ());
+    plaid3 = lazy (Plaid_core.Pcu.build ~rows:3 ~cols:3 ~name:"plaid_3x3" ());
+    plaid_ml = lazy (Plaid_core.Specialize.plaid_ml ());
+    mappings = Hashtbl.create 64;
+    hier = Hashtbl.create 64;
+    spatials = Hashtbl.create 64;
+  }
+
+let outer t = t.outer_trips
+
+let st t = Lazy.force t.st
+let st6 t = Lazy.force t.st6
+let st_ml t = Lazy.force t.st_ml
+let plaid2 t = Lazy.force t.plaid2
+let plaid3 t = Lazy.force t.plaid3
+let plaid_ml t = Lazy.force t.plaid_ml
+
+let memo tbl key f =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.replace tbl key v;
+    v
+
+let best_of_baselines t arch entry =
+  let dfg = Suite.dfg entry in
+  (Plaid_mapping.Driver.best_of
+     ~algos:
+       [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
+         Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
+     ~arch ~dfg ~seed:t.seed)
+    .Plaid_mapping.Driver.mapping
+
+let map_st t entry =
+  memo t.mappings ("st/" ^ Suite.name entry) (fun () -> best_of_baselines t (st t) entry)
+
+let map_st6 t entry =
+  memo t.mappings ("st6/" ^ Suite.name entry) (fun () -> best_of_baselines t (st6 t) entry)
+
+let map_st_ml t entry =
+  memo t.mappings ("stml/" ^ Suite.name entry) (fun () -> best_of_baselines t (st_ml t) entry)
+
+let hier_on t key plaid entry =
+  memo t.hier (key ^ "/" ^ Suite.name entry) (fun () ->
+      Plaid_core.Hier_mapper.map ~plaid ~seed:t.seed (Suite.dfg entry))
+
+let map_plaid t entry = hier_on t "plaid2" (plaid2 t) entry
+
+let map_plaid3 t entry = hier_on t "plaid3" (plaid3 t) entry
+
+let map_plaid_ml t entry = hier_on t "plaidml" (plaid_ml t) entry
+
+let map_plaid_generic t algo entry =
+  let name = match algo with `Sa -> "plaid-sa" | `Pf -> "plaid-pf" in
+  memo t.mappings (name ^ "/" ^ Suite.name entry) (fun () ->
+      let arch = (plaid2 t).Plaid_core.Pcu.arch in
+      let algo =
+        match algo with
+        | `Sa -> Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default
+        | `Pf -> Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default
+      in
+      (Plaid_mapping.Driver.map ~algo ~arch ~dfg:(Suite.dfg entry) ~seed:t.seed)
+        .Plaid_mapping.Driver.mapping)
+
+let spatial t entry =
+  memo t.spatials ("spatial/" ^ Suite.name entry) (fun () ->
+      Plaid_spatial.Spatial.run ~seed:t.seed (Suite.dfg entry))
+
+(* Outer-scaled cycle count: the modulo kernel admits one iteration per II,
+   the pipeline fills once per invocation of the whole loop nest. *)
+let cycles t (m : Plaid_mapping.Mapping.t) =
+  let total_iters = t.outer_trips * m.dfg.Plaid_ir.Dfg.trip in
+  (m.ii * (total_iters - 1)) + Plaid_mapping.Mapping.makespan m
+
+(* The partitioner's spill buffers cover one inner-loop pass (buf_len is
+   trip-sized), so a multi-segment kernel alternates its segments — and
+   reloads configurations — once per outer iteration.  A single-segment
+   kernel keeps its configuration for the whole run and only pays the
+   pipeline refill per outer iteration. *)
+let spatial_cycles t (r : Plaid_spatial.Spatial.result) =
+  match r.mappings with
+  | [ m ] ->
+    (* one frozen configuration streams the whole iteration space *)
+    (m.ii * ((t.outer_trips * m.dfg.Plaid_ir.Dfg.trip) - 1))
+    + Plaid_mapping.Mapping.makespan m + Plaid_spatial.Spatial.reconfig_cycles
+  | ms ->
+    t.outer_trips
+    * List.fold_left
+        (fun acc (m : Plaid_mapping.Mapping.t) ->
+          acc + Plaid_mapping.Mapping.perf_cycles m + Plaid_spatial.Spatial.reconfig_cycles)
+        0 ms
+
+let energy t m =
+  Plaid_model.Tech.energy_pj ~power_uw:(Plaid_model.Power.fabric_total m) ~cycles:(cycles t m)
+
+let spatial_energy t (r : Plaid_spatial.Spatial.result) =
+  match r.mappings with
+  | [ m ] ->
+    Plaid_model.Tech.energy_pj
+      ~power_uw:(Plaid_model.Power.fabric_total m)
+      ~cycles:(spatial_cycles t r)
+  | ms ->
+    float_of_int t.outer_trips
+    *. List.fold_left
+         (fun acc (m : Plaid_mapping.Mapping.t) ->
+           let c =
+             Plaid_mapping.Mapping.perf_cycles m + Plaid_spatial.Spatial.reconfig_cycles
+           in
+           acc
+           +. Plaid_model.Tech.energy_pj ~power_uw:(Plaid_model.Power.fabric_total m) ~cycles:c)
+         0.0 ms
+
+let perf_per_area t (m : Plaid_mapping.Mapping.t) =
+  let iters = float_of_int (t.outer_trips * m.dfg.Plaid_ir.Dfg.trip) in
+  let seconds = float_of_int (cycles t m) *. Plaid_model.Tech.cycle_ns *. 1e-9 in
+  iters /. seconds /. (Plaid_model.Area.fabric_total m.arch /. 1e6)
+
+let spatial_perf_per_area t (r : Plaid_spatial.Spatial.result) =
+  match r.mappings with
+  | [] -> 0.0
+  | m :: _ ->
+    let iters = float_of_int (t.outer_trips * m.dfg.Plaid_ir.Dfg.trip) in
+    let seconds = float_of_int (spatial_cycles t r) *. Plaid_model.Tech.cycle_ns *. 1e-9 in
+    iters /. seconds /. (Plaid_model.Area.fabric_total m.arch /. 1e6)

@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Format Hashtbl List Op Printf Queue String

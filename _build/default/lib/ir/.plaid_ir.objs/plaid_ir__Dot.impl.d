@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Dfg Hashtbl List Op Printf

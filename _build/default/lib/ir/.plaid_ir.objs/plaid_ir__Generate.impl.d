@@ -1,0 +1,1 @@
+lib/ir/generate.ml: Array Dfg List Op Option Plaid_util Printf

@@ -1,0 +1,1 @@
+lib/ir/generate.mli: Dfg

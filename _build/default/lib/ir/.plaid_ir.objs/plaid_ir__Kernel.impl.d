@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Array Hashtbl List Op Plaid_util Printf

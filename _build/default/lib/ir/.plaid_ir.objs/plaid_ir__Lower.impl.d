@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Dfg Hashtbl Kernel List Op Printf

@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Array Dfg Format Hashtbl List Op Option

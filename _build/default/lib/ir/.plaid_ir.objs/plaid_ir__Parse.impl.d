@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Buffer Format Hashtbl Kernel List Op Printf String

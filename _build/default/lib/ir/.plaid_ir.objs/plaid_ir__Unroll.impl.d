@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Kernel List Printf

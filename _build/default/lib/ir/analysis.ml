@@ -1,0 +1,88 @@
+type capacity = { total_slots : int; memory_slots : int }
+
+let cdiv a b = (a + b - 1) / b
+
+(* Input nodes occupy an ALSU slot like loads: live-ins are re-read from the
+   scratchpad every iteration. *)
+let n_memory_class g =
+  Array.fold_left
+    (fun acc (nd : Dfg.node) -> if Op.is_memory nd.op || nd.op = Op.Input then acc + 1 else acc)
+    0 g.Dfg.nodes
+
+let res_mii g cap =
+  let total = Dfg.n_nodes g and memory = n_memory_class g in
+  let by_total = if total = 0 then 1 else cdiv total cap.total_slots in
+  let by_memory = if memory = 0 then 1 else cdiv memory cap.memory_slots in
+  max 1 (max by_total by_memory)
+
+(* An II is recurrence-feasible iff the constraint graph with edge weights
+   (latency - II * dist) has no positive cycle.  We detect positive cycles by
+   Bellman-Ford on negated weights; DFG sizes here are tiny (< 100 nodes). *)
+let feasible_ii g ii =
+  let n = Dfg.n_nodes g in
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let round = ref 0 in
+  (* weight of edge e in the "longest path" sense *)
+  let weight (e : Dfg.edge) = 1 - (e.dist * ii) in
+  while !changed && !round <= n do
+    changed := false;
+    incr round;
+    for u = 0 to n - 1 do
+      List.iter
+        (fun (e : Dfg.edge) ->
+          let w = dist.(u) + weight e in
+          if w > dist.(e.dst) then begin
+            dist.(e.dst) <- w;
+            changed := true
+          end)
+        (Dfg.succs g u)
+    done
+  done;
+  not !changed
+
+let rec_mii g =
+  if Dfg.max_dist g = 0 then 1
+  else begin
+    let ii = ref 1 in
+    while not (feasible_ii g !ii) do incr ii done;
+    !ii
+  end
+
+let mii g cap = max (res_mii g cap) (rec_mii g)
+
+let critical_path g =
+  let depth = Array.make (Dfg.n_nodes g) 1 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (e : Dfg.edge) -> if e.dist = 0 then depth.(e.dst) <- max depth.(e.dst) (depth.(u) + 1))
+        (Dfg.succs g u))
+    (Dfg.topo_order g);
+  Array.fold_left max 0 depth
+
+let asap_times g ~ii =
+  let n = Dfg.n_nodes g in
+  let t = Array.make n 0 in
+  (* Iterate to a fixed point: topological relaxation handles distance-0 edges
+     in one pass; back edges may push successors later, requiring re-passes.
+     Feasibility of [ii] >= RecMII guarantees termination. *)
+  let order = Dfg.topo_order g in
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed && !guard < 4 * (n + 1) do
+    changed := false;
+    incr guard;
+    List.iter
+      (fun u ->
+        List.iter
+          (fun (e : Dfg.edge) ->
+            let lb = t.(u) + 1 - (e.dist * ii) in
+            if lb > t.(e.dst) then begin
+              t.(e.dst) <- lb;
+              changed := true
+            end)
+          (Dfg.succs g u))
+      order
+  done;
+  t

@@ -1,0 +1,32 @@
+(** Initiation-interval lower bounds and structural DFG statistics.
+
+    Modulo scheduling admits a new iteration every II cycles; the minimum II
+    (MII) is the larger of the resource bound (ResMII) and the recurrence
+    bound (RecMII) — Section 5.1 of the paper. *)
+
+type capacity = {
+  total_slots : int;   (** all functional units; compute ops run on any FU *)
+  memory_slots : int;  (** FUs with a scratchpad datapath (ALSU-class) *)
+}
+
+val n_memory_class : Dfg.t -> int
+(** Load, Store, and Input nodes: everything needing an ALSU slot. *)
+
+val res_mii : Dfg.t -> capacity -> int
+(** max(ceil(all nodes / total slots), ceil(memory-class nodes / memory
+    slots)).  Input nodes count as memory-class: they re-load a live-in from
+    the scratchpad every iteration. *)
+
+val rec_mii : Dfg.t -> int
+(** Max over elementary cycles of ceil(total latency / total distance),
+    with unit operation latency.  1 when the graph has no recurrence. *)
+
+val mii : Dfg.t -> capacity -> int
+
+val critical_path : Dfg.t -> int
+(** Length (in operations) of the longest distance-0 path. *)
+
+val asap_times : Dfg.t -> ii:int -> int array
+(** Modulo-schedule start times: each node as early as its distance-0
+    predecessors allow, with back edges relaxing by [dist * ii].  The result
+    satisfies [t.(dst) >= t.(src) + 1 - dist * ii] for every edge. *)

@@ -1,0 +1,39 @@
+let node_attrs (nd : Dfg.node) =
+  if Op.is_memory nd.op then "shape=box, style=filled, fillcolor=lightblue"
+  else if nd.op = Op.Input then "shape=box, style=filled, fillcolor=lightgray"
+  else "shape=ellipse"
+
+let to_dot ?(clusters = []) (g : Dfg.t) =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph \"%s\" {\n" g.name;
+  pf "  rankdir=TB;\n";
+  let clustered = Hashtbl.create 16 in
+  List.iteri
+    (fun ci (cname, ids) ->
+      pf "  subgraph cluster_%d {\n    label=\"%s\";\n    color=firebrick;\n" ci cname;
+      List.iter
+        (fun id ->
+          Hashtbl.replace clustered id ();
+          let nd = Dfg.node g id in
+          pf "    n%d [label=\"%s\", %s];\n" id nd.label (node_attrs nd))
+        ids;
+      pf "  }\n")
+    clusters;
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      if not (Hashtbl.mem clustered nd.id) then
+        pf "  n%d [label=\"%s\", %s];\n" nd.id nd.label (node_attrs nd))
+    g.nodes;
+  Array.iter
+    (fun (e : Dfg.edge) ->
+      if e.dist = 0 then pf "  n%d -> n%d;\n" e.src e.dst
+      else pf "  n%d -> n%d [style=dashed, label=\"d%d\"];\n" e.src e.dst e.dist)
+    g.edges;
+  pf "}\n";
+  Buffer.contents buf
+
+let write_file path dot =
+  let oc = open_out path in
+  output_string oc dot;
+  close_out oc

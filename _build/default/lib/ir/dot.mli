@@ -1,0 +1,9 @@
+(** Graphviz export of DFGs, optionally colored by motif assignment. *)
+
+val to_dot : ?clusters:(string * int list) list -> Dfg.t -> string
+(** [to_dot ~clusters g] renders [g] in DOT syntax.  Each [(name, node ids)]
+    cluster becomes a Graphviz subgraph (used to visualize motifs).  Back
+    edges are dashed and annotated with their distance. *)
+
+val write_file : string -> string -> unit
+(** [write_file path dot] writes the DOT text to [path]. *)

@@ -1,0 +1,138 @@
+type spec = { seed : int; size : int; trip : int }
+
+let binops = [| Op.Add; Op.Sub; Op.Mul; Op.Min; Op.Max; Op.Xor; Op.And; Op.Or |]
+
+let pick_op rng = Plaid_util.Rng.pick rng binops
+
+let load b name i = Dfg.add_node b ~access:{ Dfg.array = name; offset = i; stride = 1 } Op.Load
+
+let store b name i src =
+  let st = Dfg.add_node b ~access:{ Dfg.array = name; offset = i; stride = 1 } Op.Store in
+  Dfg.add_edge b ~src ~dst:st ~operand:0 ()
+
+let chain spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "chain" in
+  let cur = ref (load b "x" 0) in
+  for _ = 1 to max 1 spec.size do
+    let node = Dfg.add_node b ~imms:[ (1, 1 + Plaid_util.Rng.int rng 7) ] (pick_op rng) in
+    Dfg.add_edge b ~src:!cur ~dst:node ~operand:0 ();
+    cur := node
+  done;
+  store b "y" 0 !cur;
+  Dfg.finish b
+
+let tree spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "tree" in
+  (* leaves: enough loads that the reduction tree has ~size internal nodes *)
+  let leaves = max 2 (spec.size + 1) in
+  let frontier = ref (List.init leaves (fun i -> load b "x" i)) in
+  while List.length !frontier > 1 do
+    let rec pair acc = function
+      | a :: c :: rest ->
+        let n = Dfg.add_node b (pick_op rng) in
+        Dfg.add_edge b ~src:a ~dst:n ~operand:0 ();
+        Dfg.add_edge b ~src:c ~dst:n ~operand:1 ();
+        pair (n :: acc) rest
+      | [ a ] -> a :: acc
+      | [] -> acc
+    in
+    frontier := pair [] !frontier
+  done;
+  store b "y" 0 (List.hd !frontier);
+  Dfg.finish b
+
+let stencil ?(in_place = false) ~width spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "stencil" in
+  let src_name = "a" in
+  let dst_name = if in_place then "a" else "bout" in
+  let taps = List.init (max 2 width) (fun i -> load b src_name i) in
+  let sum =
+    List.fold_left
+      (fun acc t ->
+        match acc with
+        | None -> Some t
+        | Some prev ->
+          let n = Dfg.add_node b Op.Add in
+          Dfg.add_edge b ~src:prev ~dst:n ~operand:0 ();
+          Dfg.add_edge b ~src:t ~dst:n ~operand:1 ();
+          Some n)
+      None taps
+    |> Option.get
+  in
+  let scaled = Dfg.add_node b ~imms:[ (1, 1 + Plaid_util.Rng.int rng 3) ] Op.Asr in
+  Dfg.add_edge b ~src:sum ~dst:scaled ~operand:0 ();
+  (* writing inside the read window makes the dependence loop-carried *)
+  let st_off = if in_place then width / 2 else 0 in
+  let st =
+    Dfg.add_node b ~access:{ Dfg.array = dst_name; offset = st_off; stride = 1 } Op.Store
+  in
+  Dfg.add_edge b ~src:scaled ~dst:st ~operand:0 ();
+  (* in-place stencils need the ordering edges Lower would have added *)
+  if in_place then begin
+    List.iteri
+      (fun i tap ->
+        let d = st_off - i in
+        if d > 0 then Dfg.add_edge b ~dist:d ~src:st ~dst:tap ~operand:(-1) ()
+        else if d < 0 then Dfg.add_edge b ~dist:(-d) ~src:tap ~dst:st ~operand:(-1) ()
+        else Dfg.add_edge b ~src:tap ~dst:st ~operand:(-1) ())
+      taps
+  end;
+  Dfg.finish b
+
+let reduction ~lanes spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "reduction" in
+  let per_lane = max 1 (spec.size / max 1 lanes) in
+  for lane = 0 to lanes - 1 do
+    let v = ref (load b (Printf.sprintf "x%d" lane) 0) in
+    for _ = 2 to per_lane do
+      let n = Dfg.add_node b ~imms:[ (1, 1 + Plaid_util.Rng.int rng 7) ] (pick_op rng) in
+      Dfg.add_edge b ~src:!v ~dst:n ~operand:0 ();
+      v := n
+    done;
+    let acc = Dfg.add_node b ~label:(Printf.sprintf "acc%d" lane) Op.Add in
+    Dfg.add_edge b ~src:!v ~dst:acc ~operand:0 ();
+    Dfg.add_edge b ~dist:1 ~src:acc ~dst:acc ~operand:1 ();
+    store b (Printf.sprintf "o%d" lane) 0 acc
+  done;
+  Dfg.finish b
+
+let random_dag ?(memory_ratio = 0.3) spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "random_dag" in
+  let n_loads = max 1 (int_of_float (float_of_int spec.size *. memory_ratio)) in
+  let pool = ref (List.init n_loads (fun i -> load b "x" i)) in
+  for _ = 1 to spec.size do
+    let a = Plaid_util.Rng.pick rng (Array.of_list !pool) in
+    let node =
+      if Plaid_util.Rng.int rng 3 = 0 then begin
+        let c = Plaid_util.Rng.pick rng (Array.of_list !pool) in
+        let n = Dfg.add_node b (pick_op rng) in
+        Dfg.add_edge b ~src:a ~dst:n ~operand:0 ();
+        Dfg.add_edge b ~src:c ~dst:n ~operand:1 ();
+        n
+      end
+      else begin
+        let n = Dfg.add_node b ~imms:[ (1, Plaid_util.Rng.int rng 16) ] (pick_op rng) in
+        Dfg.add_edge b ~src:a ~dst:n ~operand:0 ();
+        n
+      end
+    in
+    pool := node :: !pool
+  done;
+  (* anchor the freshest values in stores so the hot path reaches memory *)
+  List.iteri (fun i v -> if i < 4 then store b "y" i v) !pool;
+  Dfg.finish b
+
+let all_families spec =
+  [
+    ("chain", chain spec);
+    ("tree", tree spec);
+    ("stencil", stencil ~width:3 spec);
+    ("stencil-inplace", stencil ~in_place:true ~width:3 spec);
+    ("reduction", reduction ~lanes:3 spec);
+    ("random-dag", random_dag spec);
+  ]

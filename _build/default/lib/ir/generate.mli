@@ -1,0 +1,32 @@
+(** Synthetic DFG families, for fuzzing and scalability studies.
+
+    Every generator is deterministic in its seed and produces a valid DFG
+    (validated by construction through {!Dfg.finish}).  Shapes mirror the
+    structures that dominate real kernels:
+
+    - [chain]: a single dependent operation chain (latency-bound);
+    - [tree]: a balanced reduction tree over loaded leaves (fan-in heavy);
+    - [stencil]: loads of neighbouring elements combined into one store,
+      optionally in place (which induces loop-carried memory dependences);
+    - [reduction]: parallel accumulator chains with loop-carried adds;
+    - [random_dag]: random two-operand DAG with configurable memory ratio. *)
+
+type spec = {
+  seed : int;
+  size : int;      (** approximate compute-node count *)
+  trip : int;
+}
+
+val chain : spec -> Dfg.t
+
+val tree : spec -> Dfg.t
+
+val stencil : ?in_place:bool -> width:int -> spec -> Dfg.t
+
+val reduction : lanes:int -> spec -> Dfg.t
+
+val random_dag : ?memory_ratio:float -> spec -> Dfg.t
+(** [memory_ratio] (default 0.3) of nodes are loads feeding the DAG. *)
+
+val all_families : spec -> (string * Dfg.t) list
+(** One representative of each family, for sweep harnesses. *)

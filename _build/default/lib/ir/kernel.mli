@@ -1,0 +1,55 @@
+(** Loop-kernel DSL: the front-end substitute for annotated C.
+
+    The paper's toolchain consumes a pragma-annotated C loop and produces a
+    DFG.  We express the same innermost loop bodies in a small typed DSL:
+    scalar expressions over affine array accesses, per-iteration temporaries,
+    and loop-carried scalars.  [Lower] turns a kernel into a {!Dfg.t};
+    [Unroll] replicates the body.  The DSL also carries reference semantics
+    ({!interpret}) used to validate lowering, unrolling, and mapped execution
+    end to end. *)
+
+type index = { scale : int; shift : int }
+(** Element index [scale * i + shift] where [i] is the loop counter. *)
+
+type expr =
+  | Iconst of int
+  | Load of string * index         (** array element *)
+  | Param of string                (** loop-invariant live-in scalar *)
+  | Temp of string                 (** temporary assigned earlier this iteration *)
+  | Carry of string                (** loop-carried scalar from the previous iteration *)
+  | Unop of Op.t * expr
+  | Binop of Op.t * expr * expr
+  | Ternop of Op.t * expr * expr * expr
+
+type stmt =
+  | Let of string * expr           (** bind a per-iteration temporary *)
+  | Set_carry of string * expr     (** value of the carried scalar for iteration i+1 *)
+  | Store of string * index * expr
+
+type t = {
+  name : string;
+  trip : int;                      (** iterations of the innermost loop *)
+  body : stmt list;
+  carries : (string * int) list;   (** loop-carried scalars with initial values *)
+}
+
+val idx : ?shift:int -> int -> index
+(** [idx ~shift scale]. *)
+
+val fixed : int -> index
+(** Index that does not depend on the loop counter. *)
+
+(** {1 Reference semantics} *)
+
+type memory = (string, int array) Hashtbl.t
+
+val interpret : t -> params:(string * int) list -> memory -> unit
+(** Runs the kernel against [memory] in place, mutating stored arrays.
+    Arithmetic follows {!Op.eval} (16-bit wrap-around).
+    @raise Invalid_argument on malformed kernels (unknown temp, bad arity,
+    array out of bounds). *)
+
+val memory_for : t -> seed:int -> memory
+(** Allocates every referenced array, sized to cover all accesses over
+    [trip] iterations, filled with deterministic pseudo-random byte-range
+    data (so 16-bit products do not saturate immediately). *)

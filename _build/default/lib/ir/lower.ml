@@ -1,0 +1,181 @@
+open Kernel
+
+let param_array name = "$" ^ name
+
+(* An operand source during lowering: a concrete node, a folded constant, or
+   a loop-carried scalar whose producer is resolved after the whole body has
+   been lowered. *)
+type value = V_node of int | V_const of int | V_carry of string
+
+type key_operand = K_node of int | K_const of int | K_carry of string
+
+let key_of_value = function
+  | V_node id -> K_node id
+  | V_const c -> K_const c
+  | V_carry n -> K_carry n
+
+type state = {
+  b : Dfg.builder;
+  cse : (Op.t * key_operand list * Dfg.access option, int) Hashtbl.t;
+  temps : (string, value) Hashtbl.t;
+  carry_producer : (string, int) Hashtbl.t;  (* carry name -> producing node *)
+  mutable pending : (int * int * string) list;  (* dst node, operand, carry *)
+  mutable mem_nodes : (int * Op.t * Dfg.access) list;  (* creation order *)
+}
+
+let make_node st op operands ~access ~label =
+  let key = (op, List.map key_of_value operands, access) in
+  (* Stores are side effects: never share them, even if structurally equal. *)
+  match (if op = Op.Store then None else Hashtbl.find_opt st.cse key) with
+  | Some id -> id
+  | None ->
+    let imms =
+      List.mapi (fun i v -> (i, v)) operands
+      |> List.filter_map (function i, V_const c -> Some (i, c) | _ -> None)
+    in
+    let id = Dfg.add_node st.b ~imms ?access ?label op in
+    List.iteri
+      (fun i v ->
+        match v with
+        | V_const _ -> ()
+        | V_node src -> Dfg.add_edge st.b ~src ~dst:id ~operand:i ()
+        | V_carry name -> st.pending <- (id, i, name) :: st.pending)
+      operands;
+    if op <> Op.Store then Hashtbl.replace st.cse key id;
+    (match (op, access) with
+    | (Op.Load | Op.Store), Some a -> st.mem_nodes <- (id, op, a) :: st.mem_nodes
+    | _ -> ());
+    id
+
+let rec lower_expr st k carried = function
+  | Iconst c -> V_const c
+  | Load (arr, ix) ->
+    let access = { Dfg.array = arr; offset = ix.shift; stride = ix.scale } in
+    V_node (make_node st Op.Load [] ~access:(Some access) ~label:None)
+  | Param name ->
+    let access = { Dfg.array = param_array name; offset = 0; stride = 0 } in
+    V_node (make_node st Op.Input [] ~access:(Some access) ~label:(Some name))
+  | Temp name -> (
+    match Hashtbl.find_opt st.temps name with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Lower %s: temp %s read before set" k.name name))
+  | Carry name ->
+    if List.mem name carried then V_carry name
+    else begin
+      (* Never reassigned: behaves as its (constant) initial value. *)
+      match List.assoc_opt name k.carries with
+      | Some init -> V_const init
+      | None -> invalid_arg (Printf.sprintf "Lower %s: unknown carry %s" k.name name)
+    end
+  | Unop (op, a) ->
+    combine st k carried op [ a ]
+  | Binop (op, a, b) ->
+    combine st k carried op [ a; b ]
+  | Ternop (op, a, b, c) ->
+    combine st k carried op [ a; b; c ]
+
+and combine st k carried op args =
+  let vals = List.map (lower_expr st k carried) args in
+  let all_const = List.for_all (function V_const _ -> true | _ -> false) vals in
+  if all_const then
+    V_const (Op.eval op (Array.of_list (List.map (function V_const c -> c | _ -> 0) vals)))
+  else V_node (make_node st op vals ~access:None ~label:None)
+
+(* Memory-dependence edges: under modulo overlap, iteration i+1's accesses
+   can execute before iteration i's complete, so aliasing loads/stores must
+   be serialized with ordering-only edges (operand -1, no data routed).
+
+   For two affine accesses with equal stride s, access A at iteration i and
+   access B at iteration j touch the same element iff
+   [off_A + s*i = off_B + s*j].  With different strides we conservatively
+   serialize in both directions at distance 1.  Same-iteration collisions
+   are ordered by node creation order, which matches statement order. *)
+let add_memory_ordering b mem_nodes =
+  let order_pair (id1, (a1 : Dfg.access)) (id2, (a2 : Dfg.access)) =
+    (* earlier-created node = earlier statement *)
+    let first, fa, second, sa = if id1 < id2 then (id1, a1, id2, a2) else (id2, a2, id1, a1) in
+    if fa.stride = sa.stride then begin
+      let s = fa.stride in
+      if s = 0 then begin
+        if fa.offset = sa.offset then begin
+          (* same fixed address: same-iteration order + next-iteration reuse *)
+          Dfg.add_edge b ~src:first ~dst:second ~operand:(-1) ();
+          Dfg.add_edge b ~dist:1 ~src:second ~dst:first ~operand:(-1) ()
+        end
+      end
+      else begin
+        let diff = sa.offset - fa.offset in
+        if diff mod s = 0 then begin
+          (* first@(i + d) touches the same element as second@i *)
+          let d = diff / s in
+          if d = 0 then Dfg.add_edge b ~src:first ~dst:second ~operand:(-1) ()
+          else if d < 0 then
+            (* second, -d iterations later, revisits first's element *)
+            Dfg.add_edge b ~dist:(-d) ~src:first ~dst:second ~operand:(-1) ()
+          else Dfg.add_edge b ~dist:d ~src:second ~dst:first ~operand:(-1) ()
+        end
+      end
+    end
+    else begin
+      (* mixed strides: conservative mutual serialization, one iteration *)
+      Dfg.add_edge b ~src:first ~dst:second ~operand:(-1) ();
+      Dfg.add_edge b ~dist:1 ~src:second ~dst:first ~operand:(-1) ()
+    end
+  in
+  let rec all_pairs = function
+    | [] -> ()
+    | (xid, xop, (xa : Dfg.access)) :: rest ->
+      List.iter
+        (fun (yid, yop, (ya : Dfg.access)) ->
+          if xa.array = ya.array && (xop = Op.Store || yop = Op.Store) then
+            order_pair (xid, xa) (yid, ya))
+        rest;
+      all_pairs rest
+  in
+  all_pairs mem_nodes
+
+let lower k =
+  let b = Dfg.builder ~trip:k.trip k.name in
+  let st =
+    { b; cse = Hashtbl.create 64; temps = Hashtbl.create 16;
+      carry_producer = Hashtbl.create 8; pending = []; mem_nodes = [] }
+  in
+  let carried =
+    List.filter_map (function Set_carry (n, _) -> Some n | _ -> None) k.body
+  in
+  let rec check_dup = function
+    | [] -> ()
+    | n :: rest ->
+      if List.mem n rest then invalid_arg (Printf.sprintf "Lower %s: carry %s assigned twice" k.name n)
+      else check_dup rest
+  in
+  check_dup carried;
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Let (name, e) -> Hashtbl.replace st.temps name (lower_expr st k carried e)
+      | Set_carry (name, e) -> (
+        match lower_expr st k carried e with
+        | V_node id -> Hashtbl.replace st.carry_producer name id
+        | V_const _ ->
+          invalid_arg (Printf.sprintf "Lower %s: Set_carry %s folds to a constant" k.name name)
+        | V_carry other ->
+          (* carry = other carry verbatim; alias to the other's producer later
+             by recording a forwarding entry. *)
+          if other = name then () (* x = x: no-op *)
+          else invalid_arg (Printf.sprintf "Lower %s: Set_carry %s aliases %s" k.name name other))
+      | Store (arr, ix, e) ->
+        let access = { Dfg.array = arr; offset = ix.shift; stride = ix.scale } in
+        let v = lower_expr st k carried e in
+        ignore (make_node st Op.Store [ v ] ~access:(Some access) ~label:None))
+    k.body;
+  List.iter
+    (fun (dst, operand, name) ->
+      match Hashtbl.find_opt st.carry_producer name with
+      | Some src ->
+        let init = match List.assoc_opt name k.carries with Some v -> v | None -> 0 in
+        Dfg.add_edge st.b ~dist:1 ~init ~src ~dst ~operand ()
+      | None -> invalid_arg (Printf.sprintf "Lower %s: carry %s never produced" k.name name))
+    st.pending;
+  add_memory_ordering st.b (List.rev st.mem_nodes);
+  Dfg.finish st.b

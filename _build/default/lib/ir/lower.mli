@@ -1,0 +1,17 @@
+(** Lowering from the kernel DSL to a dataflow graph.
+
+    Mirrors the paper's front end: each arithmetic operator becomes a DFG
+    node, array accesses become Load/Store nodes whose affine address lives
+    in the ALSU configuration, small constants become immediate fields of the
+    consuming instruction (8-bit constants, Section 4.3), and loop-carried
+    scalars become distance-1 back edges.  Common subexpressions (including
+    repeated loads of the same address) are shared. *)
+
+val lower : Kernel.t -> Dfg.t
+(** @raise Invalid_argument on malformed kernels: a temp read before being
+    set, a [Set_carry] whose value folds to a constant, or a carry that is
+    assigned twice. *)
+
+val param_array : string -> string
+(** Name of the one-element scratchpad array backing live-in parameter
+    [name]; the host preloads it (see {!Plaid_sim}). *)

@@ -1,0 +1,91 @@
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Shr
+  | Asr
+  | And
+  | Or
+  | Xor
+  | Not
+  | Min
+  | Max
+  | Eq
+  | Lt
+  | Select
+  | Load
+  | Store
+  | Input
+
+let all_compute =
+  [ Add; Sub; Mul; Shl; Shr; Asr; And; Or; Xor; Not; Min; Max; Eq; Lt; Select ]
+
+let is_compute = function
+  | Add | Sub | Mul | Shl | Shr | Asr | And | Or | Xor | Not | Min | Max | Eq
+  | Lt | Select ->
+    true
+  | Load | Store | Input -> false
+
+let is_memory = function Load | Store -> true | _ -> false
+
+let arity = function
+  | Not -> 1
+  | Select -> 3
+  | Load | Input -> 0
+  | Store -> 1
+  | Add | Sub | Mul | Shl | Shr | Asr | And | Or | Xor | Min | Max | Eq | Lt ->
+    2
+
+(* All datapaths are 16 bits wide (Section 4.1); keep intermediate results in
+   the signed 16-bit range so OCaml ints and RTL agree. *)
+let wrap16 v =
+  let v = v land 0xFFFF in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let eval op args =
+  let a i = args.(i) in
+  let r =
+    match op with
+    | Add -> a 0 + a 1
+    | Sub -> a 0 - a 1
+    | Mul -> a 0 * a 1
+    | Shl -> a 0 lsl (a 1 land 15)
+    | Shr -> (a 0 land 0xFFFF) lsr (a 1 land 15)
+    | Asr -> a 0 asr (a 1 land 15)
+    | And -> a 0 land a 1
+    | Or -> a 0 lor a 1
+    | Xor -> a 0 lxor a 1
+    | Not -> lnot (a 0)
+    | Min -> min (a 0) (a 1)
+    | Max -> max (a 0) (a 1)
+    | Eq -> if a 0 = a 1 then 1 else 0
+    | Lt -> if a 0 < a 1 then 1 else 0
+    | Select -> if a 0 <> 0 then a 1 else a 2
+    | Load | Store | Input -> invalid_arg "Op.eval: memory operation"
+  in
+  wrap16 r
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Asr -> "asr"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Min -> "min"
+  | Max -> "max"
+  | Eq -> "eq"
+  | Lt -> "lt"
+  | Select -> "select"
+  | Load -> "load"
+  | Store -> "store"
+  | Input -> "input"
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+
+let equal (a : t) (b : t) = a = b

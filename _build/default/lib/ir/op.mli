@@ -1,0 +1,54 @@
+(** Operation set of the Plaid DFG.
+
+    The compute subset mirrors the paper's 16-bit ALU: ADD, MUL, SHIFT and
+    bit-wise operations, 15 operations in total (Section 4.1).  Memory
+    operations (load/store) execute on the ALSU, which has a dedicated
+    datapath to the scratchpad (Section 4.2).  Route is a pseudo-operation
+    used by the spatial partitioner when it must materialize an intermediate
+    value through SPM. *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Shr          (** logical shift right *)
+  | Asr          (** arithmetic shift right *)
+  | And
+  | Or
+  | Xor
+  | Not
+  | Min
+  | Max
+  | Eq           (** produces 0/1 *)
+  | Lt           (** signed less-than, produces 0/1 *)
+  | Select       (** select(cond, a, b): cond <> 0 ? a : b *)
+  | Load         (** ALSU: read scratchpad *)
+  | Store        (** ALSU: write scratchpad *)
+  | Input        (** live-in value preloaded by the host (loop constant) *)
+
+val all_compute : t list
+(** The 15 ALU operations, in a fixed order. *)
+
+val is_compute : t -> bool
+(** True for the 15 ALU operations. *)
+
+val is_memory : t -> bool
+(** True for [Load] and [Store]. *)
+
+val arity : t -> int
+(** Number of data operands the operation consumes.  [Load] consumes 0 (its
+    address is an affine function of the iteration index held in the config),
+    [Store] consumes 1 (the value), [Select] consumes 3, [Not] 1, [Input] 0,
+    and every other ALU operation 2. *)
+
+val eval : t -> int array -> int
+(** [eval op args] evaluates a compute operation on 16-bit two's-complement
+    values (results are wrapped to 16 bits).  @raise Invalid_argument for
+    [Load]/[Store]/[Input], which need memory context. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

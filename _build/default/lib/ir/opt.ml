@@ -1,0 +1,195 @@
+type stats = {
+  removed_dead : int;
+  forwarded : int;
+  folded : int;
+  reduced : int;
+}
+
+let zero = { removed_dead = 0; forwarded = 0; folded = 0; reduced = 0 }
+
+let add a b =
+  { removed_dead = a.removed_dead + b.removed_dead;
+    forwarded = a.forwarded + b.forwarded;
+    folded = a.folded + b.folded;
+    reduced = a.reduced + b.reduced }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "dead %d, forwarded %d, folded %d, strength-reduced %d" s.removed_dead
+    s.forwarded s.folded s.reduced
+
+let imm_of (nd : Dfg.node) i = List.assoc_opt i nd.imms
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 v
+
+(* The data edge feeding operand [i] of node [v], if it is a same-iteration
+   edge (forwarding across loop-carried edges would need init merging). *)
+let plain_input g v i =
+  List.find_opt (fun (e : Dfg.edge) -> e.operand = i && e.dist = 0) (Dfg.preds g v)
+
+(* What happens to node [v] in this pass. *)
+type action =
+  | Keep
+  | Forward of int                 (* consumers read this source node instead *)
+  | Fold of int                    (* consumers get this constant immediate *)
+  | Reduce_to_shift of int * int   (* becomes [src << k] *)
+
+let classify g v =
+  let nd = Dfg.node g v in
+  let fwd i = match plain_input g v i with Some e -> Forward e.src | None -> Keep in
+  (* folding to a constant changes what loop-carried consumers read during
+     the first [dist] iterations unless the edge init already matches *)
+  let fold c =
+    let safe =
+      List.for_all
+        (fun (e : Dfg.edge) -> e.dist = 0 || e.init = c)
+        (Dfg.succs g v)
+    in
+    if safe then Fold c else Keep
+  in
+  match nd.op with
+  | Op.Add | Op.Or | Op.Xor -> (
+    match (imm_of nd 0, imm_of nd 1) with
+    | Some 0, None -> fwd 1
+    | None, Some 0 -> fwd 0
+    | _ -> Keep)
+  | Op.Sub | Op.Shl | Op.Shr | Op.Asr -> (
+    match imm_of nd 1 with Some 0 -> fwd 0 | _ -> Keep)
+  | Op.Mul -> (
+    match (imm_of nd 0, imm_of nd 1) with
+    | Some 1, None -> fwd 1
+    | None, Some 1 -> fwd 0
+    | Some 0, None | None, Some 0 -> fold 0
+    | Some c, None when is_pow2 c && c > 1 -> (
+      match plain_input g v 1 with Some e -> Reduce_to_shift (e.src, log2 c) | None -> Keep)
+    | None, Some c when is_pow2 c && c > 1 -> (
+      match plain_input g v 0 with Some e -> Reduce_to_shift (e.src, log2 c) | None -> Keep)
+    | _ -> Keep)
+  | Op.And -> (
+    match (imm_of nd 0, imm_of nd 1) with
+    | Some 0, None | None, Some 0 -> fold 0
+    | Some -1, None -> fwd 1
+    | None, Some -1 -> fwd 0
+    | _ -> Keep)
+  | _ -> Keep
+
+(* Reverse reachability from stores through data edges. *)
+let live_set g =
+  let n = Dfg.n_nodes g in
+  let live = Array.make n false in
+  let rec mark v =
+    if not live.(v) then begin
+      live.(v) <- true;
+      List.iter (fun (e : Dfg.edge) -> if not (Dfg.is_ordering e) then mark e.src) (Dfg.preds g v)
+    end
+  in
+  Array.iter (fun (nd : Dfg.node) -> if nd.op = Op.Store then mark nd.id) g.Dfg.nodes;
+  live
+
+let one_pass g =
+  let n = Dfg.n_nodes g in
+  let live = live_set g in
+  let actions = Array.init n (fun v -> if live.(v) then classify g v else Keep) in
+  let rec resolve v guard =
+    if guard = 0 then v
+    else match actions.(v) with Forward src -> resolve src (guard - 1) | _ -> v
+  in
+  let stats = ref zero in
+  let changed = ref false in
+  (* decide survivors and their rewritten (op, base imms) *)
+  let survives = Array.make n false in
+  let rewritten = Array.make n None in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      if live.(nd.id) then begin
+        match actions.(nd.id) with
+        | Keep ->
+          survives.(nd.id) <- true;
+          rewritten.(nd.id) <- Some (nd.op, nd.imms)
+        | Reduce_to_shift (_, k) ->
+          survives.(nd.id) <- true;
+          rewritten.(nd.id) <- Some (Op.Shl, [ (1, k) ]);
+          changed := true;
+          stats := add !stats { zero with reduced = 1 }
+        | Forward _ ->
+          changed := true;
+          stats := add !stats { zero with forwarded = 1 }
+        | Fold _ ->
+          changed := true;
+          stats := add !stats { zero with folded = 1 }
+      end
+      else begin
+        changed := true;
+        stats := add !stats { zero with removed_dead = 1 }
+      end)
+    g.Dfg.nodes;
+  if not !changed then (g, zero, false)
+  else begin
+    (* collect final edges / extra immediates against OLD destination ids *)
+    let new_edges = ref [] in
+    let extra : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+    let feed ~dst ~operand ~dist ~init src0 =
+      let src = resolve src0 (n + 1) in
+      match actions.(src) with
+      | Fold c -> Hashtbl.replace extra (dst, operand) c
+      | _ ->
+        if survives.(src) then new_edges := (src, dst, operand, dist, init) :: !new_edges
+        else Hashtbl.replace extra (dst, operand) 0
+    in
+    Array.iter
+      (fun (e : Dfg.edge) ->
+        if survives.(e.dst) then begin
+          if Dfg.is_ordering e then begin
+            if survives.(e.src) then
+              new_edges := (e.src, e.dst, -1, e.dist, e.init) :: !new_edges
+          end
+          else begin
+            match actions.(e.dst) with
+            | Reduce_to_shift _ ->
+              (* inputs of a reduced node are rebuilt below *)
+              ()
+            | _ -> feed ~dst:e.dst ~operand:e.operand ~dist:e.dist ~init:e.init e.src
+          end
+        end)
+      g.Dfg.edges;
+    Array.iter
+      (fun (nd : Dfg.node) ->
+        match actions.(nd.id) with
+        | Reduce_to_shift (data_src, _) when survives.(nd.id) ->
+          feed ~dst:nd.id ~operand:0 ~dist:0 ~init:0 data_src
+        | _ -> ())
+      g.Dfg.nodes;
+    (* single rebuild *)
+    let b = Dfg.builder ~trip:g.Dfg.trip g.Dfg.name in
+    let remap = Array.make n (-1) in
+    Array.iter
+      (fun (nd : Dfg.node) ->
+        if survives.(nd.id) then begin
+          let op, imms = Option.get rewritten.(nd.id) in
+          let extra_imms =
+            List.filter_map
+              (fun i -> Option.map (fun c -> (i, c)) (Hashtbl.find_opt extra (nd.id, i)))
+              (List.init (Op.arity op) (fun i -> i))
+          in
+          remap.(nd.id) <- Dfg.add_node b ~imms:(imms @ extra_imms) ?access:nd.access ~label:nd.label op
+        end)
+      g.Dfg.nodes;
+    List.iter
+      (fun (src, dst, operand, dist, init) ->
+        Dfg.add_edge b ~dist ~init ~src:remap.(src) ~dst:remap.(dst) ~operand ())
+      (List.rev !new_edges);
+    (Dfg.finish b, !stats, true)
+  end
+
+let optimize g =
+  let rec go g acc guard =
+    if guard = 0 then (g, acc)
+    else begin
+      let g', s, changed = one_pass g in
+      if changed then go g' (add acc s) (guard - 1) else (g, acc)
+    end
+  in
+  go g zero 8

@@ -1,0 +1,26 @@
+(** DFG optimization passes, run between lowering and mapping.
+
+    - Dead-node elimination: nodes with no path to any store are dropped
+      (their FU slots and routes would be pure waste on the fabric).
+    - Algebraic identities on immediates: [x + 0], [x - 0], [x * 1],
+      [x << 0], [x >> 0], [x & -1], [x | 0], [x ^ 0] forward their operand;
+      [x * 0] and [x & 0] fold to the constant 0 (which becomes an
+      immediate of the consumer).
+    - Strength reduction: [x * 2^k] becomes [x << k].
+
+    Passes iterate to a fixed point.  Loop-carried edges are respected: a
+    node feeding only itself and no store is still dead; a node on a cycle
+    reaching a store is live. *)
+
+type stats = {
+  removed_dead : int;
+  forwarded : int;      (** identity operations bypassed *)
+  folded : int;         (** operations turned into consumer immediates *)
+  reduced : int;        (** multiplications turned into shifts *)
+}
+
+val optimize : Dfg.t -> Dfg.t * stats
+(** Semantics-preserving (property-tested against {!Kernel.interpret} via
+    the reference interpreter). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,418 @@
+type error = { line : int; col : int; msg : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d, column %d: %s" e.line e.col e.msg
+
+(* ------------------------------------------------------------------ lexer *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tkernel
+  | Ttrip
+  | Tparam
+  | Tcarry
+  | Tlbrace | Trbrace | Tlparen | Trparen | Tlbracket | Trbracket
+  | Tsemi | Tcomma | Tassign
+  | Tplus | Tminus | Tstar | Tamp | Tbar | Tcaret | Tshl | Tshr
+  | Tlt | Teq
+  | Teof
+
+type lexed = { tok : token; tline : int; tcol : int }
+
+exception Parse_failure of error
+
+let fail ~line ~col fmt = Printf.ksprintf (fun msg -> raise (Parse_failure { line; col; msg })) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit tok tline tcol = tokens := { tok; tline; tcol } :: !tokens in
+  let advance () =
+    (if !i < n && src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let tline = !line and tcol = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do advance () done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do advance () done;
+      emit (Tint (int_of_string (String.sub src start (!i - start)))) tline tcol
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do advance () done;
+      let word = String.sub src start (!i - start) in
+      let tok =
+        match word with
+        | "kernel" -> Tkernel
+        | "trip" -> Ttrip
+        | "param" -> Tparam
+        | "carry" -> Tcarry
+        | _ -> Tident word
+      in
+      emit tok tline tcol
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<<" -> advance (); advance (); emit Tshl tline tcol
+      | ">>" -> advance (); advance (); emit Tshr tline tcol
+      | "==" -> advance (); advance (); emit Teq tline tcol
+      | _ ->
+        advance ();
+        let tok =
+          match c with
+          | '{' -> Tlbrace
+          | '}' -> Trbrace
+          | '(' -> Tlparen
+          | ')' -> Trparen
+          | '[' -> Tlbracket
+          | ']' -> Trbracket
+          | ';' -> Tsemi
+          | ',' -> Tcomma
+          | '=' -> Tassign
+          | '+' -> Tplus
+          | '-' -> Tminus
+          | '*' -> Tstar
+          | '&' -> Tamp
+          | '|' -> Tbar
+          | '^' -> Tcaret
+          | '<' -> Tlt
+          | _ -> fail ~line:tline ~col:tcol "unexpected character %C" c
+        in
+        emit tok tline tcol
+    end
+  done;
+  emit Teof !line !col;
+  Array.of_list (List.rev !tokens)
+
+(* ----------------------------------------------------------------- parser *)
+
+type stream = { toks : lexed array; mutable pos : int }
+
+let peek s = s.toks.(s.pos)
+
+let next s =
+  let t = s.toks.(s.pos) in
+  if t.tok <> Teof then s.pos <- s.pos + 1;
+  t
+
+let expect s tok what =
+  let t = next s in
+  if t.tok <> tok then fail ~line:t.tline ~col:t.tcol "expected %s" what
+
+let expect_ident s what =
+  let t = next s in
+  match t.tok with
+  | Tident name -> name
+  | _ -> fail ~line:t.tline ~col:t.tcol "expected %s" what
+
+let expect_int s what =
+  let t = next s in
+  match t.tok with
+  | Tint v -> v
+  | Tminus -> (
+    let t2 = next s in
+    match t2.tok with
+    | Tint v -> -v
+    | _ -> fail ~line:t2.tline ~col:t2.tcol "expected %s" what)
+  | _ -> fail ~line:t.tline ~col:t.tcol "expected %s" what
+
+(* Affine index inside [...]: combinations of the loop counter `i`,
+   integer constants, `*`, `+` and `-`. *)
+let parse_index s =
+  let t = next s in
+  let base =
+    match t.tok with
+    | Tident "i" -> { Kernel.scale = 1; shift = 0 }
+    | Tint c -> (
+      match (peek s).tok with
+      | Tstar ->
+        ignore (next s);
+        let t2 = next s in
+        (match t2.tok with
+        | Tident "i" -> { Kernel.scale = c; shift = 0 }
+        | _ -> fail ~line:t2.tline ~col:t2.tcol "expected i after constant*")
+      | _ -> { Kernel.scale = 0; shift = c })
+    | _ -> fail ~line:t.tline ~col:t.tcol "expected affine index (i, c, c*i, c*i+c, c-i)"
+  in
+  match (peek s).tok with
+  | Tplus ->
+    ignore (next s);
+    let c = expect_int s "constant" in
+    { base with Kernel.shift = base.Kernel.shift + c }
+  | Tminus -> (
+    ignore (next s);
+    let t2 = next s in
+    match t2.tok with
+    | Tint c -> { base with Kernel.shift = base.Kernel.shift - c }
+    | Tident "i" when base.Kernel.scale = 0 ->
+      (* reversed access: c - i *)
+      { Kernel.scale = -1; shift = base.Kernel.shift }
+    | _ -> fail ~line:t2.tline ~col:t2.tcol "expected constant or i after -")
+  | _ -> base
+
+type scope = {
+  params : (string, unit) Hashtbl.t;
+  carries : (string, unit) Hashtbl.t;
+  temps : (string, unit) Hashtbl.t;
+}
+
+(* precedence climbing: primary > * > (+ -) > (<< >>) > & > ^ > | > (< ==) *)
+let rec parse_primary s scope =
+  let t = next s in
+  match t.tok with
+  | Tint v -> Kernel.Iconst v
+  | Tminus -> (
+    let t2 = next s in
+    match t2.tok with
+    | Tint v -> Kernel.Iconst (-v)
+    | _ -> fail ~line:t2.tline ~col:t2.tcol "expected literal after unary -")
+  | Tlparen ->
+    let e = parse_expr s scope in
+    expect s Trparen "')'";
+    e
+  | Tident name -> (
+    match (peek s).tok with
+    | Tlbracket ->
+      ignore (next s);
+      let ix = parse_index s in
+      expect s Trbracket "']'";
+      Kernel.Load (name, ix)
+    | Tlparen ->
+      ignore (next s);
+      let args = parse_args s scope in
+      let arity_fail want =
+        fail ~line:t.tline ~col:t.tcol "%s expects %d argument(s)" name want
+      in
+      (match (name, args) with
+      | "min", [ a; b ] -> Kernel.Binop (Op.Min, a, b)
+      | "max", [ a; b ] -> Kernel.Binop (Op.Max, a, b)
+      | "not", [ a ] -> Kernel.Unop (Op.Not, a)
+      | "select", [ c; a; b ] -> Kernel.Ternop (Op.Select, c, a, b)
+      | "min", _ | "max", _ -> arity_fail 2
+      | "not", _ -> arity_fail 1
+      | "select", _ -> arity_fail 3
+      | _ -> fail ~line:t.tline ~col:t.tcol "unknown function %s" name)
+    | _ ->
+      if Hashtbl.mem scope.params name then Kernel.Param name
+      else if Hashtbl.mem scope.carries name then Kernel.Carry name
+      else if Hashtbl.mem scope.temps name then Kernel.Temp name
+      else fail ~line:t.tline ~col:t.tcol "unknown identifier %s" name)
+  | _ -> fail ~line:t.tline ~col:t.tcol "expected expression"
+
+and parse_args s scope =
+  if (peek s).tok = Trparen then begin
+    ignore (next s);
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr s scope in
+      match (next s).tok with
+      | Tcomma -> go (e :: acc)
+      | Trparen -> List.rev (e :: acc)
+      | _ ->
+        let t = peek s in
+        fail ~line:t.tline ~col:t.tcol "expected ',' or ')'"
+    in
+    go []
+  end
+
+and parse_binary s scope level =
+  (* levels, loosest first *)
+  let table =
+    [| [ (Tlt, Op.Lt); (Teq, Op.Eq) ];
+       [ (Tbar, Op.Or) ];
+       [ (Tcaret, Op.Xor) ];
+       [ (Tamp, Op.And) ];
+       [ (Tshl, Op.Shl); (Tshr, Op.Asr) ];
+       [ (Tplus, Op.Add); (Tminus, Op.Sub) ];
+       [ (Tstar, Op.Mul) ] |]
+  in
+  if level >= Array.length table then parse_primary s scope
+  else begin
+    let lhs = ref (parse_binary s scope (level + 1)) in
+    let continue_ = ref true in
+    while !continue_ do
+      match List.assoc_opt (peek s).tok table.(level) with
+      | Some op ->
+        ignore (next s);
+        let rhs = parse_binary s scope (level + 1) in
+        lhs := Kernel.Binop (op, !lhs, rhs)
+      | None -> continue_ := false
+    done;
+    !lhs
+  end
+
+and parse_expr s scope = parse_binary s scope 0
+
+let parse_statement s scope =
+  let t = next s in
+  match t.tok with
+  | Tparam ->
+    let name = expect_ident s "parameter name" in
+    expect s Tsemi "';'";
+    Hashtbl.replace scope.params name ();
+    `Param
+  | Tcarry ->
+    let name = expect_ident s "carry name" in
+    expect s Tassign "'='";
+    let init = expect_int s "initial value" in
+    expect s Tsemi "';'";
+    Hashtbl.replace scope.carries name ();
+    `Carry (name, init)
+  | Tident name -> (
+    match (peek s).tok with
+    | Tlbracket ->
+      ignore (next s);
+      let ix = parse_index s in
+      expect s Trbracket "']'";
+      expect s Tassign "'='";
+      let e = parse_expr s scope in
+      expect s Tsemi "';'";
+      `Stmt (Kernel.Store (name, ix, e))
+    | Tassign ->
+      ignore (next s);
+      let e = parse_expr s scope in
+      expect s Tsemi "';'";
+      if Hashtbl.mem scope.carries name then `Stmt (Kernel.Set_carry (name, e))
+      else begin
+        Hashtbl.replace scope.temps name ();
+        `Stmt (Kernel.Let (name, e))
+      end
+    | _ -> fail ~line:t.tline ~col:t.tcol "expected '[' or '=' after %s" name)
+  | _ -> fail ~line:t.tline ~col:t.tcol "expected statement"
+
+let parse_kernel s =
+  expect s Tkernel "'kernel'";
+  let name = expect_ident s "kernel name" in
+  expect s Ttrip "'trip'";
+  let trip = expect_int s "trip count" in
+  expect s Tlbrace "'{'";
+  let scope = { params = Hashtbl.create 8; carries = Hashtbl.create 8; temps = Hashtbl.create 8 } in
+  let body = ref [] and carries = ref [] in
+  while (peek s).tok <> Trbrace do
+    match parse_statement s scope with
+    | `Param -> ()
+    | `Carry (n, init) -> carries := (n, init) :: !carries
+    | `Stmt st -> body := st :: !body
+  done;
+  expect s Trbrace "'}'";
+  { Kernel.name; trip; body = List.rev !body; carries = List.rev !carries }
+
+let kernels_of_string src =
+  try
+    let s = { toks = lex src; pos = 0 } in
+    let out = ref [] in
+    while (peek s).tok <> Teof do
+      out := parse_kernel s :: !out
+    done;
+    Ok (List.rev !out)
+  with Parse_failure e -> Error e
+
+let kernel_of_string src =
+  match kernels_of_string src with
+  | Error _ as e -> e
+  | Ok [] -> Error { line = 1; col = 1; msg = "no kernel found" }
+  | Ok (k :: _) -> Ok k
+
+let kernel_of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  kernel_of_string src
+
+(* --------------------------------------------------------- pretty-printer *)
+
+let index_to_source (ix : Kernel.index) =
+  match (ix.scale, ix.shift) with
+  | 0, c -> string_of_int c
+  | 1, 0 -> "i"
+  | 1, c when c > 0 -> Printf.sprintf "i+%d" c
+  | 1, c -> Printf.sprintf "i-%d" (-c)
+  | -1, c -> Printf.sprintf "%d-i" c
+  | s, 0 -> Printf.sprintf "%d*i" s
+  | s, c when c > 0 -> Printf.sprintf "%d*i+%d" s c
+  | s, c -> Printf.sprintf "%d*i-%d" s (-c)
+
+let rec expr_to_source e =
+  match e with
+  | Kernel.Iconst c -> string_of_int c
+  | Kernel.Load (arr, ix) -> Printf.sprintf "%s[%s]" arr (index_to_source ix)
+  | Kernel.Param n | Kernel.Temp n | Kernel.Carry n -> n
+  | Kernel.Unop (Op.Not, a) -> Printf.sprintf "not(%s)" (expr_to_source a)
+  | Kernel.Unop (op, a) ->
+    Printf.sprintf "%s(%s)" (Op.to_string op) (expr_to_source a)
+  | Kernel.Binop (Op.Min, a, b) ->
+    Printf.sprintf "min(%s, %s)" (expr_to_source a) (expr_to_source b)
+  | Kernel.Binop (Op.Max, a, b) ->
+    Printf.sprintf "max(%s, %s)" (expr_to_source a) (expr_to_source b)
+  | Kernel.Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Op.Add -> "+"
+      | Op.Sub -> "-"
+      | Op.Mul -> "*"
+      | Op.And -> "&"
+      | Op.Or -> "|"
+      | Op.Xor -> "^"
+      | Op.Shl -> "<<"
+      | Op.Asr | Op.Shr -> ">>"
+      | Op.Lt -> "<"
+      | Op.Eq -> "=="
+      | other -> Op.to_string other
+    in
+    Printf.sprintf "(%s %s %s)" (expr_to_source a) sym (expr_to_source b)
+  | Kernel.Ternop (_, c, a, b) ->
+    Printf.sprintf "select(%s, %s, %s)" (expr_to_source c) (expr_to_source a) (expr_to_source b)
+
+(* Parameters are implicit in the Kernel.t; recover them from expressions. *)
+let params_of_kernel (k : Kernel.t) =
+  let seen = Hashtbl.create 8 in
+  let rec walk = function
+    | Kernel.Param n -> Hashtbl.replace seen n ()
+    | Kernel.Iconst _ | Kernel.Temp _ | Kernel.Carry _ | Kernel.Load _ -> ()
+    | Kernel.Unop (_, a) -> walk a
+    | Kernel.Binop (_, a, b) -> walk a; walk b
+    | Kernel.Ternop (_, a, b, c) -> walk a; walk b; walk c
+  in
+  List.iter
+    (function
+      | Kernel.Let (_, e) | Kernel.Set_carry (_, e) | Kernel.Store (_, _, e) -> walk e)
+    k.Kernel.body;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
+
+let params = params_of_kernel
+
+let to_source (k : Kernel.t) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "kernel %s trip %d {\n" k.Kernel.name k.Kernel.trip;
+  List.iter (fun p -> Printf.bprintf buf "  param %s;\n" p) (params_of_kernel k);
+  List.iter (fun (n, init) -> Printf.bprintf buf "  carry %s = %d;\n" n init) k.Kernel.carries;
+  List.iter
+    (function
+      | Kernel.Let (n, e) -> Printf.bprintf buf "  %s = %s;\n" n (expr_to_source e)
+      | Kernel.Set_carry (n, e) -> Printf.bprintf buf "  %s = %s;\n" n (expr_to_source e)
+      | Kernel.Store (arr, ix, e) ->
+        Printf.bprintf buf "  %s[%s] = %s;\n" arr (index_to_source ix) (expr_to_source e))
+    k.Kernel.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Surface syntax for kernels — the "annotated C" front end.
+
+    A kernel file holds one or more kernels of the form:
+
+    {v
+    kernel saxpy trip 16 {          # the pragma-marked innermost loop
+      param a;                      # loop-invariant live-in
+      carry acc = 0;                # loop-carried scalar with initial value
+      t = a * x[i];                 # per-iteration temporary
+      acc = acc + t;                # assignment to a carry updates it
+      y[i] = t + y[i];              # array store
+      out[0] = acc;                 # fixed-address store
+    }
+    v}
+
+    Array indices are affine in the loop counter [i]: [x[i]], [x[i+2]],
+    [x[2*i]], [x[2*i+1]], [x[15-i]], or a constant.  Expressions support
+    [+ - * & | ^ << >> < ==] with C precedence, the functions [min], [max],
+    [not], and [select(c,a,b)], integer literals, parentheses, and [#]
+    comments.  Assigning to a declared [carry] name becomes a
+    {!Kernel.Set_carry}; any other scalar assignment binds a temporary. *)
+
+type error = { line : int; col : int; msg : string }
+
+val kernel_of_string : string -> (Kernel.t, error) result
+(** Parse a single kernel (the first in the input). *)
+
+val kernels_of_string : string -> (Kernel.t list, error) result
+
+val kernel_of_file : string -> (Kernel.t, error) result
+
+val params : Kernel.t -> string list
+(** Live-in parameter names the kernel reads (sorted). *)
+
+val to_source : Kernel.t -> string
+(** Render a kernel back to surface syntax.  [kernel_of_string (to_source k)]
+    reproduces [k] up to temporary-naming details (tested). *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,50 @@
+open Kernel
+
+let carry_tmp name c = Printf.sprintf "%s@carry%d" name c
+
+let copy_temp name c = Printf.sprintf "%s#%d" name c
+
+let set_carries body =
+  List.filter_map (function Set_carry (n, _) -> Some n | _ -> None) body
+
+let apply k u =
+  if u < 1 then invalid_arg "Unroll.apply: factor must be >= 1";
+  if u = 1 then k
+  else begin
+    if k.trip mod u <> 0 then
+      invalid_arg
+        (Printf.sprintf "Unroll.apply: trip %d not divisible by factor %d" k.trip u);
+    let carried = set_carries k.body in
+    let rec check_dup = function
+      | [] -> ()
+      | n :: rest ->
+        if List.mem n rest then
+          invalid_arg (Printf.sprintf "Unroll.apply: carry %s assigned twice" n)
+        else check_dup rest
+    in
+    check_dup carried;
+    let rewrite_index c (ix : index) = { scale = ix.scale * u; shift = ix.shift + (ix.scale * c) } in
+    let rec rewrite_expr c = function
+      | Iconst _ as e -> e
+      | Load (arr, ix) -> Load (arr, rewrite_index c ix)
+      | Param _ as e -> e
+      | Temp name -> Temp (copy_temp name c)
+      | Carry name ->
+        if c = 0 || not (List.mem name carried) then Carry name
+        else Temp (carry_tmp name (c - 1))
+      | Unop (op, a) -> Unop (op, rewrite_expr c a)
+      | Binop (op, a, b) -> Binop (op, rewrite_expr c a, rewrite_expr c b)
+      | Ternop (op, a, b, d) -> Ternop (op, rewrite_expr c a, rewrite_expr c b, rewrite_expr c d)
+    in
+    let rewrite_stmt c = function
+      | Let (name, e) -> Let (copy_temp name c, rewrite_expr c e)
+      | Set_carry (name, e) ->
+        if c = u - 1 then Set_carry (name, rewrite_expr c e)
+        else Let (carry_tmp name c, rewrite_expr c e)
+      | Store (arr, ix, e) -> Store (arr, rewrite_index c ix, rewrite_expr c e)
+    in
+    let body =
+      List.concat_map (fun c -> List.map (rewrite_stmt c) k.body) (List.init u (fun c -> c))
+    in
+    { k with name = Printf.sprintf "%s_u%d" k.name u; trip = k.trip / u; body }
+  end

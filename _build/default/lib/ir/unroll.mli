@@ -1,0 +1,13 @@
+(** Loop unrolling on the kernel DSL.
+
+    Unrolling by [u] replicates the body [u] times, rewrites affine indices
+    from [scale*i + shift] to [scale*u*i + (scale*c + shift)] for copy [c],
+    renames per-copy temporaries, and threads loop-carried scalars through
+    the copies: copy [c] reads the value copy [c-1] staged, and only the last
+    copy performs the real end-of-iteration carry update.  Semantics are
+    preserved exactly (tested by property tests against {!Kernel.interpret}). *)
+
+val apply : Kernel.t -> int -> Kernel.t
+(** [apply k u] unrolls [k] by factor [u].
+    @raise Invalid_argument if [u < 1], if [k.trip] is not divisible by [u],
+    or if the body assigns the same carry twice. *)

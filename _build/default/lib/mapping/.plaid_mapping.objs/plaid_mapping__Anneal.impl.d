@@ -1,0 +1,1 @@
+lib/mapping/anneal.ml: Array Dfg Greedy Lazy List Mapping Mrrg Plaid_arch Plaid_ir Plaid_util Printf Route_table Schedule Sys

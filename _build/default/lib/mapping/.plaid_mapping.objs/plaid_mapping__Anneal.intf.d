@@ -1,0 +1,1 @@
+lib/mapping/anneal.mli: Mapping Plaid_arch Plaid_ir Plaid_util

@@ -1,0 +1,1 @@
+lib/mapping/bitstream.ml: Array Dfg Format Hashtbl List Mapping Op Plaid_arch Plaid_ir Printf

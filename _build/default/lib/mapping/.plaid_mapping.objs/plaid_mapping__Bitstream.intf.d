@@ -1,0 +1,1 @@
+lib/mapping/bitstream.mli: Format Mapping Plaid_arch

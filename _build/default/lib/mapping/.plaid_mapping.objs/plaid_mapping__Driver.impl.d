@@ -1,0 +1,1 @@
+lib/mapping/driver.ml: Analysis Anneal List Mapping Pathfinder Plaid_arch Plaid_ir Plaid_util Schedule

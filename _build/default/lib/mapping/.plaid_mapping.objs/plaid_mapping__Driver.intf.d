@@ -1,0 +1,1 @@
+lib/mapping/driver.mli: Anneal Mapping Pathfinder Plaid_arch Plaid_ir

@@ -1,0 +1,1 @@
+lib/mapping/exact.ml: Analysis Array Dfg List Mapping Mrrg Plaid_arch Plaid_ir Route Schedule

@@ -1,0 +1,1 @@
+lib/mapping/exact.mli: Mapping Plaid_arch Plaid_ir

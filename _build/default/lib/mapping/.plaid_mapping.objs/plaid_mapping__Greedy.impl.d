@@ -1,0 +1,1 @@
+lib/mapping/greedy.ml: Array Dfg List Mrrg Op Plaid_arch Plaid_ir Plaid_util

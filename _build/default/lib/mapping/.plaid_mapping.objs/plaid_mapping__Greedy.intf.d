@@ -1,0 +1,1 @@
+lib/mapping/greedy.mli: Mrrg Plaid_ir Plaid_util

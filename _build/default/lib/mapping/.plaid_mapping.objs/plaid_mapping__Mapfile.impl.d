@@ -1,0 +1,1 @@
+lib/mapping/mapfile.ml: Array Buffer Char Dfg Hashtbl List Mapping Op Plaid_arch Plaid_ir Printf String

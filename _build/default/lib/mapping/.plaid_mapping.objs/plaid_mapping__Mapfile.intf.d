@@ -1,0 +1,1 @@
+lib/mapping/mapfile.mli: Mapping Plaid_arch

@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Array Dfg Format Hashtbl List Mrrg Op Plaid_arch Plaid_ir Printf Route

@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Format Mrrg Plaid_arch Plaid_ir Route

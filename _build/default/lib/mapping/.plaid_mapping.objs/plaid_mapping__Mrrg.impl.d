@@ -1,0 +1,1 @@
+lib/mapping/mrrg.ml: Array List Plaid_arch Printf

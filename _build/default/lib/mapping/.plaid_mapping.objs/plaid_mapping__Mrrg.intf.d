@@ -1,0 +1,1 @@
+lib/mapping/mrrg.mli: Plaid_arch

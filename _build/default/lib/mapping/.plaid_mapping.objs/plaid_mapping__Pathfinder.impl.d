@@ -1,0 +1,1 @@
+lib/mapping/pathfinder.ml: Array Dfg Greedy List Mapping Mrrg Option Plaid_arch Plaid_ir Plaid_util Route Schedule

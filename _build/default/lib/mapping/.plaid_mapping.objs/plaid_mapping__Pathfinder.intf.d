@@ -1,0 +1,1 @@
+lib/mapping/pathfinder.mli: Mapping Plaid_arch Plaid_ir Plaid_util

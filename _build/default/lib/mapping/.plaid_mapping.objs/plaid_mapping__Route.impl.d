@@ -1,0 +1,1 @@
+lib/mapping/route.ml: Array List Mrrg Plaid_arch Plaid_util

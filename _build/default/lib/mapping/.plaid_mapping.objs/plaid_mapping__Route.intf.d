@@ -1,0 +1,1 @@
+lib/mapping/route.mli: Mrrg

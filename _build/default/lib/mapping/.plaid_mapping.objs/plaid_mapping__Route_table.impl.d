@@ -1,0 +1,1 @@
+lib/mapping/route_table.ml: Array Dfg List Mapping Mrrg Option Plaid_ir Route

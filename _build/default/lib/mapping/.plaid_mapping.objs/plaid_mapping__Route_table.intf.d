@@ -1,0 +1,1 @@
+lib/mapping/route_table.mli: Mapping Mrrg Plaid_ir Route

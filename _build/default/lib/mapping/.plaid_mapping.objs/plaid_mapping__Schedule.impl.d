@@ -1,0 +1,1 @@
+lib/mapping/schedule.ml: Analysis Array Dfg List Op Plaid_ir

@@ -1,0 +1,1 @@
+lib/mapping/schedule.mli: Plaid_ir

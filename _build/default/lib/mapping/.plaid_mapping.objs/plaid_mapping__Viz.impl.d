@@ -1,0 +1,1 @@
+lib/mapping/viz.ml: Array Buffer Dfg Format List Mapping Op Plaid_arch Plaid_ir Printf String

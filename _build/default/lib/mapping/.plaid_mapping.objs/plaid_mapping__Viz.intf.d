@@ -1,0 +1,1 @@
+lib/mapping/viz.mli: Format Mapping

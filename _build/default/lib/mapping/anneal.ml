@@ -1,0 +1,219 @@
+open Plaid_ir
+
+type params = {
+  iterations : int;
+  t_start : float;
+  t_decay : float;
+  restarts : int;
+}
+
+let default = { iterations = 12000; t_start = 10.0; t_decay = 0.9995; restarts = 4 }
+
+let quick = { iterations = 600; t_start = 4.0; t_decay = 0.995; restarts = 2 }
+
+type state = {
+  arch : Plaid_arch.Arch.t;
+  g : Dfg.t;
+  ii : int;
+  mrrg : Mrrg.t;
+  times : int array;
+  place : int array;
+  table : Route_table.t;
+}
+
+let slot_of st t = ((t mod st.ii) + st.ii) mod st.ii
+
+let init_state arch g ~ii ~times ~rng =
+  let mrrg = Mrrg.create arch ~ii in
+  let times = Array.copy times in
+  match Greedy.initial_place mrrg g ~times ~rng with
+  | None -> None
+  | Some place ->
+    let table = Route_table.create mrrg g ~times ~place in
+    Route_table.route_all table;
+    Some { arch; g; ii; mrrg; times; place; table }
+
+let to_mapping st =
+  { Mapping.arch = st.arch; dfg = st.g; ii = st.ii; times = Array.copy st.times;
+    place = Array.copy st.place; routes = Route_table.routes st.table }
+
+(* Swap the FUs of two nodes (times unchanged): escapes the local minima
+   where a chain sits on the right tiles in the wrong order, which
+   single-node moves cannot fix through the occupied intermediate states. *)
+let attempt_swap st ~rng ~temp =
+  let n = Dfg.n_nodes st.g in
+  let v = Plaid_util.Rng.int rng n and w = Plaid_util.Rng.int rng n in
+  if v <> w && st.place.(v) <> st.place.(w) then begin
+    let fu_v = st.place.(v) and fu_w = st.place.(w) in
+    let sl_v = slot_of st st.times.(v) and sl_w = slot_of st st.times.(w) in
+    let ok_ops =
+      Plaid_arch.Arch.fu_supports st.arch fu_w (Dfg.node st.g v).op
+      && Plaid_arch.Arch.fu_supports st.arch fu_v (Dfg.node st.g w).op
+    in
+    if ok_ops then begin
+      Mrrg.unplace_node st.mrrg ~node:v ~fu:fu_v ~slot:sl_v;
+      Mrrg.unplace_node st.mrrg ~node:w ~fu:fu_w ~slot:sl_w;
+      if Mrrg.fu_free st.mrrg ~fu:fu_w ~slot:sl_v && Mrrg.fu_free st.mrrg ~fu:fu_v ~slot:sl_w
+      then begin
+        let old_cost = Route_table.total_cost st.table in
+        let incident =
+          List.sort_uniq compare
+            (Route_table.incident st.table v @ Route_table.incident st.table w)
+        in
+        let saved = Route_table.snapshot_edges st.table incident in
+        List.iter (Route_table.release_edge st.table) incident;
+        Mrrg.place_node st.mrrg ~node:v ~fu:fu_w ~slot:sl_v;
+        Mrrg.place_node st.mrrg ~node:w ~fu:fu_v ~slot:sl_w;
+        st.place.(v) <- fu_w;
+        st.place.(w) <- fu_v;
+        List.iter (fun i -> ignore (Route_table.route_edge st.table i)) incident;
+        let new_cost = Route_table.total_cost st.table in
+        let accept =
+          new_cost <= old_cost
+          || Plaid_util.Rng.float rng 1.0 < exp ((old_cost -. new_cost) /. max 1e-6 temp)
+        in
+        if not accept then begin
+          List.iter (Route_table.release_edge st.table) incident;
+          Mrrg.unplace_node st.mrrg ~node:v ~fu:fu_w ~slot:sl_v;
+          Mrrg.unplace_node st.mrrg ~node:w ~fu:fu_v ~slot:sl_w;
+          Mrrg.place_node st.mrrg ~node:v ~fu:fu_v ~slot:sl_v;
+          Mrrg.place_node st.mrrg ~node:w ~fu:fu_w ~slot:sl_w;
+          st.place.(v) <- fu_v;
+          st.place.(w) <- fu_w;
+          List.iter
+            (fun (i, p, c) ->
+              match p with Some path -> Route_table.restore_edge st.table i path c | None -> ())
+            saved
+        end
+      end
+      else begin
+        Mrrg.place_node st.mrrg ~node:v ~fu:fu_v ~slot:sl_v;
+        Mrrg.place_node st.mrrg ~node:w ~fu:fu_w ~slot:sl_w
+      end
+    end
+  end
+
+(* One annealing move: re-place or retime a random node, re-route its
+   incident edges, keep or undo per the Metropolis criterion. *)
+let attempt_move st ~rng ~temp =
+  let n = Dfg.n_nodes st.g in
+  let v = Plaid_util.Rng.int rng n in
+  let old_fu = st.place.(v) and old_t = st.times.(v) in
+  let old_slot = slot_of st old_t in
+  let retime = Plaid_util.Rng.int rng 2 = 0 in
+  let new_fu, new_t =
+    if retime then begin
+      let lo, hi = Schedule.slack st.g ~times:st.times ~ii:st.ii ~node:v in
+      let lo = max lo (old_t - 2) and hi = min hi (old_t + 2) in
+      if hi <= lo then (old_fu, old_t)
+      else (old_fu, lo + Plaid_util.Rng.int rng (hi - lo + 1))
+    end
+    else begin
+      (* temporarily free v's slot so compatible_fus can offer it back *)
+      Mrrg.unplace_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+      let cands = Greedy.compatible_fus st.mrrg st.g ~node:v ~slot:old_slot in
+      Mrrg.place_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+      match cands with
+      | [] -> (old_fu, old_t)
+      | l -> (List.nth l (Plaid_util.Rng.int rng (List.length l)), old_t)
+    end
+  in
+  let new_slot = slot_of st new_t in
+  let feasible =
+    (new_fu <> old_fu || new_t <> old_t)
+    && (new_fu = old_fu || Plaid_arch.Arch.fu_supports st.arch new_fu (Dfg.node st.g v).op)
+    && ((new_fu = old_fu && new_slot = old_slot) || Mrrg.fu_free st.mrrg ~fu:new_fu ~slot:new_slot)
+  in
+  if feasible then begin
+    let old_cost = Route_table.total_cost st.table in
+    let incident = Route_table.incident st.table v in
+    let saved = Route_table.snapshot_edges st.table incident in
+    List.iter (fun i -> Route_table.release_edge st.table i) incident;
+    Mrrg.unplace_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+    Mrrg.place_node st.mrrg ~node:v ~fu:new_fu ~slot:new_slot;
+    st.place.(v) <- new_fu;
+    st.times.(v) <- new_t;
+    List.iter (fun i -> ignore (Route_table.route_edge st.table i)) incident;
+    let new_cost = Route_table.total_cost st.table in
+    let accept =
+      new_cost <= old_cost
+      || Plaid_util.Rng.float rng 1.0 < exp ((old_cost -. new_cost) /. max 1e-6 temp)
+    in
+    if not accept then begin
+      List.iter (fun i -> Route_table.release_edge st.table i) incident;
+      Mrrg.unplace_node st.mrrg ~node:v ~fu:new_fu ~slot:new_slot;
+      Mrrg.place_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+      st.place.(v) <- old_fu;
+      st.times.(v) <- old_t;
+      List.iter
+        (fun (i, p, c) ->
+          match p with Some path -> Route_table.restore_edge st.table i path c | None -> ())
+        saved
+    end
+  end
+
+let debug_enabled = lazy (Sys.getenv_opt "PLAID_DEBUG" <> None)
+
+let dbg fmt =
+  if Lazy.force debug_enabled then Printf.eprintf fmt else Printf.ifprintf stderr fmt
+
+let run_once arch g ~ii ~times ~params ~rng =
+  match init_state arch g ~ii ~times ~rng with
+  | None -> None
+  | Some st ->
+    let temp = ref params.t_start in
+    let iter = ref 0 in
+    (* plateau abort: a hopeless II should fail fast so the driver can move
+       to the next one *)
+    let plateau = max 300 (params.iterations / 3) in
+    let best = ref infinity and since_best = ref 0 in
+    while
+      Route_table.unrouted st.table > 0
+      && !iter < params.iterations
+      && !since_best < plateau
+    do
+      incr iter;
+      if Plaid_util.Rng.int rng 4 = 0 then attempt_swap st ~rng ~temp:!temp
+      else attempt_move st ~rng ~temp:!temp;
+      temp := !temp *. params.t_decay;
+      let c = Route_table.total_cost st.table in
+      if c < !best then begin
+        best := c;
+        since_best := 0
+      end
+      else incr since_best
+    done;
+    if Route_table.unrouted st.table = 0 then Some (to_mapping st)
+    else begin
+      dbg "[sa] %s ii=%d: %d unrouted after %d moves\n%!" g.Dfg.name ii
+        (Route_table.unrouted st.table) !iter;
+      if Lazy.force debug_enabled then begin
+        Array.iteri
+          (fun i (e : Dfg.edge) ->
+            if Route_table.path st.table i = None then
+              dbg "    edge %d->%d op%d d%d len=%d %s->%s\n" e.src e.dst e.operand e.dist
+                (st.times.(e.dst) - st.times.(e.src) + (e.dist * ii))
+                (Plaid_arch.Arch.resource arch st.place.(e.src)).rname
+                (Plaid_arch.Arch.resource arch st.place.(e.dst)).rname)
+          g.Dfg.edges;
+        Array.iteri
+          (fun v fu ->
+            dbg "    node %d (%s) @ %s t=%d\n" v (Dfg.node g v).label
+              (Plaid_arch.Arch.resource arch fu).rname st.times.(v))
+          st.place
+      end;
+      None
+    end
+
+let map_at_ii arch g ~ii ~times ~params ~rng =
+  let rec try_restart r =
+    if r >= params.restarts then None
+    else
+      match run_once arch g ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng) with
+      | Some m -> (
+        match Mapping.validate m with
+        | Ok () -> Some m
+        | Error msg -> invalid_arg ("Anneal: produced invalid mapping: " ^ msg))
+      | None -> try_restart (r + 1)
+  in
+  try_restart 0

@@ -1,0 +1,30 @@
+(** Simulated-annealing mapper (the paper's second baseline, after
+    CGRA-ME/Morpher practice).
+
+    Placement and per-node retiming are the annealed variables; routing is
+    recomputed incrementally with the hard-capacity router after every move.
+    The cost is dominated by the number of unroutable edges, with total wire
+    cost as a tiebreaker, so the annealer first reaches feasibility and then
+    compacts routes.  Deterministic given the RNG. *)
+
+type params = {
+  iterations : int;      (** move budget per II attempt *)
+  t_start : float;
+  t_decay : float;       (** geometric cooling per move *)
+  restarts : int;        (** independent seeds per II attempt *)
+}
+
+val default : params
+
+val quick : params
+(** Small budget for tests. *)
+
+val map_at_ii :
+  Plaid_arch.Arch.t ->
+  Plaid_ir.Dfg.t ->
+  ii:int ->
+  times:int array ->
+  params:params ->
+  rng:Plaid_util.Rng.t ->
+  Mapping.t option
+(** A valid mapping at exactly this II, or [None]. *)

@@ -1,0 +1,51 @@
+(** Configuration bitstream generation — the compiler's final output.
+
+    A spatio-temporal CGRA executes a mapping by replaying, every cycle, one
+    configuration entry per tile (Section 6.2: the host loads the
+    configuration bits, then triggers the fabric).  This module turns a
+    validated {!Mapping.t} into those bits:
+
+    - per functional unit and slot: operation select, immediate operands,
+      and one source select per operand mux;
+    - per steerable routing sink (register or port with several inputs) and
+      slot: the input the mux selects, or "hold".
+
+    Field widths follow {!Plaid_arch.Config_bits} (select width from the
+    sink's in-degree, plus enable/mode overhead), so the encoded size can be
+    checked against the architecture's configuration budget — an end-to-end
+    consistency proof between the hardware model and the compiler.
+
+    [decode] inverts the encoding back into per-(resource, slot) source
+    selections and is used by round-trip tests. *)
+
+type field = {
+  f_res : int;        (** resource owning the mux / FU *)
+  f_slot : int;
+  f_kind : [ `Op | `Imm of int (** operand index *) | `Mux of int (** mux index *) ];
+  f_width : int;
+  f_value : int;
+}
+
+type t = {
+  arch : Plaid_arch.Arch.t;
+  ii : int;
+  fields : field list;
+}
+
+val generate : Mapping.t -> (t, string) result
+(** Fails only on malformed mappings (e.g. two different sources selected on
+    one mux in the same slot) — anything {!Mapping.validate} accepts
+    encodes. *)
+
+val total_bits : t -> int
+(** Bits actually used across all entries. *)
+
+val budget_bits : t -> int
+(** Architecture budget: (compute + comm bits) per entry x II entries. *)
+
+val source_of : ?mux:int -> t -> res:int -> slot:int -> int option
+(** Decoded mux selection: which resource feeds [res] at [slot] through mux
+    [mux] (operand index for FUs, 0 for wires and registers). *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Human-readable configuration listing (one line per non-idle field). *)

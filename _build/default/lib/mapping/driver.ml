@@ -1,0 +1,54 @@
+open Plaid_ir
+
+type algo = Sa of Anneal.params | Pf of Pathfinder.params
+
+type outcome = { mapping : Mapping.t option; mii : int; attempts : int }
+
+let map ~algo ~arch ~dfg ~seed =
+  let cap = Plaid_arch.Arch.capacity arch in
+  let mii = Analysis.mii dfg cap in
+  let max_ii = arch.Plaid_arch.Arch.config.entries in
+  let rng = Plaid_util.Rng.create seed in
+  let rec attempt ii tried =
+    if ii > max_ii then { mapping = None; mii; attempts = tried }
+    else begin
+      (* PathFinder cannot retime, so prefer a schedule with a two-cycle
+         routing budget per edge; fall back to the tight schedule when
+         recurrences make the padded one infeasible. *)
+      let schedules =
+        match algo with
+        | Sa _ -> [ Schedule.compute dfg ~ii ~cap ]
+        | Pf _ -> [ Schedule.compute ~lat:2 dfg ~ii ~cap; Schedule.compute dfg ~ii ~cap ]
+      in
+      let run times =
+        match algo with
+        | Sa params -> Anneal.map_at_ii arch dfg ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng)
+        | Pf params ->
+          Pathfinder.map_at_ii arch dfg ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng)
+      in
+      let m =
+        List.fold_left
+          (fun acc sched ->
+            match (acc, sched) with
+            | Some _, _ | _, None -> acc
+            | None, Some times -> run times)
+          None schedules
+      in
+      match m with
+      | Some mapping -> { mapping = Some mapping; mii; attempts = tried + 1 }
+      | None -> attempt (ii + 1) (tried + 1)
+    end
+  in
+  attempt mii 0
+
+let best_of ~algos ~arch ~dfg ~seed =
+  let outcomes = List.mapi (fun i algo -> map ~algo ~arch ~dfg ~seed:(seed + (i * 7919))) algos in
+  let better a b =
+    match (a.mapping, b.mapping) with
+    | None, _ -> b
+    | _, None -> a
+    | Some ma, Some mb -> if mb.Mapping.ii < ma.Mapping.ii then b else a
+  in
+  match outcomes with
+  | [] -> invalid_arg "Driver.best_of: no algorithms"
+  | first :: rest -> List.fold_left better first rest

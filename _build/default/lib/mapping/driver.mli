@@ -1,0 +1,24 @@
+(** II search: the modulo-scheduling outer loop shared by every mapper.
+
+    Starting at MII = max(ResMII, RecMII), schedule the DFG, invoke the
+    chosen mapper, and accept the first II with a valid mapping.  II is
+    bounded by the configuration-memory depth — a spatio-temporal CGRA
+    cannot hold more distinct cycle configurations than it has entries. *)
+
+type algo =
+  | Sa of Anneal.params
+  | Pf of Pathfinder.params
+
+type outcome = {
+  mapping : Mapping.t option;
+  mii : int;
+  attempts : int;  (** IIs tried *)
+}
+
+val map :
+  algo:algo -> arch:Plaid_arch.Arch.t -> dfg:Plaid_ir.Dfg.t -> seed:int -> outcome
+
+val best_of :
+  algos:algo list -> arch:Plaid_arch.Arch.t -> dfg:Plaid_ir.Dfg.t -> seed:int -> outcome
+(** Runs several mappers and keeps the lowest-II mapping — the paper selects
+    the better of PathFinder and SA for its baselines (Section 6.3). *)

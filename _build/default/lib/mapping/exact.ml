@@ -1,0 +1,146 @@
+open Plaid_ir
+
+type outcome = {
+  mapping : Mapping.t option;
+  explored : int;
+  exhausted : bool;
+}
+
+let slot_mod ii t = ((t mod ii) + ii) mod ii
+
+let find arch g ~ii ~times ~budget =
+  let n = Dfg.n_nodes g in
+  let order = Array.of_list (Dfg.topo_order g) in
+  let mrrg = Mrrg.create arch ~ii in
+  let place = Array.make n (-1) in
+  let paths : (int * Route.path) list ref = ref [] in  (* (edge idx, path), undo stack *)
+  let explored = ref 0 in
+  let exhausted = ref false in
+  let edges = g.Dfg.edges in
+  (* edges whose both endpoints are placed once [v] is placed *)
+  let ready_edges v =
+    List.filter_map
+      (fun i ->
+        let e = edges.(i) in
+        if
+          (not (Dfg.is_ordering e))
+          && ((e.src = v && (place.(e.dst) >= 0 || e.dst = v))
+             || (e.dst = v && place.(e.src) >= 0))
+        then Some i
+        else None)
+      (List.init (Array.length edges) (fun i -> i))
+  in
+  let route_one i =
+    let e = edges.(i) in
+    let length = times.(e.dst) - times.(e.src) + (e.dist * ii) in
+    match
+      Route.find mrrg ~src_fu:place.(e.src) ~src_node:e.src ~t_src:times.(e.src)
+        ~dst_fu:place.(e.dst) ~length ~mode:Route.Hard
+    with
+    | None -> false
+    | Some (path, _) ->
+      Route.occupy_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
+      paths := (i, path) :: !paths;
+      true
+  in
+  let unroute_down_to mark =
+    while List.length !paths > mark do
+      match !paths with
+      | (i, path) :: rest ->
+        let e = edges.(i) in
+        Route.release_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
+        paths := rest
+      | [] -> ()
+    done
+  in
+  let ordering_ok v =
+    (* ordering edges have no route but still need causal lengths *)
+    List.for_all
+      (fun (e : Dfg.edge) ->
+        (not (Dfg.is_ordering e))
+        || e.src <> v
+        || times.(e.dst) - times.(e.src) + (e.dist * ii) >= 1)
+      (Dfg.succs g v)
+  in
+  let rec search k =
+    if !exhausted then false
+    else if k = Array.length order then true
+    else begin
+      let v = order.(k) in
+      let slot = slot_mod ii times.(v) in
+      let op = (Dfg.node g v).op in
+      let candidates =
+        Array.to_list arch.Plaid_arch.Arch.fus
+        |> List.filter (fun fu ->
+               Plaid_arch.Arch.fu_supports arch fu op && Mrrg.fu_free mrrg ~fu ~slot)
+      in
+      List.exists
+        (fun fu ->
+          if !exhausted then false
+          else begin
+          incr explored;
+          if !explored > budget then begin
+            exhausted := true;
+            false
+          end
+          else begin
+            Mrrg.place_node mrrg ~node:v ~fu ~slot;
+            place.(v) <- fu;
+            let mark = List.length !paths in
+            let ok =
+              ordering_ok v
+              && List.for_all route_one (ready_edges v)
+              && search (k + 1)
+            in
+            if not ok then begin
+              unroute_down_to mark;
+              Mrrg.unplace_node mrrg ~node:v ~fu ~slot;
+              place.(v) <- -1
+            end;
+            ok
+          end
+          end)
+        candidates
+    end
+  in
+  let found = search 0 in
+  let mapping =
+    if not found then None
+    else begin
+      let routes =
+        List.rev_map
+          (fun (i, path) -> { Mapping.re_edge = edges.(i); re_path = path })
+          !paths
+      in
+      let m =
+        { Mapping.arch; dfg = g; ii; times = Array.copy times; place = Array.copy place;
+          routes }
+      in
+      match Mapping.validate m with
+      | Ok () -> Some m
+      | Error msg -> invalid_arg ("Exact: invalid mapping: " ^ msg)
+    end
+  in
+  { mapping; explored = !explored; exhausted = !exhausted }
+
+let min_ii arch g ?max_ii ~budget () =
+  let cap = Plaid_arch.Arch.capacity arch in
+  let mii = Analysis.mii g cap in
+  let top = match max_ii with Some m -> m | None -> arch.Plaid_arch.Arch.config.entries in
+  let rec go ii =
+    if ii > top then None
+    else begin
+      let attempt times =
+        match times with
+        | None -> None
+        | Some times -> (find arch g ~ii ~times ~budget).mapping
+      in
+      match attempt (Schedule.compute ~lat:2 g ~ii ~cap) with
+      | Some m -> Some (ii, m)
+      | None -> (
+        match attempt (Schedule.compute g ~ii ~cap) with
+        | Some m -> Some (ii, m)
+        | None -> go (ii + 1))
+    end
+  in
+  go mii

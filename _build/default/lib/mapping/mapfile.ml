@@ -1,0 +1,213 @@
+open Plaid_ir
+
+let version = "plaidmap-1"
+
+(* Labels and array names may contain spaces in principle; quote them with
+   percent-encoding of the separator characters. *)
+let enc s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | ' ' -> "%20"
+         | '%' -> "%25"
+         | '\n' -> "%0A"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let dec s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      if s.[i] = '%' && i + 2 < n then begin
+        let code = int_of_string ("0x" ^ String.sub s (i + 1) 2) in
+        Buffer.add_char buf (Char.chr code);
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let to_string (m : Mapping.t) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%s\n" version;
+  pf "arch %s\n" (enc m.arch.Plaid_arch.Arch.name);
+  pf "dfg %s %d\n" (enc m.dfg.Dfg.name) m.dfg.Dfg.trip;
+  pf "ii %d\n" m.ii;
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let imms = String.concat "," (List.map (fun (i, c) -> Printf.sprintf "%d:%d" i c) nd.imms) in
+      let access =
+        match nd.access with
+        | None -> "-"
+        | Some a -> Printf.sprintf "%s:%d:%d" (enc a.array) a.offset a.stride
+      in
+      pf "node %d %s %s %s %s\n" nd.id (Op.to_string nd.op)
+        (if imms = "" then "-" else imms)
+        access (enc nd.label))
+    m.dfg.Dfg.nodes;
+  Array.iter
+    (fun (e : Dfg.edge) -> pf "edge %d %d %d %d %d\n" e.src e.dst e.operand e.dist e.init)
+    m.dfg.Dfg.edges;
+  Array.iteri (fun v t -> pf "time %d %d\n" v t) m.times;
+  Array.iteri (fun v fu -> pf "place %d %d\n" v fu) m.place;
+  List.iteri
+    (fun i (r : Mapping.route_entry) ->
+      ignore i;
+      let e = r.re_edge in
+      let path = String.concat " " (List.map (fun (res, el) -> Printf.sprintf "%d:%d" res el) r.re_path) in
+      pf "route %d %d %d %s\n" e.src e.dst e.operand (if path = "" then "-" else path))
+    m.routes;
+  Buffer.contents buf
+
+let save m ~path =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let op_of_string s =
+  List.find_opt
+    (fun op -> Op.to_string op = s)
+    (Op.all_compute @ [ Op.Load; Op.Store; Op.Input ])
+
+let of_string ~resolve text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  match lines with
+  | v :: rest when v = version -> (
+    let arch_name = ref None and dfg_head = ref None and ii = ref None in
+    let nodes = ref [] and edges = ref [] in
+    let times = Hashtbl.create 32 and places = Hashtbl.create 32 in
+    let routes = ref [] in
+    let parse_line line =
+      match String.split_on_char ' ' line with
+      | [ "arch"; name ] ->
+        arch_name := Some (dec name);
+        Ok ()
+      | [ "dfg"; name; trip ] ->
+        dfg_head := Some (dec name, int_of_string trip);
+        Ok ()
+      | [ "ii"; v ] ->
+        ii := Some (int_of_string v);
+        Ok ()
+      | [ "node"; id; op; imms; access; label ] -> (
+        match op_of_string op with
+        | None -> err "unknown op %s" op
+        | Some op ->
+          let imms =
+            if imms = "-" then []
+            else
+              String.split_on_char ',' imms
+              |> List.map (fun p ->
+                     match String.split_on_char ':' p with
+                     | [ i; c ] -> (int_of_string i, int_of_string c)
+                     | _ -> failwith "bad imm")
+          in
+          let access =
+            if access = "-" then None
+            else
+              match String.split_on_char ':' access with
+              | [ arr; off; stride ] ->
+                Some
+                  { Dfg.array = dec arr; offset = int_of_string off;
+                    stride = int_of_string stride }
+              | _ -> failwith "bad access"
+          in
+          nodes := (int_of_string id, op, imms, access, dec label) :: !nodes;
+          Ok ())
+      | [ "edge"; src; dst; operand; dist; init ] ->
+        edges :=
+          (int_of_string src, int_of_string dst, int_of_string operand, int_of_string dist,
+           int_of_string init)
+          :: !edges;
+        Ok ()
+      | [ "time"; v; t ] ->
+        Hashtbl.replace times (int_of_string v) (int_of_string t);
+        Ok ()
+      | [ "place"; v; fu ] ->
+        Hashtbl.replace places (int_of_string v) (int_of_string fu);
+        Ok ()
+      | "route" :: src :: dst :: operand :: path ->
+        let path =
+          List.filter (fun p -> p <> "-") path
+          |> List.map (fun p ->
+                 match String.split_on_char ':' p with
+                 | [ res; el ] -> (int_of_string res, int_of_string el)
+                 | _ -> failwith "bad path step")
+        in
+        routes := (int_of_string src, int_of_string dst, int_of_string operand, path) :: !routes;
+        Ok ()
+      | _ -> err "unrecognized line: %s" line
+    in
+    let rec all = function
+      | [] -> Ok ()
+      | l :: rest -> (
+        match (try parse_line l with _ -> err "malformed line: %s" l) with
+        | Ok () -> all rest
+        | Error _ as e -> e)
+    in
+    let* () = all rest in
+    match (!arch_name, !dfg_head, !ii) with
+    | Some aname, Some (dname, trip), Some ii -> (
+      match resolve aname with
+      | None -> err "unknown architecture %s" aname
+      | Some arch -> (
+        (* rebuild the DFG *)
+        let b = Dfg.builder ~trip dname in
+        let sorted_nodes = List.sort compare !nodes in
+        List.iter
+          (fun (id, op, imms, access, label) ->
+            let id' = Dfg.add_node b ~imms ?access ~label op in
+            if id' <> id then failwith "node ids not dense")
+          sorted_nodes;
+        List.iter
+          (fun (src, dst, operand, dist, init) ->
+            Dfg.add_edge b ~dist ~init ~src ~dst ~operand ())
+          (List.rev !edges);
+        match Dfg.finish b with
+        | exception Invalid_argument msg -> err "bad DFG: %s" msg
+        | dfg ->
+          let n = Dfg.n_nodes dfg in
+          let times_arr = Array.init n (fun v -> try Hashtbl.find times v with Not_found -> 0) in
+          let place_arr =
+            Array.init n (fun v -> try Hashtbl.find places v with Not_found -> -1)
+          in
+          (* reattach routes to their edges by (src, dst, operand) *)
+          let find_edge (src, dst, operand) =
+            Array.to_list dfg.Dfg.edges
+            |> List.find_opt (fun (e : Dfg.edge) ->
+                   e.src = src && e.dst = dst && e.operand = operand)
+          in
+          let rec build_routes acc = function
+            | [] -> Ok (List.rev acc)
+            | (src, dst, operand, path) :: rest -> (
+              match find_edge (src, dst, operand) with
+              | None -> err "route for unknown edge %d->%d" src dst
+              | Some e -> build_routes ({ Mapping.re_edge = e; re_path = path } :: acc) rest)
+          in
+          let* routes = build_routes [] (List.rev !routes) in
+          let m = { Mapping.arch; dfg; ii; times = times_arr; place = place_arr; routes } in
+          let* () = Mapping.validate m in
+          Ok m))
+    | _ -> err "missing arch/dfg/ii header"
+  )
+  | _ -> err "not a %s file" version
+
+let load ~resolve ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    of_string ~resolve text

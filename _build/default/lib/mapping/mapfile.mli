@@ -1,0 +1,27 @@
+(** Mapping object files: the compiler's on-disk output.
+
+    A mapfile stores everything needed to reload and execute a compiled
+    kernel — the DFG (nodes, immediates, accesses, edges), the target
+    architecture's *name*, the II, the schedule, the placement, and every
+    route — in a line-oriented text format with a version header.  The
+    loader re-validates the mapping against a freshly built architecture,
+    so a stale or hand-edited file cannot smuggle an illegal configuration
+    into the simulator.
+
+    The architecture itself is not serialized: fabrics are deterministic
+    builders, so the name suffices (the paper's flow likewise keeps
+    hardware and configuration separate). *)
+
+val save : Mapping.t -> path:string -> unit
+
+val to_string : Mapping.t -> string
+
+val load :
+  resolve:(string -> Plaid_arch.Arch.t option) ->
+  path:string ->
+  (Mapping.t, string) result
+(** [resolve] maps the stored architecture name to the fabric; the result
+    has passed {!Mapping.validate}. *)
+
+val of_string :
+  resolve:(string -> Plaid_arch.Arch.t option) -> string -> (Mapping.t, string) result

@@ -1,0 +1,106 @@
+type signal = { s_node : int; s_elapsed : int }
+
+type cell = {
+  mutable exec : int option;              (* node executing on this FU slot *)
+  mutable signals : (signal * int) list;  (* signal -> refcount *)
+}
+
+type t = {
+  m_arch : Plaid_arch.Arch.t;
+  m_ii : int;
+  exclusive : bool;
+  cells : cell array array;  (* [resource].[slot]; one slot when exclusive *)
+}
+
+(* A clock-gated (spatial) fabric freezes its configuration for the whole
+   segment: each FU executes one node and each wire carries one signal for
+   the entire execution, regardless of the modulo slot.  Occupancy then
+   collapses to a single cell per resource. *)
+let create arch ~ii =
+  if ii < 1 then invalid_arg "Mrrg.create: ii must be >= 1";
+  let exclusive = arch.Plaid_arch.Arch.config.clock_gated in
+  let slots = if exclusive then 1 else ii in
+  let n = Plaid_arch.Arch.n_resources arch in
+  { m_arch = arch; m_ii = ii; exclusive;
+    cells = Array.init n (fun _ -> Array.init slots (fun _ -> { exec = None; signals = [] })) }
+
+let arch t = t.m_arch
+
+let ii t = t.m_ii
+
+let exclusive t = t.exclusive
+
+let cell t res slot = t.cells.(res).(if t.exclusive then 0 else slot mod t.m_ii)
+
+let fu_free t ~fu ~slot =
+  let c = cell t fu slot in
+  c.exec = None && c.signals = []
+
+let place_node t ~node ~fu ~slot =
+  let c = cell t fu slot in
+  if c.exec <> None || c.signals <> [] then
+    invalid_arg
+      (Printf.sprintf "Mrrg.place_node: %s slot %d busy"
+         (Plaid_arch.Arch.resource t.m_arch fu).rname (slot mod t.m_ii));
+  c.exec <- Some node
+
+let unplace_node t ~node ~fu ~slot =
+  let c = cell t fu slot in
+  match c.exec with
+  | Some n when n = node -> c.exec <- None
+  | _ -> invalid_arg "Mrrg.unplace_node: node not placed there"
+
+let node_at t ~fu ~slot = (cell t fu slot).exec
+
+let can_use t ~res ~slot signal =
+  let c = cell t res slot in
+  c.exec = None
+  && (match c.signals with
+     | [] -> true
+     | [ (s, _) ] -> s = signal
+     | _ :: _ :: _ -> false)
+
+let occupy t ~res ~slot signal =
+  let c = cell t res slot in
+  let rec bump = function
+    | [] -> [ (signal, 1) ]
+    | (s, n) :: rest when s = signal -> (s, n + 1) :: rest
+    | sn :: rest -> sn :: bump rest
+  in
+  c.signals <- bump c.signals
+
+let release t ~res ~slot signal =
+  let c = cell t res slot in
+  let rec drop = function
+    | [] -> invalid_arg "Mrrg.release: signal not present"
+    | (s, 1) :: rest when s = signal -> rest
+    | (s, n) :: rest when s = signal -> (s, n - 1) :: rest
+    | sn :: rest -> sn :: drop rest
+  in
+  c.signals <- drop c.signals
+
+let presence t ~res ~slot =
+  let c = cell t res slot in
+  List.length c.signals + match c.exec with Some _ -> 1 | None -> 0
+
+let overuse t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc c ->
+          let p = List.length c.signals + match c.exec with Some _ -> 1 | None -> 0 in
+          acc + max 0 (p - 1))
+        acc row)
+    0 t.cells
+
+let slots t = if t.exclusive then 1 else t.m_ii
+
+let clear t =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c ->
+          c.exec <- None;
+          c.signals <- [])
+        row)
+    t.cells

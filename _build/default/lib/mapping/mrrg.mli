@@ -1,0 +1,64 @@
+(** Modulo Routing Resource Graph: time-extended occupancy of an
+    architecture over one initiation interval.
+
+    Each (resource, slot) pair holds at most one distinct signal per cycle.
+    A signal is identified by the producing DFG node and the cycles elapsed
+    since production, so a multicast route (one producer, several consumers)
+    may share wires: the same value at the same moment occupies a resource
+    once, no matter how many paths read it.  Functional units are occupied
+    exclusively by the node they execute (or by a route-through signal).
+
+    Occupancy is reference-counted so overlapping routes can be released
+    independently; [presence] reports the number of *distinct* signals for
+    PathFinder-style negotiated congestion, where temporary overuse is legal
+    and priced. *)
+
+type signal = { s_node : int; s_elapsed : int }
+
+type t
+
+val create : Plaid_arch.Arch.t -> ii:int -> t
+(** On a clock-gated architecture (spatial baseline) the MRRG is
+    *exclusive*: configuration is frozen for the whole segment, so each
+    resource holds one signal / one node across all slots. *)
+
+val arch : t -> Plaid_arch.Arch.t
+
+val ii : t -> int
+
+val exclusive : t -> bool
+
+val slots : t -> int
+(** 1 when exclusive, II otherwise (for congestion iteration). *)
+
+(** {1 Functional-unit placement} *)
+
+val fu_free : t -> fu:int -> slot:int -> bool
+(** True when nothing (node or routed signal) occupies the FU slot. *)
+
+val place_node : t -> node:int -> fu:int -> slot:int -> unit
+(** @raise Invalid_argument if the slot is already occupied. *)
+
+val unplace_node : t -> node:int -> fu:int -> slot:int -> unit
+
+val node_at : t -> fu:int -> slot:int -> int option
+
+(** {1 Wire occupancy} *)
+
+val can_use : t -> res:int -> slot:int -> signal -> bool
+(** Hard check: free, or already carrying exactly this signal. *)
+
+val occupy : t -> res:int -> slot:int -> signal -> unit
+(** Increments the reference count; soft mode may create overuse (multiple
+    distinct signals), which {!overuse} then reports. *)
+
+val release : t -> res:int -> slot:int -> signal -> unit
+
+val presence : t -> res:int -> slot:int -> int
+(** Number of distinct signals (plus 1 if a node executes there). *)
+
+val overuse : t -> int
+(** Total capacity violations across the whole MRRG: sum over (res, slot) of
+    max(0, presence - 1). *)
+
+val clear : t -> unit

@@ -1,0 +1,245 @@
+open Plaid_ir
+
+type params = {
+  max_iters : int;
+  history_increment : float;
+  present_factor_step : float;
+  replace_after : int;
+}
+
+let default =
+  { max_iters = 60; history_increment = 0.6; present_factor_step = 0.4; replace_after = 8 }
+
+let quick = { max_iters = 30; history_increment = 0.8; present_factor_step = 0.6; replace_after = 5 }
+
+let slot_mod ii t = ((t mod ii) + ii) mod ii
+
+let manhattan (r1, c1) (r2, c2) = abs (r1 - r2) + abs (c1 - c2)
+
+(* Route all edges in soft mode; wires may overuse, placements are pinned. *)
+let route_all mrrg g ~times ~place ~mode =
+  let ii = Mrrg.ii mrrg in
+  Array.map
+    (fun (e : Dfg.edge) ->
+      let length = times.(e.dst) - times.(e.src) + (e.dist * ii) in
+      if Dfg.is_ordering e then (if length >= 1 then Some [] else None)
+      else
+        match
+          Route.find mrrg ~src_fu:place.(e.src) ~src_node:e.src ~t_src:times.(e.src)
+            ~dst_fu:place.(e.dst) ~length ~mode
+        with
+        | None -> None
+        | Some (path, _cost) ->
+          Route.occupy_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
+          Some path)
+    g.Dfg.edges
+
+let most_contested mrrg =
+  let arch = Mrrg.arch mrrg in
+  let best = ref None in
+  for res = 0 to Plaid_arch.Arch.n_resources arch - 1 do
+    for slot = 0 to Mrrg.ii mrrg - 1 do
+      let p = Mrrg.presence mrrg ~res ~slot in
+      match !best with
+      | Some (bp, _, _) when bp >= p -> ()
+      | _ -> if p > 1 then best := Some (p, res, slot)
+    done
+  done;
+  !best
+
+let update_history mrrg history ~increment =
+  let arch = Mrrg.arch mrrg in
+  for res = 0 to Plaid_arch.Arch.n_resources arch - 1 do
+    for slot = 0 to Mrrg.ii mrrg - 1 do
+      if Mrrg.presence mrrg ~res ~slot > 1 then
+        history.(res).(slot) <- history.(res).(slot) +. increment
+    done
+  done
+
+(* Move [node] to a compatible free FU, preferring tiles whose Manhattan
+   distance to [other_tile] best matches the edge's cycle budget. *)
+let replace_towards mrrg g ~place ~node ~slot ~other_tile ~budget ~rng =
+  let arch = Mrrg.arch mrrg in
+  Mrrg.unplace_node mrrg ~node ~fu:place.(node) ~slot;
+  let cands = Greedy.compatible_fus mrrg g ~node ~slot in
+  match cands with
+  | [] -> Mrrg.place_node mrrg ~node ~fu:place.(node) ~slot
+  | _ ->
+    let score fu =
+      let d = manhattan (Plaid_arch.Arch.resource arch fu).tile other_tile in
+      (abs (d - budget), Plaid_util.Rng.int rng 1000)
+    in
+    let best =
+      List.fold_left
+        (fun (bs, bfu) fu ->
+          let s = score fu in
+          if s < bs then (s, fu) else (bs, bfu))
+        ((max_int, 0), place.(node))
+        cands
+      |> snd
+    in
+    Mrrg.place_node mrrg ~node ~fu:best ~slot;
+    place.(node) <- best
+
+(* Move one node one cycle later if its FU slot allows. *)
+let shift_node mrrg ~times ~place ~node ~ii =
+  let t = times.(node) in
+  let fu = place.(node) in
+  let old_slot = slot_mod ii t and new_slot = slot_mod ii (t + 1) in
+  if new_slot = old_slot then begin
+    times.(node) <- t + 1;
+    true
+  end
+  else begin
+    Mrrg.unplace_node mrrg ~node ~fu ~slot:old_slot;
+    if Mrrg.fu_free mrrg ~fu ~slot:new_slot then begin
+      Mrrg.place_node mrrg ~node ~fu ~slot:new_slot;
+      times.(node) <- t + 1;
+      true
+    end
+    else begin
+      Mrrg.place_node mrrg ~node ~fu ~slot:old_slot;
+      false
+    end
+  end
+
+(* Give the consumer one more cycle of routing budget.  When downstream
+   nodes pin its slack, push them later first (bounded cascade along the
+   chain — the sink of the chain always has open slack). *)
+let rec retime_later mrrg g ~times ~place ~node ~ii ~depth =
+  let _, hi = Schedule.slack g ~times ~ii ~node in
+  let t = times.(node) in
+  if t + 1 <= hi then shift_node mrrg ~times ~place ~node ~ii
+  else if depth = 0 then false
+  else begin
+    (* push every successor that makes the deadline tight *)
+    let pushed_all =
+      List.fold_left
+        (fun acc (e : Dfg.edge) ->
+          if e.dst = node then acc
+          else begin
+            let deadline = times.(e.dst) - 1 + (e.dist * ii) in
+            if deadline <= t then
+              acc && retime_later mrrg g ~times ~place ~node:e.dst ~ii ~depth:(depth - 1)
+            else acc
+          end)
+        true (Dfg.succs g node)
+    in
+    if pushed_all then begin
+      let _, hi = Schedule.slack g ~times ~ii ~node in
+      t + 1 <= hi && shift_node mrrg ~times ~place ~node ~ii
+    end
+    else false
+  end
+
+let repair_unrouted mrrg g ~times ~place ~paths ~rng =
+  let arch = Mrrg.arch mrrg in
+  let ii = Mrrg.ii mrrg in
+  Array.iteri
+    (fun i p ->
+      if p = None then begin
+        let e = g.Dfg.edges.(i) in
+        let budget = times.(e.dst) - times.(e.src) + (e.dist * ii) in
+        let src_tile = (Plaid_arch.Arch.resource arch place.(e.src)).tile in
+        let dst_tile = (Plaid_arch.Arch.resource arch place.(e.dst)).tile in
+        match Plaid_util.Rng.int rng 3 with
+        | 0 ->
+          replace_towards mrrg g ~place ~node:e.dst ~slot:(slot_mod ii times.(e.dst))
+            ~other_tile:src_tile ~budget ~rng
+        | 1 when e.src <> e.dst ->
+          replace_towards mrrg g ~place ~node:e.src ~slot:(slot_mod ii times.(e.src))
+            ~other_tile:dst_tile ~budget ~rng
+        | _ -> ignore (retime_later mrrg g ~times ~place ~node:e.dst ~ii ~depth:8)
+      end)
+    paths
+
+let map_at_ii arch g ~ii ~times ~params ~rng =
+  let mrrg = Mrrg.create arch ~ii in
+  let times = Array.copy times in
+  match Greedy.initial_place mrrg g ~times ~rng with
+  | None -> None
+  | Some place ->
+    let n_res = Plaid_arch.Arch.n_resources arch in
+    let history = Array.make_matrix n_res ii 0.0 in
+    let result = ref None in
+    let stall = ref 0 in
+    let best_score = ref max_int in
+    let iter = ref 0 in
+    (* abort negotiation when two placement kicks in a row changed nothing *)
+    let hopeless = 3 * params.replace_after in
+    let since_best = ref 0 in
+    while !result = None && !iter < params.max_iters && !since_best < hopeless do
+      incr iter;
+      (* wipe wires, keep placements *)
+      Mrrg.clear mrrg;
+      Array.iteri
+        (fun v fu -> Mrrg.place_node mrrg ~node:v ~fu ~slot:(slot_mod ii times.(v)))
+        place;
+      let mode =
+        Route.Soft
+          { present_factor = params.present_factor_step *. float_of_int !iter; history }
+      in
+      let paths = route_all mrrg g ~times ~place ~mode in
+      let unrouted = Array.to_list paths |> List.filter (( = ) None) |> List.length in
+      let ou = Mrrg.overuse mrrg in
+      if unrouted = 0 && ou = 0 then begin
+        let routes =
+          Array.to_list (Array.mapi (fun i p -> (i, p)) paths)
+          |> List.filter_map (fun (i, p) ->
+                 if Dfg.is_ordering g.Dfg.edges.(i) then None
+                 else
+                   Option.map
+                     (fun path -> { Mapping.re_edge = g.Dfg.edges.(i); re_path = path })
+                     p)
+        in
+        result :=
+          Some
+            { Mapping.arch; dfg = g; ii; times = Array.copy times; place = Array.copy place;
+              routes }
+      end
+      else begin
+        update_history mrrg history ~increment:params.history_increment;
+        if unrouted > 0 then repair_unrouted mrrg g ~times ~place ~paths ~rng;
+        let score = (unrouted * 100) + ou in
+        if score < !best_score then begin
+          best_score := score;
+          stall := 0;
+          since_best := 0
+        end
+        else begin
+          incr stall;
+          incr since_best
+        end;
+        (* Negotiation stalled on congestion: kick a node off the hottest
+           resource's tile and let it re-negotiate from elsewhere. *)
+        if !stall >= params.replace_after then begin
+          stall := 0;
+          match most_contested mrrg with
+          | None -> ()
+          | Some (_, res, _) ->
+            let hot_tile = (Plaid_arch.Arch.resource arch res).tile in
+            let victims =
+              Array.to_list (Array.mapi (fun v fu -> (v, fu)) place)
+              |> List.filter (fun (_, fu) -> (Plaid_arch.Arch.resource arch fu).tile = hot_tile)
+            in
+            match victims with
+            | [] -> ()
+            | _ ->
+              let v, old_fu = List.nth victims (Plaid_util.Rng.int rng (List.length victims)) in
+              let slot = slot_mod ii times.(v) in
+              Mrrg.unplace_node mrrg ~node:v ~fu:old_fu ~slot;
+              (match Greedy.compatible_fus mrrg g ~node:v ~slot with
+              | [] -> Mrrg.place_node mrrg ~node:v ~fu:old_fu ~slot
+              | cands ->
+                let fu = List.nth cands (Plaid_util.Rng.int rng (List.length cands)) in
+                Mrrg.place_node mrrg ~node:v ~fu ~slot;
+                place.(v) <- fu)
+        end
+      end
+    done;
+    match !result with
+    | None -> None
+    | Some m -> (
+      match Mapping.validate m with
+      | Ok () -> Some m
+      | Error msg -> invalid_arg ("Pathfinder: produced invalid mapping: " ^ msg))

@@ -1,0 +1,29 @@
+(** PathFinder mapper: negotiation-based routing (McMurchie & Ebeling,
+    adapted to CGRA modulo routing as in Morpher).
+
+    Placement is fixed up front; every edge is then routed permitting
+    overuse, whose price rises each iteration (present-congestion factor)
+    and accumulates on persistently contested resources (history cost).
+    Signals negotiate until the routing is overuse-free.  If negotiation
+    stalls, one node incident to the most contested resource is re-placed
+    and history is kept, extending negotiation to placement. *)
+
+type params = {
+  max_iters : int;          (** negotiation rounds per II attempt *)
+  history_increment : float;
+  present_factor_step : float;  (** present-sharing price ramp per round *)
+  replace_after : int;      (** stall rounds before a re-placement kick *)
+}
+
+val default : params
+
+val quick : params
+
+val map_at_ii :
+  Plaid_arch.Arch.t ->
+  Plaid_ir.Dfg.t ->
+  ii:int ->
+  times:int array ->
+  params:params ->
+  rng:Plaid_util.Rng.t ->
+  Mapping.t option

@@ -1,0 +1,131 @@
+type mode =
+  | Hard
+  | Soft of { present_factor : float; history : float array array }
+
+type path = (int * int) list
+
+let max_detour = 64
+
+let slot_of mrrg t_src elapsed = (t_src + elapsed) mod Mrrg.ii mrrg
+
+let usable mrrg ~mode ~res ~slot signal =
+  match mode with
+  | Hard -> Mrrg.can_use mrrg ~res ~slot signal
+  | Soft _ ->
+    (* Nodes pin FUs exclusively even under negotiation; wires are open. *)
+    (match Mrrg.node_at mrrg ~fu:res ~slot with
+    | Some _ -> false
+    | None -> true)
+
+let step_cost mrrg ~mode ~res ~slot =
+  let base = Plaid_arch.Arch.base_route_cost (Mrrg.arch mrrg) res in
+  match mode with
+  | Hard -> base
+  | Soft { present_factor; history } ->
+    let present = float_of_int (Mrrg.presence mrrg ~res ~slot) in
+    (base *. (1.0 +. (present_factor *. present))) +. history.(res).(slot)
+
+let find mrrg ~src_fu ~src_node ~t_src ~dst_fu ~length ~mode =
+  if length < 1 || length > max_detour then None
+  else begin
+    let arch = Mrrg.arch mrrg in
+    let n = Plaid_arch.Arch.n_resources arch in
+    let fu_ok = arch.Plaid_arch.Arch.allow_fu_routethrough in
+    (* state id = res * (length+1) + elapsed *)
+    let nstates = n * (length + 1) in
+    let dist = Array.make nstates infinity in
+    let prev = Array.make nstates (-1) in
+    let q = Plaid_util.Pqueue.create () in
+    let state res elapsed = (res * (length + 1)) + elapsed in
+    let start = state src_fu 0 in
+    dist.(start) <- 0.0;
+    Plaid_util.Pqueue.push q 0.0 start;
+    let target = state dst_fu length in
+    let ii = Mrrg.ii mrrg in
+    let exclusive = Mrrg.exclusive mrrg in
+    (* A path must not reuse a (resource, slot) cell at a different elapsed
+       time: the value would collide with itself one iteration apart (e.g. a
+       register held for >= II cycles).  Under a frozen (spatial)
+       configuration any second visit at a different delay conflicts — a
+       static mux cannot feed the same wire twice.  Since Dijkstra finalizes
+       prev chains at pop time, walking the popped state's chain is sound. *)
+    let chain_conflict s_popped res' e' =
+      let rec walk s =
+        if s = start then false
+        else begin
+          let r = s / (length + 1) and e = s mod (length + 1) in
+          (r = res' && e <> e' && (exclusive || (e - e') mod ii = 0)) || walk prev.(s)
+        end
+      in
+      walk s_popped
+    in
+    let finished = ref false in
+    while (not !finished) && not (Plaid_util.Pqueue.is_empty q) do
+      match Plaid_util.Pqueue.pop q with
+      | None -> finished := true
+      | Some (d, s) ->
+        if s = target then finished := true
+        else if d <= dist.(s) then begin
+          let res = s / (length + 1) and elapsed = s mod (length + 1) in
+          List.iter
+            (fun (dst, lat) ->
+              let e' = elapsed + lat in
+              if e' <= length then begin
+                let is_target = dst = dst_fu && e' = length in
+                let intermediate_fu =
+                  match (Plaid_arch.Arch.resource arch dst).kind with
+                  | Plaid_arch.Arch.Fu _ -> not is_target
+                  | _ -> false
+                in
+                if (not intermediate_fu) || fu_ok then begin
+                  let slot = slot_of mrrg t_src e' in
+                  let signal = { Mrrg.s_node = src_node; s_elapsed = e' } in
+                  let passable =
+                    if is_target then true (* consumer FU is not occupied by the route *)
+                    else
+                      usable mrrg ~mode ~res:dst ~slot signal
+                      && not (chain_conflict s dst e')
+                  in
+                  if passable then begin
+                    let c = if is_target then 0.0 else step_cost mrrg ~mode ~res:dst ~slot in
+                    let nd = d +. c in
+                    let s' = state dst e' in
+                    if nd < dist.(s') then begin
+                      dist.(s') <- nd;
+                      prev.(s') <- s;
+                      Plaid_util.Pqueue.push q nd s'
+                    end
+                  end
+                end
+              end)
+            arch.Plaid_arch.Arch.out_links.(res)
+        end
+    done;
+    if dist.(target) = infinity then None
+    else begin
+      (* Rebuild the path, dropping the source and target FU states. *)
+      let rec walk s acc =
+        if s = start then acc
+        else
+          let res = s / (length + 1) and elapsed = s mod (length + 1) in
+          walk prev.(s) ((res, elapsed) :: acc)
+      in
+      let full = walk target [] in
+      let path = List.filter (fun (res, elapsed) -> not (res = dst_fu && elapsed = length)) full in
+      Some (path, dist.(target))
+    end
+  end
+
+let occupy_path mrrg ~src_node ~t_src path =
+  List.iter
+    (fun (res, elapsed) ->
+      let slot = slot_of mrrg t_src elapsed in
+      Mrrg.occupy mrrg ~res ~slot { Mrrg.s_node = src_node; s_elapsed = elapsed })
+    path
+
+let release_path mrrg ~src_node ~t_src path =
+  List.iter
+    (fun (res, elapsed) ->
+      let slot = slot_of mrrg t_src elapsed in
+      Mrrg.release mrrg ~res ~slot { Mrrg.s_node = src_node; s_elapsed = elapsed })
+    path

@@ -1,0 +1,41 @@
+(** Exact-latency, congestion-aware routing over the MRRG.
+
+    A value produced by the node on FU [src_fu] at absolute cycle [t_src]
+    must arrive at FU [dst_fu] exactly when the consumer issues, i.e. after
+    [length = t_dst - t_src + dist*ii] cycles.  The search explores states
+    (resource, elapsed) where [elapsed] counts latency-1 links crossed since
+    production; a state's modulo slot is [(t_src + elapsed) mod ii].
+    Padding (waiting in registers) falls out naturally from register
+    self-links.
+
+    In [`Hard] mode a resource is usable only if free or already carrying
+    the same signal (same producer, same elapsed — multicast sharing).  In
+    [`Soft] mode, used by PathFinder, occupied resources are usable at a
+    price that grows with present congestion and accumulated history. *)
+
+type mode =
+  | Hard
+  | Soft of { present_factor : float; history : float array array }
+      (** [history.(res).(slot)] is PathFinder's accumulated cost. *)
+
+type path = (int * int) list
+(** (resource, elapsed) steps between the two FUs, both excluded. *)
+
+val find :
+  Mrrg.t ->
+  src_fu:int ->
+  src_node:int ->
+  t_src:int ->
+  dst_fu:int ->
+  length:int ->
+  mode:mode ->
+  (path * float) option
+(** Cheapest valid path and its cost, or [None].  [length] must be >= 1. *)
+
+val occupy_path : Mrrg.t -> src_node:int -> t_src:int -> path -> unit
+
+val release_path : Mrrg.t -> src_node:int -> t_src:int -> path -> unit
+
+val max_detour : int
+(** Router gives up on lengths beyond this (schedule too loose to be
+    sensible); drivers keep lengths small. *)

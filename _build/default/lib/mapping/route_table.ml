@@ -1,0 +1,112 @@
+open Plaid_ir
+
+let unrouted_penalty = 1000.0
+
+type t = {
+  mrrg : Mrrg.t;
+  g : Dfg.t;
+  times : int array;
+  place : int array;
+  paths : Route.path option array;
+  costs : float array;
+  incident_tbl : int list array;
+  mutable n_unrouted : int;
+  mutable wire_cost : float;
+}
+
+let create mrrg g ~times ~place =
+  let ne = Array.length g.Dfg.edges in
+  let incident_tbl = Array.make (Dfg.n_nodes g) [] in
+  Array.iteri
+    (fun i (e : Dfg.edge) ->
+      incident_tbl.(e.src) <- i :: incident_tbl.(e.src);
+      if e.dst <> e.src then incident_tbl.(e.dst) <- i :: incident_tbl.(e.dst))
+    g.Dfg.edges;
+  { mrrg; g; times; place; paths = Array.make ne None; costs = Array.make ne 0.0;
+    incident_tbl; n_unrouted = ne; wire_cost = 0.0 }
+
+let release_edge t i =
+  match t.paths.(i) with
+  | None -> ()
+  | Some path ->
+    let e = t.g.Dfg.edges.(i) in
+    Route.release_path t.mrrg ~src_node:e.src ~t_src:t.times.(e.src) path;
+    t.paths.(i) <- None;
+    t.wire_cost <- t.wire_cost -. t.costs.(i);
+    t.costs.(i) <- 0.0;
+    t.n_unrouted <- t.n_unrouted + 1
+
+let route_edge t i =
+  assert (t.paths.(i) = None);
+  let e = t.g.Dfg.edges.(i) in
+  let ii = Mrrg.ii t.mrrg in
+  let length = t.times.(e.dst) - t.times.(e.src) + (e.dist * ii) in
+  if Dfg.is_ordering e then begin
+    (* No data to route: the constraint is purely temporal (memory access
+       serialization through the SPM). *)
+    if length >= 1 then begin
+      t.paths.(i) <- Some [];
+      t.n_unrouted <- t.n_unrouted - 1;
+      true
+    end
+    else false
+  end
+  else
+  match
+    Route.find t.mrrg ~src_fu:t.place.(e.src) ~src_node:e.src ~t_src:t.times.(e.src)
+      ~dst_fu:t.place.(e.dst) ~length ~mode:Route.Hard
+  with
+  | None -> false
+  | Some (path, cost) ->
+    Route.occupy_path t.mrrg ~src_node:e.src ~t_src:t.times.(e.src) path;
+    t.paths.(i) <- Some path;
+    t.costs.(i) <- cost;
+    t.wire_cost <- t.wire_cost +. cost;
+    t.n_unrouted <- t.n_unrouted - 1;
+    true
+
+let route_all t =
+  Array.iteri (fun i p -> if p = None then ignore (route_edge t i)) t.paths
+
+let restore_edge t i path cost =
+  assert (t.paths.(i) = None);
+  let e = t.g.Dfg.edges.(i) in
+  Route.occupy_path t.mrrg ~src_node:e.src ~t_src:t.times.(e.src) path;
+  t.paths.(i) <- Some path;
+  t.costs.(i) <- cost;
+  t.wire_cost <- t.wire_cost +. cost;
+  t.n_unrouted <- t.n_unrouted - 1
+
+let snapshot_edges t idxs = List.map (fun i -> (i, t.paths.(i), t.costs.(i))) idxs
+
+let incident t v = t.incident_tbl.(v)
+
+let unrouted t = t.n_unrouted
+
+(* Unrouted edges are shaped, not flat: a non-causal edge (length < 1) pays
+   proportionally to its violation so annealing moves feel a gradient toward
+   a legal schedule, and an overly long edge is nudged shorter. *)
+let total_cost t =
+  let ii = Mrrg.ii t.mrrg in
+  let penalty = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      if p = None then begin
+        let e = t.g.Dfg.edges.(i) in
+        let len = t.times.(e.dst) - t.times.(e.src) + (e.dist * ii) in
+        let shape =
+          if len < 1 then 40.0 *. float_of_int (1 - len) else 2.0 *. float_of_int len
+        in
+        penalty := !penalty +. unrouted_penalty +. shape
+      end)
+    t.paths;
+  !penalty +. t.wire_cost
+
+let path t i = t.paths.(i)
+
+let routes t =
+  Array.to_list (Array.mapi (fun i p -> (i, p)) t.paths)
+  |> List.filter_map (fun (i, p) ->
+         if Dfg.is_ordering t.g.Dfg.edges.(i) then None
+         else
+           Option.map (fun path -> { Mapping.re_edge = t.g.Dfg.edges.(i); re_path = path }) p)

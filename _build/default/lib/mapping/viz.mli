@@ -1,0 +1,14 @@
+(** ASCII rendering of a mapping: per-slot fabric occupancy grids and a
+    route listing — the view a CGRA developer stares at while debugging a
+    mapper.  One cell per fabric tile, showing which DFG node issues on
+    which functional unit in each modulo slot. *)
+
+val fabric_view : Mapping.t -> string
+(** One grid per modulo slot; cells list "fu-kind:node-label" entries. *)
+
+val route_view : Mapping.t -> string
+(** One line per routed edge: producer, consumer, latency, and the resource
+    path. *)
+
+val pp : Format.formatter -> Mapping.t -> unit
+(** Both views. *)

@@ -1,0 +1,1 @@
+lib/model/area.ml: Arch Array Hashtbl List Option Plaid_arch Report Tech

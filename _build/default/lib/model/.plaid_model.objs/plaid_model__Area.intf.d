@@ -1,0 +1,1 @@
+lib/model/area.mli: Plaid_arch Report

@@ -1,0 +1,1 @@
+lib/model/energy.ml: Area Plaid_ir Plaid_mapping Power Tech

@@ -1,0 +1,1 @@
+lib/model/energy.mli: Plaid_mapping

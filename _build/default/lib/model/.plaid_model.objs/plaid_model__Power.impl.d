@@ -1,0 +1,1 @@
+lib/model/power.ml: Arch Area Array Hashtbl List Mapping Option Plaid_arch Plaid_ir Plaid_mapping Report Tech

@@ -1,0 +1,1 @@
+lib/model/power.mli: Plaid_arch Plaid_mapping Report

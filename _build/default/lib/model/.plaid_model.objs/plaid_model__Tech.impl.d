@@ -1,0 +1,1 @@
+lib/model/tech.ml: Plaid_ir

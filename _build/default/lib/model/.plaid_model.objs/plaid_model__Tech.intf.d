@@ -1,0 +1,1 @@
+lib/model/tech.mli: Plaid_ir

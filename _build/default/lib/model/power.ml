@@ -1,0 +1,65 @@
+open Plaid_arch
+open Plaid_mapping
+
+let add tbl k v = Hashtbl.replace tbl k (v +. try Hashtbl.find tbl k with Not_found -> 0.0)
+
+let category_of_class c =
+  if Area.is_compute_class c then "compute" else if Area.is_comm_class c then "comm" else "regs"
+
+(* Distinct wire occupancies per II window: every (resource, slot) a signal
+   holds activates that resource once per II cycles. *)
+let wire_events (m : Mapping.t) =
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Mapping.route_entry) ->
+      let t_src = m.times.(r.re_edge.src) in
+      List.iter
+        (fun (res, elapsed) ->
+          let slot = (((t_src + elapsed) mod m.ii) + m.ii) mod m.ii in
+          Hashtbl.replace seen (res, slot) ())
+        r.re_path)
+    m.routes;
+  Hashtbl.fold (fun (res, _) () acc -> res :: acc) seen []
+
+let fabric (m : Mapping.t) =
+  let arch = m.arch in
+  let tbl = Hashtbl.create 8 in
+  let ii = float_of_int m.ii in
+  (* leakage, by category, proportional to area *)
+  List.iter
+    (fun (cat, a) -> add tbl cat (a *. Tech.leakage_per_area))
+    (Area.fabric arch);
+  (* configuration readout *)
+  if not arch.Arch.config.clock_gated then begin
+    let entriesless bits = float_of_int bits *. Tech.config_read_power_per_bit in
+    add tbl "compute_config" (entriesless arch.Arch.config.compute_bits);
+    add tbl "comm_config" (entriesless arch.Arch.config.comm_bits)
+  end;
+  (* FU firings: every node issues once per II, weighted by the operation's
+     switching activity *)
+  Array.iteri
+    (fun v fu ->
+      let cls = (Arch.resource arch fu).area_class in
+      let f = Tech.op_activity_factor (Plaid_ir.Dfg.node m.dfg v).op in
+      add tbl "compute" (f *. Tech.dynamic_of_class cls /. ii))
+    m.place;
+  (* routed traffic *)
+  List.iter
+    (fun res ->
+      let cls = (Arch.resource arch res).area_class in
+      add tbl (category_of_class cls) (Tech.dynamic_of_class cls /. ii))
+    (wire_events m);
+  List.filter_map
+    (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt tbl k))
+    [ "compute"; "compute_config"; "comm"; "comm_config"; "regs" ]
+
+let fabric_total m = Report.total (fabric m)
+
+let spm (m : Mapping.t) ~kb =
+  let mem_nodes = Plaid_ir.Analysis.n_memory_class m.dfg in
+  let accesses_per_cycle = float_of_int mem_nodes /. float_of_int m.ii in
+  (accesses_per_cycle *. Tech.spm_access_power) +. (float_of_int kb *. Tech.spm_leakage_per_kb)
+
+let system m ~spm_kb = fabric_total m +. spm m ~kb:spm_kb
+
+let idle_fabric arch = Area.fabric_total arch *. Tech.leakage_per_area

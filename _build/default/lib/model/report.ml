@@ -1,0 +1,16 @@
+type t = (string * float) list
+
+let total t = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t
+
+let get t k = match List.assoc_opt k t with Some v -> v | None -> 0.0
+
+let share t k =
+  let s = total t in
+  if s = 0.0 then 0.0 else get t k /. s
+
+let pp ~unit fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "%-16s %10.1f %s (%4.1f%%)@," k v unit (100.0 *. share t k))
+    t;
+  Format.fprintf fmt "%-16s %10.1f %s@]" "total" (total t) unit

@@ -1,0 +1,15 @@
+(** Named breakdowns shared by the area and power models. *)
+
+type t = (string * float) list
+(** Category -> value; categories are "compute", "compute_config", "comm",
+    "comm_config", "regs", and for power additionally "spm". *)
+
+val total : t -> float
+
+val get : t -> string -> float
+(** 0.0 for missing categories. *)
+
+val share : t -> string -> float
+(** Category value / total. *)
+
+val pp : unit:string -> Format.formatter -> t -> unit

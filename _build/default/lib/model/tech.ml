@@ -1,0 +1,60 @@
+(* Calibration targets (see Tech.mli): the constants below were fitted so
+   that the 4x4 spatio-temporal baseline shows the paper's Figure 2a power
+   distribution (communication config ~29%, compute config ~19%, router
+   ~15%) and the 2x2 Plaid fabric lands near 33,366 um^2 with Figure 13's
+   ~40% communication / ~50% compute split. *)
+
+let area_of_class = function
+  | "alu" -> 750.0
+  | "alsu" -> 1150.0
+  | "alu_pruned" -> 480.0   (* 7-op, precision-pruned datapath (REVAMP) *)
+  | "alsu_pruned" -> 880.0
+  | "router_port" -> 150.0  (* directional port: wiring + buffer *)
+  | "out_reg" -> 210.0      (* 16-bit register (its mux is in crosspoints) *)
+  | "reg" -> 95.0
+  | "local_port" -> 45.0    (* Plaid local-router leg: short wires *)
+  | "global_port" -> 120.0
+  | "global_out_reg" -> 190.0
+  | c -> invalid_arg ("Tech.area_of_class: " ^ c)
+
+(* 16-bit crossbar crosspoint (pass gates + wiring share); charged per mux
+   input of every steerable sink, so trimming datapaths shrinks silicon. *)
+let crosspoint_area = 6.0
+
+let dynamic_of_class = function
+  | "alu" -> 3.5
+  | "alsu" -> 4.5
+  | "alu_pruned" -> 2.2
+  | "alsu_pruned" -> 3.1
+  | "router_port" -> 0.90
+  | "out_reg" -> 1.10
+  | "reg" -> 0.50
+  | "local_port" -> 0.30
+  | "global_port" -> 0.55
+  | "global_out_reg" -> 0.80
+  | c -> invalid_arg ("Tech.dynamic_of_class: " ^ c)
+
+let op_activity_factor op =
+  match op with
+  | Plaid_ir.Op.Mul -> 1.6
+  | Plaid_ir.Op.Add | Plaid_ir.Op.Sub | Plaid_ir.Op.Min | Plaid_ir.Op.Max -> 1.0
+  | Plaid_ir.Op.Shl | Plaid_ir.Op.Shr | Plaid_ir.Op.Asr -> 0.8
+  | Plaid_ir.Op.And | Plaid_ir.Op.Or | Plaid_ir.Op.Xor | Plaid_ir.Op.Not
+  | Plaid_ir.Op.Eq | Plaid_ir.Op.Lt | Plaid_ir.Op.Select -> 0.7
+  | Plaid_ir.Op.Load | Plaid_ir.Op.Store | Plaid_ir.Op.Input -> 1.2
+
+let config_area_per_bit = 1.0
+
+let config_read_power_per_bit = 0.08
+
+let leakage_per_area = 0.0012
+
+let spm_area_per_kb = 1875.0
+
+let spm_access_power = 2.4
+
+let spm_leakage_per_kb = 1.6
+
+let cycle_ns = 10.0
+
+let energy_pj ~power_uw ~cycles = power_uw *. float_of_int cycles *. cycle_ns *. 1e-3

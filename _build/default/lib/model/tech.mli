@@ -1,0 +1,49 @@
+(** Technology constants: 22nm FDSOI at 100 MHz.
+
+    The paper reports post-synthesis numbers from Cadence Genus; this model
+    replaces synthesis with per-component constants.  Magnitudes follow
+    published CGRA silicon (HyCUBE 22nm/28nm class, SNAFU, Amber) and are
+    calibrated so the *baseline* spatio-temporal fabric reproduces the
+    paper's measured distributions (Figure 2a power split, Figure 13 area
+    split, the 33,366 um^2 Plaid fabric).  Every Plaid-vs-baseline ratio in
+    EXPERIMENTS.md is then a model *output*, never pinned directly.
+
+    Units: area um^2, power uW, energy pJ; one cycle = 10 ns. *)
+
+val area_of_class : string -> float
+(** Area of one resource instance by [area_class] ("alu", "alsu",
+    "router_port", "out_reg", "reg", "local_port", "global_port",
+    "global_out_reg", and the "_pruned" ALU/ALSU variants).
+    @raise Invalid_argument on unknown classes. *)
+
+val dynamic_of_class : string -> float
+(** Power (uW) of one instance when active every cycle at 100 MHz. *)
+
+val op_activity_factor : Plaid_ir.Op.t -> float
+(** Relative switching activity of one operation on the FU datapath: the
+    16-bit multiplier array dominates (1.6), simple logic is cheap (0.7),
+    memory operations carry the address-generation cost (1.2). *)
+
+val crosspoint_area : float
+(** Per mux input of every steerable sink: the crossbar silicon itself. *)
+
+val config_area_per_bit : float
+(** Configuration storage, per bit (one SRAM-class cell + decode share). *)
+
+val config_read_power_per_bit : float
+(** uW per configuration bit re-read every cycle (spatio-temporal mode). *)
+
+val leakage_per_area : float
+(** uW of leakage per um^2, applied to everything including config. *)
+
+val spm_area_per_kb : float
+
+val spm_access_power : float
+(** uW for one 16-bit access per cycle. *)
+
+val spm_leakage_per_kb : float
+
+val cycle_ns : float
+
+val energy_pj : power_uw:float -> cycles:int -> float
+(** E = P * t, converted to picojoules. *)

@@ -1,0 +1,1 @@
+lib/plaid/fabrics.ml: Filename Format Pcu Plaid_arch

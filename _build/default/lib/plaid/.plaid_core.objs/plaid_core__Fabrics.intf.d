@@ -1,0 +1,1 @@
+lib/plaid/fabrics.mli: Pcu Plaid_arch

@@ -1,0 +1,1 @@
+lib/plaid/hier_mapper.ml: Analysis Array Dfg Lazy List Mapping Motif Motif_gen Mrrg Op Pcu Plaid_arch Plaid_ir Plaid_mapping Plaid_util Printf Route_table Schedule Sys Templates

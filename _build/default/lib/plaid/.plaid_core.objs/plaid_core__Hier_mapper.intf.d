@@ -1,0 +1,1 @@
+lib/plaid/hier_mapper.mli: Motif Motif_gen Pcu Plaid_ir Plaid_mapping Templates

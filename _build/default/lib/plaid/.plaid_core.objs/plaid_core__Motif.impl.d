@@ -1,0 +1,1 @@
+lib/plaid/motif.ml: Dfg List Op Plaid_ir

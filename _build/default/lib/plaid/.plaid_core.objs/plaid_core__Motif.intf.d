@@ -1,0 +1,1 @@
+lib/plaid/motif.mli: Plaid_ir

@@ -1,0 +1,1 @@
+lib/plaid/motif_gen.ml: Array Dfg List Motif Op Plaid_ir Plaid_util Printf

@@ -1,0 +1,1 @@
+lib/plaid/motif_gen.mli: Motif Plaid_ir Plaid_util

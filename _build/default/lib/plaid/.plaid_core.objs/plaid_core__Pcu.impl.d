@@ -1,0 +1,1 @@
+lib/plaid/pcu.ml: Arch Array Config_bits List Motif Option Plaid_arch Printf

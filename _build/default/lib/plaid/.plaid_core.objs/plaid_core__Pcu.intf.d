@@ -1,0 +1,1 @@
+lib/plaid/pcu.mli: Motif Plaid_arch

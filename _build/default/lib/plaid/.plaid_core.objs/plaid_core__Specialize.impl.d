@@ -1,0 +1,1 @@
+lib/plaid/specialize.ml: Array Motif Pcu Plaid_arch Plaid_ir

@@ -1,0 +1,1 @@
+lib/plaid/specialize.mli: Pcu Plaid_arch Plaid_ir

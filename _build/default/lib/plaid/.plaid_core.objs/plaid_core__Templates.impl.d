@@ -1,0 +1,1 @@
+lib/plaid/templates.ml: Array Hashtbl List Motif

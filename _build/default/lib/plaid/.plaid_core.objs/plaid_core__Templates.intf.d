@@ -1,0 +1,1 @@
+lib/plaid/templates.mli: Motif

@@ -1,0 +1,15 @@
+type built = { arch : Plaid_arch.Arch.t; pcu : Pcu.t option }
+
+let of_spec spec ~name =
+  match spec with
+  | Plaid_arch.Adl.Mesh_spec p -> { arch = Plaid_arch.Mesh.build p ~name; pcu = None }
+  | Plaid_arch.Adl.Plaid_spec { rows; cols; bypass } ->
+    let pcu = Pcu.build ~bypass ~rows ~cols ~name () in
+    { arch = pcu.Pcu.arch; pcu = Some pcu }
+
+let of_file path =
+  match Plaid_arch.Adl.of_file path with
+  | Error e -> Error (Format.asprintf "%s: %a" path Plaid_arch.Adl.pp_error e)
+  | Ok spec ->
+    let name = Filename.remove_extension (Filename.basename path) in
+    Ok (of_spec spec ~name)

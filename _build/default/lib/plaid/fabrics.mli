@@ -1,0 +1,12 @@
+(** Construct fabrics from ADL specs (the layer that can see both the mesh
+    builders and the PCU builder). *)
+
+type built = {
+  arch : Plaid_arch.Arch.t;
+  pcu : Pcu.t option;  (** present for Plaid-family fabrics *)
+}
+
+val of_spec : Plaid_arch.Adl.spec -> name:string -> built
+
+val of_file : string -> (built, string) result
+(** Parse + build; the architecture name is the file basename. *)

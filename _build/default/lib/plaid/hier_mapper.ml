@@ -1,0 +1,479 @@
+open Plaid_ir
+open Plaid_mapping
+
+type params = {
+  iterations : int;
+  t_start : float;
+  t_decay : float;
+  restarts : int;
+  templates : Motif.kind -> Templates.t list;
+}
+
+let default =
+  { iterations = 20000; t_start = 10.0; t_decay = 0.9997; restarts = 6;
+    templates = Templates.for_kind }
+
+let quick = { default with iterations = 800; t_decay = 0.995; restarts = 2 }
+
+type outcome = { mapping : Mapping.t option; hier : Motif_gen.hier; mii : int }
+
+type mplace = { mutable m_pcu : int; mutable m_tmpl : Templates.t; mutable m_anchor : int }
+
+type state = {
+  plaid : Pcu.t;
+  g : Dfg.t;
+  ii : int;
+  prm : params;
+  hier : Motif_gen.hier;
+  mrrg : Mrrg.t;
+  times : int array;
+  place : int array;
+  table : Route_table.t;
+  mplaces : mplace array;
+}
+
+let arch st = st.plaid.Pcu.arch
+
+let slot_mod ii t = ((t mod ii) + ii) mod ii
+
+(* --- motif placement ------------------------------------------------- *)
+
+let motif_slots st mi ~pcu ~tmpl ~anchor =
+  let m = st.hier.Motif_gen.motifs.(mi) in
+  let nodes = Array.of_list (Motif.nodes m) in
+  Array.to_list
+    (Array.mapi
+       (fun k v ->
+         let alu = st.plaid.Pcu.pcus.(pcu).Pcu.alus.(tmpl.Templates.alu_of.(k)) in
+         let t = anchor + tmpl.Templates.offset.(k) in
+         (v, alu, t))
+       nodes)
+
+let can_place_motif st mi ~pcu ~tmpl ~anchor =
+  anchor >= 0
+  && List.for_all
+       (fun (_, alu, t) -> Mrrg.fu_free st.mrrg ~fu:alu ~slot:(slot_mod st.ii t))
+       (motif_slots st mi ~pcu ~tmpl ~anchor)
+
+let place_motif st mi ~pcu ~tmpl ~anchor =
+  List.iter
+    (fun (v, alu, t) ->
+      Mrrg.place_node st.mrrg ~node:v ~fu:alu ~slot:(slot_mod st.ii t);
+      st.place.(v) <- alu;
+      st.times.(v) <- t)
+    (motif_slots st mi ~pcu ~tmpl ~anchor);
+  let mp = st.mplaces.(mi) in
+  mp.m_pcu <- pcu;
+  mp.m_tmpl <- tmpl;
+  mp.m_anchor <- anchor
+
+let unplace_motif st mi =
+  let m = st.hier.Motif_gen.motifs.(mi) in
+  List.iter
+    (fun v ->
+      Mrrg.unplace_node st.mrrg ~node:v ~fu:st.place.(v) ~slot:(slot_mod st.ii st.times.(v)))
+    (Motif.nodes m)
+
+let motif_edges st mi =
+  let m = st.hier.Motif_gen.motifs.(mi) in
+  List.concat_map (fun v -> Route_table.incident st.table v) (Motif.nodes m)
+  |> List.sort_uniq compare
+
+(* --- initial placement ------------------------------------------------ *)
+
+let pcu_load st pcu =
+  let p = st.plaid.Pcu.pcus.(pcu) in
+  let used = ref 0 in
+  Array.iter
+    (fun alu ->
+      for s = 0 to st.ii - 1 do
+        if not (Mrrg.fu_free st.mrrg ~fu:alu ~slot:s) then incr used
+      done)
+    p.Pcu.alus;
+  !used
+
+let try_place_motif_somewhere st mi ~base ~rng =
+  let m = st.hier.Motif_gen.motifs.(mi) in
+  let kind = m.Motif.kind in
+  let nodes = Array.of_list (Motif.nodes m) in
+  let pcus =
+    List.init (Array.length st.plaid.Pcu.pcus) (fun i -> i)
+    |> List.map (fun i -> (pcu_load st i, Plaid_util.Rng.int rng 1000, i))
+    |> List.sort compare
+    |> List.map (fun (_, _, i) -> i)
+  in
+  let templates = st.prm.templates kind in
+  let rec over_pcus = function
+    | [] -> false
+    | pcu :: rest ->
+      let rec over_tmpls = function
+        | [] -> over_pcus rest
+        | (tmpl : Templates.t) :: more ->
+          let anchor0 =
+            Array.to_list (Array.mapi (fun k v -> base.(v) - tmpl.Templates.offset.(k)) nodes)
+            |> List.fold_left max 0
+          in
+          let rec over_anchor d =
+            if d >= st.ii then over_tmpls more
+            else if can_place_motif st mi ~pcu ~tmpl ~anchor:(anchor0 + d) then begin
+              place_motif st mi ~pcu ~tmpl ~anchor:(anchor0 + d);
+              true
+            end
+            else over_anchor (d + 1)
+          in
+          over_anchor 0
+      in
+      over_tmpls templates
+  in
+  over_pcus pcus
+
+let try_place_standalone st v ~base ~rng =
+  let op = (Dfg.node st.g v).op in
+  let memory_node = Op.is_memory op || op = Op.Input in
+  let a = arch st in
+  let rec try_time d =
+    if d >= st.ii then false
+    else begin
+      let t = base.(v) + d in
+      let slot = slot_mod st.ii t in
+      let all =
+        Array.to_list a.Plaid_arch.Arch.fus
+        |> List.filter (fun fu ->
+               Plaid_arch.Arch.fu_supports a fu op && Mrrg.fu_free st.mrrg ~fu ~slot)
+      in
+      (* compute nodes keep off the scarce memory-capable FUs when possible *)
+      let preferred =
+        if memory_node then all
+        else
+          match
+            List.filter
+              (fun fu ->
+                match (Plaid_arch.Arch.resource a fu).kind with
+                | Plaid_arch.Arch.Fu c -> not c.Plaid_arch.Arch.fu_memory
+                | _ -> false)
+              all
+          with
+          | [] -> all
+          | l -> l
+      in
+      match preferred with
+      | [] -> try_time (d + 1)
+      | l ->
+        let fu = List.nth l (Plaid_util.Rng.int rng (List.length l)) in
+        Mrrg.place_node st.mrrg ~node:v ~fu ~slot;
+        st.place.(v) <- fu;
+        st.times.(v) <- t;
+        true
+    end
+  in
+  try_time 0
+
+let init_state ?(params = default) plaid g hier ~ii ~base ~rng =
+  let mrrg = Mrrg.create plaid.Pcu.arch ~ii in
+  let n = Dfg.n_nodes g in
+  let times = Array.make n 0 and place = Array.make n (-1) in
+  let dummy_tmpl =
+    match Templates.for_kind Motif.Unicast with t :: _ -> t | [] -> assert false
+  in
+  let mplaces =
+    Array.map (fun _ -> { m_pcu = 0; m_tmpl = dummy_tmpl; m_anchor = 0 })
+      hier.Motif_gen.motifs
+  in
+  (* The route table only tracks edges; creating it before placement is
+     fine, as long as routing starts after every node is placed. *)
+  let table = Route_table.create mrrg g ~times ~place in
+  let st = { plaid; g; ii; prm = params; hier; mrrg; times; place; table; mplaces } in
+  (* Sort motifs by earliest member base time: data-dependency order. *)
+  let order =
+    Array.to_list (Array.mapi (fun i m -> (i, m)) hier.Motif_gen.motifs)
+    |> List.map (fun (i, m) ->
+           (List.fold_left min max_int (List.map (fun v -> base.(v)) (Motif.nodes m)), i))
+    |> List.sort compare
+    |> List.map snd
+  in
+  let ok = List.for_all (fun mi -> try_place_motif_somewhere st mi ~base ~rng) order in
+  let standalone = Motif_gen.standalone_nodes g hier in
+  let ok =
+    ok
+    && List.for_all
+         (fun v ->
+           (* keep DFG topological order among standalones via base times *)
+           try_place_standalone st v ~base ~rng)
+         (List.sort (fun a b -> compare base.(a) base.(b)) standalone)
+  in
+  if not ok then None
+  else begin
+    Route_table.route_all st.table;
+    Some st
+  end
+
+(* --- annealing moves --------------------------------------------------- *)
+
+let metropolis ~rng ~temp ~old_cost ~new_cost =
+  new_cost <= old_cost
+  || Plaid_util.Rng.float rng 1.0 < exp ((old_cost -. new_cost) /. max 1e-6 temp)
+
+let standalone_move st v ~rng ~temp =
+  let a = arch st in
+  let old_fu = st.place.(v) and old_t = st.times.(v) in
+  let old_slot = slot_mod st.ii old_t in
+  let retime = Plaid_util.Rng.int rng 2 = 0 in
+  let new_fu, new_t =
+    if retime then begin
+      let lo, hi = Schedule.slack st.g ~times:st.times ~ii:st.ii ~node:v in
+      let lo = max 0 (max lo (old_t - 2)) and hi = min hi (old_t + 2) in
+      if hi <= lo then (old_fu, old_t)
+      else (old_fu, lo + Plaid_util.Rng.int rng (hi - lo + 1))
+    end
+    else begin
+      Mrrg.unplace_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+      let op = (Dfg.node st.g v).op in
+      let cands =
+        Array.to_list a.Plaid_arch.Arch.fus
+        |> List.filter (fun fu ->
+               Plaid_arch.Arch.fu_supports a fu op && Mrrg.fu_free st.mrrg ~fu ~slot:old_slot)
+      in
+      Mrrg.place_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+      match cands with
+      | [] -> (old_fu, old_t)
+      | l -> (List.nth l (Plaid_util.Rng.int rng (List.length l)), old_t)
+    end
+  in
+  let new_slot = slot_mod st.ii new_t in
+  let feasible =
+    (new_fu <> old_fu || new_t <> old_t)
+    && ((new_fu = old_fu && new_slot = old_slot) || Mrrg.fu_free st.mrrg ~fu:new_fu ~slot:new_slot)
+  in
+  if feasible then begin
+    let old_cost = Route_table.total_cost st.table in
+    let incident = Route_table.incident st.table v in
+    let saved = Route_table.snapshot_edges st.table incident in
+    List.iter (Route_table.release_edge st.table) incident;
+    Mrrg.unplace_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+    Mrrg.place_node st.mrrg ~node:v ~fu:new_fu ~slot:new_slot;
+    st.place.(v) <- new_fu;
+    st.times.(v) <- new_t;
+    List.iter (fun i -> ignore (Route_table.route_edge st.table i)) incident;
+    if
+      not
+        (metropolis ~rng ~temp ~old_cost ~new_cost:(Route_table.total_cost st.table))
+    then begin
+      List.iter (Route_table.release_edge st.table) incident;
+      Mrrg.unplace_node st.mrrg ~node:v ~fu:new_fu ~slot:new_slot;
+      Mrrg.place_node st.mrrg ~node:v ~fu:old_fu ~slot:old_slot;
+      st.place.(v) <- old_fu;
+      st.times.(v) <- old_t;
+      List.iter
+        (fun (i, p, c) ->
+          match p with Some path -> Route_table.restore_edge st.table i path c | None -> ())
+        saved
+    end
+  end
+
+(* Swap the FUs of two standalone nodes — same escape hatch as the baseline
+   annealer's swap move; motif members move via their motif instead. *)
+let standalone_swap st v w ~rng ~temp =
+  let a = arch st in
+  if
+    v <> w
+    && st.hier.Motif_gen.owner.(v) = -1
+    && st.hier.Motif_gen.owner.(w) = -1
+    && st.place.(v) <> st.place.(w)
+  then begin
+    let fu_v = st.place.(v) and fu_w = st.place.(w) in
+    let sl_v = slot_mod st.ii st.times.(v) and sl_w = slot_mod st.ii st.times.(w) in
+    let ok_ops =
+      Plaid_arch.Arch.fu_supports a fu_w (Dfg.node st.g v).op
+      && Plaid_arch.Arch.fu_supports a fu_v (Dfg.node st.g w).op
+    in
+    if ok_ops then begin
+      Mrrg.unplace_node st.mrrg ~node:v ~fu:fu_v ~slot:sl_v;
+      Mrrg.unplace_node st.mrrg ~node:w ~fu:fu_w ~slot:sl_w;
+      if Mrrg.fu_free st.mrrg ~fu:fu_w ~slot:sl_v && Mrrg.fu_free st.mrrg ~fu:fu_v ~slot:sl_w
+      then begin
+        let old_cost = Route_table.total_cost st.table in
+        let incident =
+          List.sort_uniq compare
+            (Route_table.incident st.table v @ Route_table.incident st.table w)
+        in
+        let saved = Route_table.snapshot_edges st.table incident in
+        List.iter (Route_table.release_edge st.table) incident;
+        Mrrg.place_node st.mrrg ~node:v ~fu:fu_w ~slot:sl_v;
+        Mrrg.place_node st.mrrg ~node:w ~fu:fu_v ~slot:sl_w;
+        st.place.(v) <- fu_w;
+        st.place.(w) <- fu_v;
+        List.iter (fun i -> ignore (Route_table.route_edge st.table i)) incident;
+        if
+          not
+            (metropolis ~rng ~temp ~old_cost
+               ~new_cost:(Route_table.total_cost st.table))
+        then begin
+          List.iter (Route_table.release_edge st.table) incident;
+          Mrrg.unplace_node st.mrrg ~node:v ~fu:fu_w ~slot:sl_v;
+          Mrrg.unplace_node st.mrrg ~node:w ~fu:fu_v ~slot:sl_w;
+          Mrrg.place_node st.mrrg ~node:v ~fu:fu_v ~slot:sl_v;
+          Mrrg.place_node st.mrrg ~node:w ~fu:fu_w ~slot:sl_w;
+          st.place.(v) <- fu_v;
+          st.place.(w) <- fu_w;
+          List.iter
+            (fun (i, p, c) ->
+              match p with
+              | Some path -> Route_table.restore_edge st.table i path c
+              | None -> ())
+            saved
+        end
+      end
+      else begin
+        Mrrg.place_node st.mrrg ~node:v ~fu:fu_v ~slot:sl_v;
+        Mrrg.place_node st.mrrg ~node:w ~fu:fu_w ~slot:sl_w
+      end
+    end
+  end
+
+let motif_move st mi ~rng ~temp =
+  let mp = st.mplaces.(mi) in
+  let old = (mp.m_pcu, mp.m_tmpl, mp.m_anchor) in
+  let kind = st.hier.Motif_gen.motifs.(mi).Motif.kind in
+  let templates = Array.of_list (st.prm.templates kind) in
+  let old_cost = Route_table.total_cost st.table in
+  let edges = motif_edges st mi in
+  let saved = Route_table.snapshot_edges st.table edges in
+  List.iter (Route_table.release_edge st.table) edges;
+  unplace_motif st mi;
+  (* draw placement candidates; fall back to the old spot if none fits *)
+  let rec draw k =
+    if k = 0 then None
+    else begin
+      let pcu = Plaid_util.Rng.int rng (Array.length st.plaid.Pcu.pcus) in
+      let tmpl = templates.(Plaid_util.Rng.int rng (Array.length templates)) in
+      let anchor = max 0 (mp.m_anchor - 2 + Plaid_util.Rng.int rng 5) in
+      if can_place_motif st mi ~pcu ~tmpl ~anchor then Some (pcu, tmpl, anchor) else draw (k - 1)
+    end
+  in
+  let choice = draw 8 in
+  let pcu, tmpl, anchor = match choice with Some c -> c | None -> old in
+  place_motif st mi ~pcu ~tmpl ~anchor;
+  List.iter (fun i -> ignore (Route_table.route_edge st.table i)) edges;
+  let accept =
+    choice <> None
+    && metropolis ~rng ~temp ~old_cost ~new_cost:(Route_table.total_cost st.table)
+  in
+  if not accept then begin
+    List.iter (Route_table.release_edge st.table) edges;
+    unplace_motif st mi;
+    let opcu, otmpl, oanchor = old in
+    place_motif st mi ~pcu:opcu ~tmpl:otmpl ~anchor:oanchor;
+    List.iter
+      (fun (i, p, c) ->
+        match p with Some path -> Route_table.restore_edge st.table i path c | None -> ())
+      saved
+  end
+
+let to_mapping st =
+  { Mapping.arch = arch st; dfg = st.g; ii = st.ii; times = Array.copy st.times;
+    place = Array.copy st.place; routes = Route_table.routes st.table }
+
+let debug_enabled = lazy (Sys.getenv_opt "PLAID_DEBUG" <> None)
+
+let dbg fmt =
+  if Lazy.force debug_enabled then Printf.eprintf fmt
+  else Printf.ifprintf stderr fmt
+
+let run_once ?(params = default) plaid g hier ~ii ~base ~rng =
+  match init_state ~params plaid g hier ~ii ~base ~rng with
+  | None ->
+    dbg "[hier] %s ii=%d: initial placement failed\n%!" g.Dfg.name ii;
+    None
+  | Some st ->
+    let temp = ref params.t_start in
+    let iter = ref 0 in
+    let n = Dfg.n_nodes g in
+    (* plateau abort mirrors the baseline annealer: fail hopeless IIs fast *)
+    let plateau = max 300 (params.iterations / 3) in
+    let best = ref infinity and since_best = ref 0 in
+    while
+      Route_table.unrouted st.table > 0
+      && !iter < params.iterations
+      && !since_best < plateau
+    do
+      incr iter;
+      let v = Plaid_util.Rng.int rng n in
+      (match st.hier.Motif_gen.owner.(v) with
+      | -1 ->
+        if Plaid_util.Rng.int rng 4 = 0 then
+          standalone_swap st v (Plaid_util.Rng.int rng n) ~rng ~temp:!temp
+        else standalone_move st v ~rng ~temp:!temp
+      | mi -> motif_move st mi ~rng ~temp:!temp);
+      temp := !temp *. params.t_decay;
+      let c = Route_table.total_cost st.table in
+      if c < !best then begin
+        best := c;
+        since_best := 0
+      end
+      else incr since_best
+    done;
+    if Route_table.unrouted st.table = 0 then Some (to_mapping st)
+    else begin
+      dbg "[hier] %s ii=%d: %d edges unrouted after %d moves\n%!" g.Dfg.name ii
+        (Route_table.unrouted st.table) !iter;
+      if Lazy.force debug_enabled then
+        Array.iteri
+          (fun i (e : Dfg.edge) ->
+            if Route_table.path st.table i = None then begin
+              let len = st.times.(e.dst) - st.times.(e.src) + (e.dist * ii) in
+              let a = arch st in
+              dbg "    edge %d->%d op%d d%d len=%d %s->%s t=%d->%d %s\n" e.src e.dst e.operand
+                e.dist len
+                (Plaid_arch.Arch.resource a st.place.(e.src)).rname
+                (Plaid_arch.Arch.resource a st.place.(e.dst)).rname st.times.(e.src)
+                st.times.(e.dst)
+                (if Dfg.is_ordering e then "(ordering)" else "")
+            end)
+          g.Dfg.edges;
+      None
+    end
+
+let map_hier ?(params = default) ~plaid ~hier ~seed dfg =
+  let g = dfg in
+  let cap = Plaid_arch.Arch.capacity plaid.Pcu.arch in
+  let mii = Analysis.mii g cap in
+  let max_ii = plaid.Pcu.arch.Plaid_arch.Arch.config.entries in
+  let rng = Plaid_util.Rng.create seed in
+  let rec attempt ii =
+    if ii > max_ii then { mapping = None; hier; mii }
+    else begin
+      (* inter-PCU hops cost two cycles (result register + conveyor-belt
+         register), so prefer a schedule with a two-cycle budget per edge;
+         larger fabrics may need a third cycle of slack, and recurrence-
+         bound kernels fall back to the tight schedule *)
+      let schedules =
+        List.filter_map
+          (fun lat -> Schedule.compute ~lat g ~ii ~cap)
+          [ 2; 3; 1 ]
+      in
+      let rec restart base r =
+        if r >= params.restarts then None
+        else
+          match run_once ~params plaid g hier ~ii ~base ~rng:(Plaid_util.Rng.split rng) with
+          | Some m -> (
+            match Mapping.validate m with
+            | Ok () -> Some m
+            | Error msg -> invalid_arg ("Hier_mapper: invalid mapping: " ^ msg))
+          | None -> restart base (r + 1)
+      in
+      let result =
+        List.fold_left
+          (fun acc base -> match acc with Some _ -> acc | None -> restart base 0)
+          None schedules
+      in
+      match result with
+      | Some m -> { mapping = Some m; hier; mii }
+      | None -> attempt (ii + 1)
+    end
+  in
+  attempt mii
+
+let map ?(params = default) ~plaid ~seed dfg =
+  let rng = Plaid_util.Rng.create ((seed * 31) + 17) in
+  let hier = Motif_gen.generate ~rng dfg in
+  map_hier ~params ~plaid ~hier ~seed dfg

@@ -1,0 +1,47 @@
+(** Hierarchical mapping — Algorithm 2 of the paper.
+
+    The Plaid mapper augments simulated annealing with motif-granularity
+    scheduling: a motif occupies the three ALUs of one PCU according to a
+    schedule template (placement variable = PCU x template x anchor cycle);
+    standalone and memory nodes place individually like the baseline SA.
+    Internal motif dependencies then route through the PCU's local router or
+    bypass wires, and inter-motif traffic rides the global conveyor belt —
+    both fall out of the unified exact-latency router over the Plaid
+    resource graph.
+
+    Data-dependency-sorted motifs seed the initial placement on the
+    least-loaded PCUs (lines 1-4); the annealing loop un-places one entity
+    at a time, draws a placement candidate and a schedule, routes, and
+    keeps the best-cost outcome with occasional uphill acceptance
+    (lines 5-11); the driver increments II on failure (line 12). *)
+
+type params = {
+  iterations : int;
+  t_start : float;
+  t_decay : float;
+  restarts : int;
+  templates : Motif.kind -> Templates.t list;
+      (** swap in {!Templates.strict} for the ablation *)
+}
+
+val default : params
+
+val quick : params
+
+type outcome = {
+  mapping : Plaid_mapping.Mapping.t option;
+  hier : Motif_gen.hier;
+  mii : int;
+}
+
+val map :
+  ?params:params -> plaid:Pcu.t -> seed:int -> Plaid_ir.Dfg.t -> outcome
+
+val map_hier :
+  ?params:params ->
+  plaid:Pcu.t ->
+  hier:Motif_gen.hier ->
+  seed:int ->
+  Plaid_ir.Dfg.t ->
+  outcome
+(** Like {!map} but with a caller-supplied motif cover (ablations). *)

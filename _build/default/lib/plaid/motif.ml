@@ -1,0 +1,55 @@
+open Plaid_ir
+
+type kind = Fan_out | Fan_in | Unicast
+
+type t = { kind : kind; n1 : int; n2 : int; n3 : int }
+
+let kind_to_string = function
+  | Fan_out -> "fan-out"
+  | Fan_in -> "fan-in"
+  | Unicast -> "unicast"
+
+let nodes m = [ m.n1; m.n2; m.n3 ]
+
+let required_edges m =
+  match m.kind with
+  | Fan_out -> [ (m.n1, m.n2); (m.n1, m.n3) ]
+  | Fan_in -> [ (m.n1, m.n2); (m.n3, m.n2) ]
+  | Unicast -> [ (m.n1, m.n2); (m.n2, m.n3) ]
+
+let has_edge0 g src dst =
+  List.exists (fun (e : Dfg.edge) -> e.dst = dst && e.dist = 0) (Dfg.succs g src)
+
+let all_compute g m =
+  List.for_all (fun v -> Op.is_compute (Dfg.node g v).op) (nodes m)
+
+let distinct m = m.n1 <> m.n2 && m.n2 <> m.n3 && m.n1 <> m.n3
+
+let matches g m =
+  distinct m && all_compute g m
+  && List.for_all (fun (s, d) -> has_edge0 g s d) (required_edges m)
+
+let internal_edges g m =
+  let inside v = v = m.n1 || v = m.n2 || v = m.n3 in
+  List.concat_map
+    (fun v -> List.filter (fun (e : Dfg.edge) -> inside e.dst) (Dfg.succs g v))
+    (nodes m)
+
+let of_nodes g a b c =
+  (* enumerate role assignments over the unordered triple for each kind *)
+  let triples =
+    [ (a, b, c); (a, c, b); (b, a, c); (b, c, a); (c, a, b); (c, b, a) ]
+  in
+  let try_kind kind =
+    List.find_map
+      (fun (n1, n2, n3) ->
+        let m = { kind; n1; n2; n3 } in
+        if matches g m then Some m else None)
+      triples
+  in
+  match try_kind Fan_out with
+  | Some m -> Some m
+  | None -> (
+    match try_kind Fan_in with
+    | Some m -> Some m
+    | None -> try_kind Unicast)

@@ -1,0 +1,44 @@
+(** Three-node structural motifs (Section 3.2).
+
+    A motif is an ordered triple of *compute* DFG nodes whose same-iteration
+    internal edges match one of the three fundamental patterns:
+
+    - fan-out: [n1 -> n2] and [n1 -> n3]
+    - fan-in:  [n1 -> n2] and [n3 -> n2]
+    - unicast: [n1 -> n2] and [n2 -> n3]
+
+    These are the exhaustive basic building blocks for 3-vertex DAGs (the
+    acyclic triangle adds one edge to any of them, and is accepted by
+    matching: extra internal edges only mean more traffic for the local
+    router).  Memory nodes never join motifs — the motif compute unit has no
+    scratchpad datapath. *)
+
+type kind = Fan_out | Fan_in | Unicast
+
+type t = {
+  kind : kind;
+  n1 : int;
+  n2 : int;
+  n3 : int;
+}
+
+val kind_to_string : kind -> string
+
+val nodes : t -> int list
+(** [n1; n2; n3]. *)
+
+val required_edges : t -> (int * int) list
+(** The two pattern edges as (src, dst) node pairs. *)
+
+val matches : Plaid_ir.Dfg.t -> t -> bool
+(** All three nodes are compute nodes and both pattern edges exist with
+    distance 0. *)
+
+val internal_edges : Plaid_ir.Dfg.t -> t -> Plaid_ir.Dfg.edge list
+(** Every DFG edge (any distance) with both endpoints inside the motif —
+    what the local router will carry. *)
+
+val of_nodes : Plaid_ir.Dfg.t -> int -> int -> int -> t option
+(** Try the three patterns (fan-out, fan-in, unicast, in that order) on an
+    unordered candidate triple; returns the first structural match with a
+    canonical node ordering. *)

@@ -1,0 +1,154 @@
+open Plaid_ir
+
+type hier = { motifs : Motif.t array; owner : int array }
+
+(* Unowned compute neighbours through distance-0 edges. *)
+let free_succs g owner u =
+  List.filter_map
+    (fun (e : Dfg.edge) ->
+      if e.dist = 0 && e.dst <> u && owner.(e.dst) < 0 && Op.is_compute (Dfg.node g e.dst).op then
+        Some e.dst
+      else None)
+    (Dfg.succs g u)
+  |> List.sort_uniq compare
+
+let free_preds g owner u =
+  List.filter_map
+    (fun (e : Dfg.edge) ->
+      if e.dist = 0 && e.src <> u && owner.(e.src) < 0 && Op.is_compute (Dfg.node g e.src).op then
+        Some e.src
+      else None)
+    (Dfg.preds g u)
+  |> List.sort_uniq compare
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+(* Candidate triples around an unowned node, nearest-first. *)
+let find_motif_with g owner u =
+  if owner.(u) >= 0 || not (Op.is_compute (Dfg.node g u).op) then None
+  else begin
+    let ss = free_succs g owner u and ps = free_preds g owner u in
+    let side_producers =
+      (* other producers of u's consumers: fan-in partners *)
+      List.concat_map
+        (fun (e : Dfg.edge) ->
+          if e.dist = 0 then
+            List.filter (fun w -> w <> u) (free_preds g owner e.dst)
+            |> List.map (fun w -> (e.dst, w))
+          else [])
+        (Dfg.succs g u)
+    in
+    let candidates =
+      List.map (fun (a, b) -> (u, a, b)) (pairs ss)            (* fan-out *)
+      @ List.concat_map
+          (fun v -> List.map (fun w -> (u, v, w)) (free_succs g owner v))
+          ss                                                    (* unicast down *)
+      @ List.map (fun (v, w) -> (u, v, w)) side_producers       (* fan-in *)
+      @ List.map (fun (a, b) -> (a, b, u)) (pairs ps)           (* fan-in at u *)
+      @ List.concat_map
+          (fun v -> List.map (fun w -> (w, v, u)) (free_preds g owner v))
+          ps                                                    (* unicast up *)
+    in
+    List.find_map
+      (fun (a, b, c) ->
+        if a = b || b = c || a = c then None
+        else if owner.(a) >= 0 || owner.(b) >= 0 || owner.(c) >= 0 then None
+        else Motif.of_nodes g a b c)
+      candidates
+  end
+
+let assign owner motif idx = List.iter (fun v -> owner.(v) <- idx) (Motif.nodes motif)
+
+let hier_of g motifs =
+  let owner = Array.make (Dfg.n_nodes g) (-1) in
+  List.iteri (fun i m -> assign owner m i) motifs;
+  { motifs = Array.of_list motifs; owner }
+
+let greedy g =
+  let owner = Array.make (Dfg.n_nodes g) (-1) in
+  let motifs = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun u ->
+      match find_motif_with g owner u with
+      | None -> ()
+      | Some m ->
+        assign owner m !count;
+        incr count;
+        motifs := m :: !motifs)
+    (Dfg.topo_order g);
+  hier_of g (List.rev !motifs)
+
+let standalone_nodes g h =
+  List.init (Dfg.n_nodes g) (fun i -> i) |> List.filter (fun i -> h.owner.(i) < 0)
+
+let covered_compute g h =
+  Array.to_list h.owner
+  |> List.mapi (fun i o -> (i, o))
+  |> List.filter (fun (i, o) -> o >= 0 && Op.is_compute (Dfg.node g i).op)
+  |> List.length
+
+let standalone_compute g owner =
+  List.init (Dfg.n_nodes g) (fun i -> i)
+  |> List.filter (fun i -> owner.(i) < 0 && Op.is_compute (Dfg.node g i).op)
+
+let generate ?(rounds = 24) ~rng g =
+  let best = ref (greedy g) in
+  let stale = ref 0 in
+  let round = ref 0 in
+  while !round < rounds && !stale < 6 && Array.length !best.motifs > 0 do
+    incr round;
+    (* break one motif at random, then regrow from shuffled standalones *)
+    let motifs = Array.to_list !best.motifs in
+    let victim = Plaid_util.Rng.int rng (List.length motifs) in
+    let kept = List.filteri (fun i _ -> i <> victim) motifs in
+    let owner = Array.make (Dfg.n_nodes g) (-1) in
+    List.iteri (fun i m -> assign owner m i) kept;
+    let regrown = ref (List.rev kept) in
+    let count = ref (List.length kept) in
+    let standalones =
+      Plaid_util.Rng.shuffle_list rng (standalone_compute g owner)
+    in
+    List.iter
+      (fun u ->
+        match find_motif_with g owner u with
+        | None -> ()
+        | Some m ->
+          assign owner m !count;
+          incr count;
+          regrown := m :: !regrown)
+      standalones;
+    let candidate = hier_of g (List.rev !regrown) in
+    let n_motifs h = Array.length h.motifs in
+    if n_motifs candidate > n_motifs !best then begin
+      best := candidate;
+      stale := 0;
+      (* stop once motifs outnumber standalone nodes: the ALSU and the
+         motif compute unit should both stay busy (Section 5.2) *)
+      if n_motifs candidate > List.length (standalone_nodes g candidate) then stale := 6
+    end
+    else incr stale
+  done;
+  !best
+
+let check g h =
+  let seen = Array.make (Dfg.n_nodes g) (-1) in
+  let problem = ref None in
+  Array.iteri
+    (fun idx m ->
+      if not (Motif.matches g m) then
+        problem := Some (Printf.sprintf "motif %d does not match its pattern" idx);
+      List.iter
+        (fun v ->
+          if seen.(v) >= 0 then problem := Some (Printf.sprintf "node %d in two motifs" v)
+          else seen.(v) <- idx)
+        (Motif.nodes m))
+    h.motifs;
+  Array.iteri
+    (fun v o ->
+      if o <> seen.(v) then
+        problem := Some (Printf.sprintf "owner table inconsistent at node %d" v))
+    h.owner;
+  match !problem with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,18 @@
+let ml_ops =
+  [ Plaid_ir.Op.Add; Plaid_ir.Op.Sub; Plaid_ir.Op.Mul; Plaid_ir.Op.Max; Plaid_ir.Op.Min;
+    Plaid_ir.Op.Shl; Plaid_ir.Op.Asr ]
+
+(* Motif census of the ML DFGs (Section 7.3): two hardwired fan-in PCUs, one
+   unicast, one fan-out. *)
+let plaid_ml () =
+  let kinds = [| Motif.Fan_in; Motif.Fan_in; Motif.Unicast; Motif.Fan_out |] in
+  Pcu.build
+    ~specialize:(fun i -> if i < Array.length kinds then Some kinds.(i) else None)
+    ~rows:2 ~cols:2 ~name:"plaid_ml_2x2" ()
+
+(* REVAMP-style derivation prunes operations, precision, and configuration
+   depth: the ML kernels never need more than 8 distinct cycle programs. *)
+let st_ml () =
+  Plaid_arch.Mesh.build
+    { Plaid_arch.Mesh.spatio_temporal_4x4 with pruned_ops = Some ml_ops; config_entries = 8 }
+    ~name:"st_ml_4x4"

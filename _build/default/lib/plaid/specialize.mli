@@ -1,0 +1,19 @@
+(** Domain specialization (Section 4.4, Figure 19).
+
+    - [plaid_ml]: 2x2 Plaid with hardwired motifs chosen by inspecting the
+      machine-learning DFGs — two fan-in PCUs, one unicast, one fan-out —
+      replacing the local routers while keeping the global datapath fully
+      reconfigurable.
+    - [st_ml]: the REVAMP-style machine-learning-optimized spatio-temporal
+      baseline: ALU operation set pruned to what the ML kernels use (which
+      shrinks the compute configuration and the ALU itself), same fabric
+      otherwise.  Kernels needing the pruned-away operations no longer map,
+      which is exactly the generality loss Table 1 attributes to
+      specialized CGRAs. *)
+
+val ml_ops : Plaid_ir.Op.t list
+(** The operation subset the TinyML kernels use. *)
+
+val plaid_ml : unit -> Pcu.t
+
+val st_ml : unit -> Plaid_arch.Arch.t

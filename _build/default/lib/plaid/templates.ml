@@ -1,0 +1,53 @@
+type t = { alu_of : int array; offset : int array }
+
+let permutations = [ [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |]; [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |] ]
+
+(* Intra-motif dependencies as (producer, consumer) motif-node indices. *)
+let deps = function
+  | Motif.Fan_out -> [ (0, 1); (0, 2) ]
+  | Motif.Fan_in -> [ (0, 1); (2, 1) ]
+  | Motif.Unicast -> [ (0, 1); (1, 2) ]
+
+let offset_candidates kind =
+  let ok off = List.for_all (fun (p, c) -> off.(c) >= off.(p) + 1) (deps kind) in
+  let all = ref [] in
+  for a = 0 to 2 do
+    for b = 0 to 2 do
+      for c = 0 to 2 do
+        let off = [| a; b; c |] in
+        if ok off && (a = 0 || b = 0 || c = 0) then all := off :: !all
+      done
+    done
+  done;
+  List.rev !all
+
+let bypass_score t =
+  (* count dependencies that ride a bypass wire: consumer on the ALU just
+     right of the producer, one cycle later *)
+  0 - t.alu_of.(0)  (* prefer n1 on the leftmost ALU as a stable tiebreak *)
+
+let make kind =
+  let offsets = offset_candidates kind in
+  List.concat_map
+    (fun alu_of -> List.map (fun offset -> { alu_of; offset }) offsets)
+    permutations
+  |> List.sort (fun a b ->
+         compare
+           (Array.fold_left ( + ) 0 a.offset, bypass_score a)
+           (Array.fold_left ( + ) 0 b.offset, bypass_score b))
+
+let table = Hashtbl.create 3
+
+let for_kind kind =
+  match Hashtbl.find_opt table kind with
+  | Some l -> l
+  | None ->
+    let l = make kind in
+    Hashtbl.replace table kind l;
+    l
+
+let strict kind =
+  for_kind kind
+  |> List.filter (fun t -> t.alu_of = [| 0; 1; 2 |])
+
+let span t = Array.fold_left max 0 t.offset

@@ -1,0 +1,27 @@
+(** Motif schedule templates (Section 5.2, Figure 11).
+
+    A template fixes, for the three nodes of a motif, which of the PCU's
+    three ALUs executes each node and at which cycle offset from the motif's
+    anchor cycle.  Flexible (including reversed) templates avoid the
+    under-utilization of strict left-to-right scheduling; in-order adjacent
+    placements additionally profit from the bypass paths.
+
+    Templates are generated from the motif's internal dependencies: every
+    ALU assignment is a permutation, offsets are minimal-plus-slack
+    ([0..2]), normalized so the earliest node sits at offset 0, ordered so
+    bypass-friendly in-order variants come first. *)
+
+type t = {
+  alu_of : int array;    (** motif node index (0=n1,1=n2,2=n3) -> ALU 0..2 *)
+  offset : int array;    (** motif node index -> cycle offset from anchor *)
+}
+
+val for_kind : Motif.kind -> t list
+(** All templates for the kind; never empty.  Memoized. *)
+
+val strict : Motif.kind -> t list
+(** Only left-to-right in-order templates (Figure 11(a)) — the ablation
+    baseline for flexible scheduling. *)
+
+val span : t -> int
+(** Max offset: cycles between the anchor and the last node's issue. *)

@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.ml: Array Dfg Hashtbl List Mapping Op Option Plaid_ir Plaid_mapping Printf Reference Spm String

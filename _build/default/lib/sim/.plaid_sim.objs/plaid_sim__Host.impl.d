@@ -1,0 +1,1 @@
+lib/sim/host.ml: Array Dfg List Op Plaid_arch Plaid_ir Plaid_mapping

@@ -1,0 +1,1 @@
+lib/sim/host.mli: Plaid_ir Plaid_mapping

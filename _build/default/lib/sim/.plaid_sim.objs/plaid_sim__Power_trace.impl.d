@@ -1,0 +1,1 @@
+lib/sim/power_trace.ml: Array Dfg Hashtbl List Mapping Plaid_arch Plaid_ir Plaid_mapping Plaid_model

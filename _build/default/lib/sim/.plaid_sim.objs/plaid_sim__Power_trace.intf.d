@@ -1,0 +1,1 @@
+lib/sim/power_trace.mli: Plaid_mapping

@@ -1,0 +1,1 @@
+lib/sim/reference.ml: Array Dfg List Op Option Plaid_ir Spm

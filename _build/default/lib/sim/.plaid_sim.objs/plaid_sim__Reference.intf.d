@@ -1,0 +1,1 @@
+lib/sim/reference.mli: Plaid_ir Spm

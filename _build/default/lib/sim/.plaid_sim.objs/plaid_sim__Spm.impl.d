@@ -1,0 +1,1 @@
+lib/sim/spm.ml: Array Hashtbl List Plaid_ir Printf String

@@ -1,0 +1,1 @@
+lib/sim/spm.mli: Plaid_ir

@@ -1,0 +1,116 @@
+open Plaid_ir
+open Plaid_mapping
+
+type stats = { cycles : int; fu_firings : int; wire_hops : int }
+
+let address (a : Dfg.access) iter = a.offset + (a.stride * iter)
+
+let run_exn (m : Mapping.t) spm =
+  let g = m.dfg in
+  let trip = g.Dfg.trip in
+  let n = Dfg.n_nodes g in
+  (* Fire nodes in (cycle, topo) order.  The schedule already satisfies all
+     dependency constraints, so sorting by absolute fire time (stable on
+     topological rank for simultaneous memory ops) is a legal replay. *)
+  let rank = Array.make n 0 in
+  List.iteri (fun i v -> rank.(v) <- i) (Dfg.topo_order g);
+  let events =
+    List.concat_map
+      (fun iter -> List.init n (fun v -> (m.times.(v) + (iter * m.ii), rank.(v), v, iter)))
+      (List.init trip (fun i -> i))
+    |> List.sort compare
+  in
+  let values = Array.make_matrix trip n 0 in
+  let fu_firings = ref 0 in
+  let error = ref None in
+  List.iter
+    (fun (_, _, v, iter) ->
+      if !error = None then begin
+        let nd = Dfg.node g v in
+        let arity = Op.arity nd.op in
+        let args = Array.make arity 0 in
+        List.iter (fun (i, c) -> args.(i) <- c) nd.imms;
+        List.iter
+          (fun (e : Dfg.edge) ->
+            if not (Dfg.is_ordering e) then begin
+              let src_iter = iter - e.dist in
+              args.(e.operand) <- (if src_iter < 0 then e.init else values.(src_iter).(e.src))
+            end)
+          (Dfg.preds g v);
+        incr fu_firings;
+        let result =
+          match nd.op with
+          | Op.Load | Op.Input ->
+            let a = Option.get nd.access in
+            Spm.read spm a.array (address a iter)
+          | Op.Store ->
+            let a = Option.get nd.access in
+            Spm.write spm a.array (address a iter) args.(0);
+            args.(0)
+          | op -> Op.eval op args
+        in
+        values.(iter).(v) <- result
+      end)
+    events;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    (* Replay every routed value hop by hop over absolute cycles and check
+       wire exclusivity: at most one value per (resource, cycle). *)
+    let wires : (int * int, int * int * int) Hashtbl.t = Hashtbl.create 1024 in
+    let conflict = ref None in
+    List.iter
+      (fun (r : Mapping.route_entry) ->
+        let e = r.re_edge in
+        for iter = 0 to trip - 1 do
+          let t_src = m.times.(e.src) + (iter * m.ii) in
+          let v = values.(iter).(e.src) in
+          List.iter
+            (fun (res, elapsed) ->
+              let cycle = t_src + elapsed in
+              match Hashtbl.find_opt wires (res, cycle) with
+              | None -> Hashtbl.replace wires (res, cycle) (e.src, iter, v)
+              | Some (src', iter', v') ->
+                if (src', iter') <> (e.src, iter) && v' <> v && !conflict = None then
+                  conflict :=
+                    Some
+                      (Printf.sprintf
+                         "wire conflict: resource %d cycle %d carries node %d/iter %d and node %d/iter %d"
+                         res cycle src' iter' e.src iter))
+            r.re_path
+        done)
+      m.routes;
+    (match !conflict with
+    | Some msg -> Error msg
+    | None ->
+      Ok
+        { cycles = Mapping.perf_cycles m; fu_firings = !fu_firings;
+          wire_hops = Hashtbl.length wires })
+
+let run m spm =
+  try run_exn m spm with Invalid_argument msg -> Error ("simulation fault: " ^ msg)
+
+let verify m spm =
+  let mapped = Spm.copy spm in
+  let golden = Spm.copy spm in
+  match run m mapped with
+  | Error _ as e -> e
+  | Ok stats ->
+    Reference.run m.dfg golden;
+    let dm = Spm.dump mapped and dg = Spm.dump golden in
+    if dm = dg then Ok stats
+    else begin
+      let diff =
+        List.concat_map
+          (fun ((name, a), (name', b)) ->
+            if name <> name' then [ Printf.sprintf "array set mismatch: %s vs %s" name name' ]
+            else
+              List.filteri (fun i _ -> a.(i) <> b.(i)) (Array.to_list (Array.mapi (fun i _ -> i) a))
+              |> List.map (fun i ->
+                     Printf.sprintf "%s[%d]: mapped %d, reference %d" name i a.(i) b.(i)))
+          (List.combine dm dg)
+      in
+      Error
+        (Printf.sprintf "memory mismatch (%d locations): %s" (List.length diff)
+           (String.concat "; " (List.filteri (fun i _ -> i < 5) diff)))
+    end

@@ -1,0 +1,24 @@
+(** Cycle-level simulation of a mapped kernel.
+
+    Replays the modulo schedule over all iterations against a scratchpad:
+    every node fires at absolute cycle [t(node) + iter * II], reads operands
+    produced exactly [route length] cycles earlier, and every routed value's
+    journey is replayed hop by hop, checking that no two different values
+    ever occupy the same wire in the same absolute cycle.  Finally the SPM
+    is compared word-for-word with the {!Reference} interpreter — the same
+    role Morpher's cycle-accurate simulator plays for the paper (verifying
+    mapping and hardware design, Section 6.2). *)
+
+type stats = {
+  cycles : int;             (** total execution cycles, fill/drain included *)
+  fu_firings : int;         (** node executions across all iterations *)
+  wire_hops : int;          (** (resource, cycle) wire occupancies replayed *)
+}
+
+val run : Plaid_mapping.Mapping.t -> Spm.t -> (stats, string) result
+(** Executes the mapping, mutating the SPM.  Errors on wire conflicts or
+    timing inconsistencies (which indicate a mapper/validator bug). *)
+
+val verify : Plaid_mapping.Mapping.t -> Spm.t -> (stats, string) result
+(** [run] on a copy, then compare against {!Reference.run} on another copy.
+    The input SPM is left untouched. *)

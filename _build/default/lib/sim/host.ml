@@ -1,0 +1,52 @@
+open Plaid_ir
+
+type cost = {
+  config_cycles : int;
+  dma_in_cycles : int;
+  compute_cycles : int;
+  dma_out_cycles : int;
+}
+
+let total c = c.config_cycles + c.dma_in_cycles + c.compute_cycles + c.dma_out_cycles
+
+let config_bus_bits = 32
+
+let dma_words_per_cycle = 4
+
+let cdiv a b = (a + b - 1) / b
+
+let kernel_words (g : Dfg.t) =
+  let w_in = ref 0 and w_out = ref 0 in
+  List.iter
+    (fun (name, extent) ->
+      let loads =
+        Array.exists
+          (fun (nd : Dfg.node) ->
+            (nd.op = Op.Load || nd.op = Op.Input)
+            && match nd.access with Some a -> a.array = name | None -> false)
+          g.nodes
+      in
+      let stores =
+        Array.exists
+          (fun (nd : Dfg.node) ->
+            nd.op = Op.Store && match nd.access with Some a -> a.array = name | None -> false)
+          g.nodes
+      in
+      if loads then w_in := !w_in + extent;
+      if stores then w_out := !w_out + extent)
+    (Dfg.arrays g);
+  (!w_in, !w_out)
+
+let invoke ?(already_configured = false) (m : Plaid_mapping.Mapping.t) ~words_in ~words_out =
+  let config_cycles =
+    if already_configured then 0
+    else
+      let bits = Plaid_arch.Arch.config_bits_per_entry m.arch * m.ii in
+      cdiv bits config_bus_bits
+  in
+  {
+    config_cycles;
+    dma_in_cycles = cdiv words_in dma_words_per_cycle;
+    compute_cycles = Plaid_mapping.Mapping.perf_cycles m;
+    dma_out_cycles = cdiv words_out dma_words_per_cycle;
+  }

@@ -1,0 +1,35 @@
+(** Host-side execution model (Section 6.2).
+
+    The host processor loads the configuration bits into the fabric, DMAs
+    input data into the scratchpad, triggers the CGRA, and copies results
+    back.  This module prices a full kernel invocation, so application-level
+    numbers (Figure 16) include the overheads that pure fabric cycles
+    miss. *)
+
+type cost = {
+  config_cycles : int;   (** streaming the bitstream over the config bus *)
+  dma_in_cycles : int;
+  compute_cycles : int;
+  dma_out_cycles : int;
+}
+
+val total : cost -> int
+
+val config_bus_bits : int
+(** Configuration bus width per cycle (32). *)
+
+val dma_words_per_cycle : int
+(** Scratchpad DMA bandwidth (4 x 16-bit words per cycle). *)
+
+val invoke :
+  ?already_configured:bool ->
+  Plaid_mapping.Mapping.t ->
+  words_in:int ->
+  words_out:int ->
+  cost
+(** Cost of one invocation.  [already_configured] skips the config load
+    (steady-state layers reusing a mapping). *)
+
+val kernel_words : Plaid_ir.Dfg.t -> int * int
+(** Conservative (input words, output words) from the DFG's accesses:
+    loads/Input extents count in, store extents count out. *)

@@ -1,0 +1,90 @@
+open Plaid_ir
+open Plaid_mapping
+
+type t = {
+  per_cycle_uw : float array;
+  peak_uw : float;
+  average_uw : float;
+  energy_pj : float;
+}
+
+(* Constant floor of every cycle: leakage everywhere plus the configuration
+   readout on non-clock-gated fabrics (same terms as Plaid_model.Power). *)
+let static_floor (arch : Plaid_arch.Arch.t) =
+  let leak =
+    List.fold_left
+      (fun acc (_, a) -> acc +. (a *. Plaid_model.Tech.leakage_per_area))
+      0.0
+      (Plaid_model.Area.fabric arch)
+  in
+  let config =
+    if arch.Plaid_arch.Arch.config.clock_gated then 0.0
+    else
+      float_of_int (arch.config.compute_bits + arch.config.comm_bits)
+      *. Plaid_model.Tech.config_read_power_per_bit
+  in
+  leak +. config
+
+let trace (m : Mapping.t) =
+  let arch = m.arch in
+  let cycles = Mapping.perf_cycles m in
+  let per_cycle = Array.make cycles (static_floor arch) in
+  let trip = m.dfg.Dfg.trip in
+  let bump cycle w = if cycle >= 0 && cycle < cycles then per_cycle.(cycle) <- per_cycle.(cycle) +. w in
+  (* FU firings *)
+  Array.iteri
+    (fun v fu ->
+      let cls = (Plaid_arch.Arch.resource arch fu).area_class in
+      let w =
+        Plaid_model.Tech.op_activity_factor (Dfg.node m.dfg v).op
+        *. Plaid_model.Tech.dynamic_of_class cls
+      in
+      for iter = 0 to trip - 1 do
+        bump (m.times.(v) + (iter * m.ii)) w
+      done)
+    m.place;
+  (* wire traffic, deduplicated by (resource, absolute cycle, signal) like
+     the occupancy model *)
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun (r : Mapping.route_entry) ->
+      let e = r.re_edge in
+      List.iter
+        (fun (res, elapsed) ->
+          for iter = 0 to trip - 1 do
+            let cycle = m.times.(e.src) + (iter * m.ii) + elapsed in
+            let key = (res, cycle, e.src, elapsed) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              let cls = (Plaid_arch.Arch.resource arch res).area_class in
+              bump cycle (Plaid_model.Tech.dynamic_of_class cls)
+            end
+          done)
+        r.re_path)
+    m.routes;
+  let total = Array.fold_left ( +. ) 0.0 per_cycle in
+  let average = total /. float_of_int (max 1 cycles) in
+  let peak = Array.fold_left max 0.0 per_cycle in
+  let energy = Plaid_model.Tech.energy_pj ~power_uw:average ~cycles in
+  { per_cycle_uw = per_cycle; peak_uw = peak; average_uw = average; energy_pj = energy }
+
+let steady_state_matches m =
+  let t = trace m in
+  let cycles = Array.length t.per_cycle_uw in
+  (* pick a whole-II window in the middle of the run, away from ramps *)
+  if cycles < 3 * m.Mapping.ii then true
+  else begin
+    let start = m.Mapping.ii * (cycles / (2 * m.Mapping.ii)) in
+    let window = m.Mapping.ii in
+    if start + window > cycles then true
+    else begin
+      let sum = ref 0.0 in
+      for c = start to start + window - 1 do
+        sum := !sum +. t.per_cycle_uw.(c)
+      done;
+      let mid = !sum /. float_of_int window in
+      let model = Plaid_model.Power.fabric_total m in
+      let rel = abs_float (mid -. model) /. model in
+      rel < 0.02
+    end
+  end

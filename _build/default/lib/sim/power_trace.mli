@@ -1,0 +1,23 @@
+(** Per-cycle power traces from a mapping replay.
+
+    The steady-state power model ({!Plaid_model.Power}) averages activity
+    over one II.  This module instead replays the schedule over the whole
+    execution and prices every absolute cycle individually: which FUs fire,
+    which wires toggle, plus the constant configuration readout and leakage.
+    The integral of the trace must agree with the averaged model over whole
+    II windows — a cross-check the test suite enforces — while the trace
+    additionally exposes peak power and the fill/drain ramps. *)
+
+type t = {
+  per_cycle_uw : float array;  (** fabric power at each absolute cycle *)
+  peak_uw : float;
+  average_uw : float;
+  energy_pj : float;
+}
+
+val trace : Plaid_mapping.Mapping.t -> t
+(** Over [Mapping.perf_cycles] cycles (all [trip] iterations). *)
+
+val steady_state_matches : Plaid_mapping.Mapping.t -> bool
+(** True when the mid-execution window average agrees with
+    {!Plaid_model.Power.fabric_total} within 2%. *)

@@ -1,0 +1,44 @@
+open Plaid_ir
+
+let address (a : Dfg.access) iter = a.offset + (a.stride * iter)
+
+(* One full run, returning every (node, iter) value. *)
+let run_collect g spm =
+  let n = Dfg.n_nodes g in
+  let order = Dfg.topo_order g in
+  let values = Array.make_matrix g.Dfg.trip n 0 in
+  for iter = 0 to g.Dfg.trip - 1 do
+    List.iter
+      (fun v ->
+        let nd = Dfg.node g v in
+        let arity = Op.arity nd.op in
+        let args = Array.make arity 0 in
+        List.iter (fun (i, c) -> args.(i) <- c) nd.imms;
+        List.iter
+          (fun (e : Dfg.edge) ->
+            if not (Dfg.is_ordering e) then begin
+              let src_iter = iter - e.dist in
+              args.(e.operand) <- (if src_iter < 0 then e.init else values.(src_iter).(e.src))
+            end)
+          (Dfg.preds g v);
+        let result =
+          match nd.op with
+          | Op.Load | Op.Input ->
+            let a = Option.get nd.access in
+            Spm.read spm a.array (address a iter)
+          | Op.Store ->
+            let a = Option.get nd.access in
+            Spm.write spm a.array (address a iter) args.(0);
+            args.(0)
+          | op -> Op.eval op args
+        in
+        values.(iter).(v) <- result)
+      order
+  done;
+  values
+
+let run g spm = ignore (run_collect g spm)
+
+let node_value g spm ~node ~iter =
+  let values = run_collect g (Spm.copy spm) in
+  values.(iter).(node)

@@ -1,0 +1,13 @@
+(** Golden-model interpreter: executes a DFG directly against the SPM,
+    iteration by iteration in topological order, with loop-carried values
+    taken from earlier iterations (or the edge's initial value).  The
+    mapped cycle-level simulation must reproduce exactly this memory
+    state. *)
+
+val run : Plaid_ir.Dfg.t -> Spm.t -> unit
+(** Executes [trip] iterations, mutating the SPM. *)
+
+val node_value : Plaid_ir.Dfg.t -> Spm.t -> node:int -> iter:int -> int
+(** Value node [node] produces in iteration [iter] (memoized full run up to
+    that iteration; loads see the SPM as of that moment).  Mainly for
+    debugging mismatches. *)

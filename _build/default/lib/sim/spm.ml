@@ -1,0 +1,47 @@
+type t = (string, int array) Hashtbl.t
+
+let create () = Hashtbl.create 8
+
+let ensure t name n =
+  match Hashtbl.find_opt t name with
+  | None -> Hashtbl.replace t name (Array.make (max 1 n) 0)
+  | Some a ->
+    if Array.length a < n then begin
+      let b = Array.make n 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      Hashtbl.replace t name b
+    end
+
+let of_kernel k ~params ~seed =
+  let mem = Plaid_ir.Kernel.memory_for k ~seed in
+  let t : t = Hashtbl.create 8 in
+  Hashtbl.iter (fun name a -> Hashtbl.replace t name (Array.copy a)) mem;
+  List.iter
+    (fun (name, v) ->
+      Hashtbl.replace t (Plaid_ir.Lower.param_array name) [| v |])
+    params;
+  t
+
+let read t name i =
+  match Hashtbl.find_opt t name with
+  | None -> invalid_arg (Printf.sprintf "Spm.read: unknown array %s" name)
+  | Some a ->
+    if i < 0 || i >= Array.length a then
+      invalid_arg (Printf.sprintf "Spm.read: %s[%d] out of bounds" name i)
+    else a.(i)
+
+let write t name i v =
+  ensure t name (i + 1);
+  let a = Hashtbl.find t name in
+  if i < 0 then invalid_arg (Printf.sprintf "Spm.write: %s[%d]" name i) else a.(i) <- v
+
+let copy t =
+  let u = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace u k (Array.copy v)) t;
+  u
+
+let dump t =
+  Hashtbl.fold (fun k v acc -> (k, Array.copy v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total_words t = Hashtbl.fold (fun _ v acc -> acc + Array.length v) t 0

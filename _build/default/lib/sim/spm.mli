@@ -1,0 +1,29 @@
+(** Scratchpad memory: named banks of 16-bit words.
+
+    The host preloads input arrays and live-in parameters, triggers the
+    fabric, and reads results back (Section 6.2).  All addresses in this
+    code base are (array, element) pairs; bank assignment only matters to
+    the power model, which charges per access. *)
+
+type t
+
+val create : unit -> t
+
+val of_kernel : Plaid_ir.Kernel.t -> params:(string * int) list -> seed:int -> t
+(** Allocate and fill every array the kernel touches (deterministic data),
+    and preload one-element parameter arrays named per
+    {!Plaid_ir.Lower.param_array}. *)
+
+val ensure : t -> string -> int -> unit
+(** Make sure array [name] has at least [n] elements (zero-filled growth). *)
+
+val read : t -> string -> int -> int
+
+val write : t -> string -> int -> int -> unit
+
+val copy : t -> t
+
+val dump : t -> (string * int array) list
+(** Sorted by array name; for equality checks in tests. *)
+
+val total_words : t -> int

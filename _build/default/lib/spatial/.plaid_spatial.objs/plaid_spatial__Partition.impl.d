@@ -1,0 +1,1 @@
+lib/spatial/partition.ml: Analysis Array Dfg Hashtbl List Op Plaid_ir Plaid_util Printf

@@ -1,0 +1,1 @@
+lib/spatial/partition.mli: Plaid_ir

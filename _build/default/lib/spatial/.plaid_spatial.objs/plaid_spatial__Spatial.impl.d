@@ -1,0 +1,1 @@
+lib/spatial/spatial.ml: Analysis Anneal Array Dfg List Mapping Partition Plaid_arch Plaid_ir Plaid_mapping Plaid_model Plaid_util Printf Schedule

@@ -1,0 +1,1 @@
+lib/spatial/spatial.mli: Partition Plaid_arch Plaid_ir Plaid_mapping Stdlib

@@ -1,0 +1,36 @@
+(** DFG partitioning for the spatial baseline (Section 6.3).
+
+    A purely spatial CGRA freezes one configuration per code segment: every
+    DFG node needs its own functional unit, so DFGs larger than the fabric
+    (or with more memory operations than memory-capable PEs) are split into
+    segments executed sequentially over the full trip count.  Values
+    crossing a cut are materialized through scratchpad buffers: the
+    producer segment gains a store, the consumer segment a load — the extra
+    memory traffic that costs the spatial baseline its performance on
+    complex kernels (Figure 12).
+
+    Strongly connected components (over edges of any distance) stay within
+    one segment: a loop-carried dependence cannot cross a fission cut.
+    Live-in [Input] nodes are replicated instead of buffered. *)
+
+type buffer = {
+  buf_array : string;   (** scratchpad buffer backing one cut edge *)
+  buf_init : int;       (** preload value (carry initials for short trips) *)
+  buf_len : int;
+}
+
+type t = {
+  segments : Plaid_ir.Dfg.t list;  (** in execution order *)
+  buffers : buffer list;
+  added_loads : int;
+  added_stores : int;
+}
+
+val scc_ids : Plaid_ir.Dfg.t -> int array
+(** Strongly-connected-component id per node (over edges of any
+    distance). *)
+
+val partition :
+  Plaid_ir.Dfg.t -> max_nodes:int -> max_memory:int -> (t, string) result
+(** Fails when one SCC alone exceeds the budgets.  Callers must preload
+    each buffer array with its [buf_init] value before execution. *)

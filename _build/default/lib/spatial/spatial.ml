@@ -1,0 +1,105 @@
+open Plaid_ir
+open Plaid_mapping
+
+type result = {
+  part : Partition.t;
+  mappings : Mapping.t list;
+  cycles : int;
+  energy_pj : float;
+  avg_power_uw : float;
+}
+
+let arch () =
+  Plaid_arch.Mesh.build
+    { Plaid_arch.Mesh.spatial_4x4 with config_entries = 1 }
+    ~name:"spatial4x4"
+
+(* A double-buffered configuration plane prefetches the next segment's
+   bits while the current one drains, so a segment switch costs only the
+   swap + restart control, not the full bitstream load. *)
+let reconfig_cycles = 4
+
+let spm_ports = 4
+
+let segment_cycles m = Mapping.perf_cycles m + reconfig_cycles
+
+(* A spatial segment executes with a frozen configuration: placement is one
+   node per FU (exclusive MRRG) and throughput is bounded only by the
+   segment's recurrences, so it maps at exactly II = RecMII (dataflow
+   stalling), not at the configuration depth. *)
+let map_segment a seg ~seed =
+  let cap = Plaid_arch.Arch.capacity a in
+  (* pad non-recurrence edges with a two-cycle routing budget; edges inside
+     a dependence cycle keep unit spacing so II = RecMII stays feasible *)
+  let comp = Partition.scc_ids seg in
+  let mixed (e : Plaid_ir.Dfg.edge) = if comp.(e.src) = comp.(e.dst) then 1 else 2 in
+  let rng = Plaid_util.Rng.create seed in
+  (* throughput floor: recurrences, and the four single-ported scratchpad
+     banks — a segment with more live memory operations than ports stalls *)
+  let mem_ops = Plaid_ir.Analysis.n_memory_class seg in
+  let rec_mii =
+    max (Plaid_ir.Analysis.rec_mii seg) ((mem_ops + spm_ports - 1) / spm_ports)
+  in
+  (* a dataflow segment may also run slower than its recurrence bound when
+     routing is cramped: feedback paths simply stretch (II = rec + k) *)
+  let rec over_ii k =
+    if k > rec_mii + 4 then None
+    else begin
+      let ii = rec_mii + k in
+      let schedules =
+        [ Schedule.compute ~lat_for:mixed seg ~ii ~cap; Schedule.compute seg ~ii ~cap ]
+      in
+      let m =
+        List.fold_left
+          (fun acc sched ->
+            match (acc, sched) with
+            | Some _, _ | _, None -> acc
+            | None, Some times ->
+              Anneal.map_at_ii a seg ~ii ~times
+                ~params:{ Anneal.default with restarts = 8 }
+                ~rng:(Plaid_util.Rng.split rng))
+          None schedules
+      in
+      match m with Some _ -> m | None -> over_ii (k + 1)
+    end
+  in
+  over_ii 0
+
+let run ?(seed = 1) g =
+  let a = arch () in
+  let cap = Plaid_arch.Arch.capacity a in
+  (* budget ladder: fully packed segments leave no routing slack, so retry
+     with progressively roomier segments when place-and-route fails *)
+  let budgets =
+    let m = cap.Analysis.memory_slots and n = cap.Analysis.total_slots in
+    [ (n, m); (n, m - 1); (n - 2, m - 2); (n - 4, m - 2); (n - 6, m - 3); (8, 4); (6, 3); (4, 2) ]
+  in
+  let rec attempt = function
+    | [] -> Error (Printf.sprintf "Spatial: cannot map %s" g.Dfg.name)
+    | (max_nodes, max_memory) :: rest -> (
+      match Partition.partition g ~max_nodes ~max_memory with
+      | Error _ -> attempt rest
+      | Ok part -> (
+        let mapped =
+          List.map (fun seg -> (seg, map_segment a seg ~seed)) part.Partition.segments
+        in
+        if List.exists (fun (_, m) -> m = None) mapped then attempt rest
+        else begin
+          let mappings = List.filter_map snd mapped in
+          let cycles = List.fold_left (fun acc m -> acc + segment_cycles m) 0 mappings in
+          let energy_pj =
+            List.fold_left
+              (fun acc m ->
+                acc
+                +. Plaid_model.Tech.energy_pj
+                     ~power_uw:(Plaid_model.Power.fabric_total m)
+                     ~cycles:(segment_cycles m))
+              0.0 mappings
+          in
+          let avg_power_uw =
+            energy_pj /. (float_of_int cycles *. Plaid_model.Tech.cycle_ns *. 1e-3)
+          in
+          Ok { part; mappings; cycles; energy_pj; avg_power_uw }
+        end))
+  in
+  attempt budgets

@@ -1,0 +1,33 @@
+(** Spatial-CGRA execution model: partition, map each segment fully
+    spatially (II = 1, frozen configuration), run segments sequentially
+    over the whole trip count.
+
+    Performance: sum over segments of pipeline fill + one iteration per
+    cycle, plus a per-segment reconfiguration stall.  Power: per-segment
+    activity with clock-gated configuration (the defining trait of
+    energy-minimal spatial CGRAs); energy is the time-weighted sum. *)
+
+type result = {
+  part : Partition.t;
+  mappings : Plaid_mapping.Mapping.t list;  (** one per segment, II = 1 *)
+  cycles : int;
+  energy_pj : float;
+  avg_power_uw : float;
+}
+
+val arch : unit -> Plaid_arch.Arch.t
+(** The 4x4 spatial fabric: baseline mesh, single config entry, clock
+    gated. *)
+
+val reconfig_cycles : int
+(** Stall to swap in the next segment's configuration (double-buffered
+    config plane: the bits stream in behind the running segment). *)
+
+val spm_ports : int
+(** Scratchpad bank ports (4): a spatial segment with more memory
+    operations than ports is throughput-limited to
+    [ceil(mem_ops / ports)] cycles per iteration even though every PE has
+    its own node. *)
+
+val run : ?seed:int -> Plaid_ir.Dfg.t -> (result, string) Stdlib.result
+(** Partitions with shrinking budgets until every segment maps at II = 1. *)

@@ -1,0 +1,61 @@
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let grow q =
+  let cap = max 16 (2 * Array.length q.data) in
+  let dummy = q.data.(0) in
+  let data = Array.make cap dummy in
+  Array.blit q.data 0 data 0 q.size;
+  q.data <- data
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.data.(i).prio < q.data.(parent).prio then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.data.(l).prio < q.data.(!smallest).prio then smallest := l;
+  if r < q.size && q.data.(r).prio < q.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q prio value =
+  if Array.length q.data = 0 then q.data <- Array.make 16 { prio; value };
+  if q.size = Array.length q.data then grow q;
+  q.data.(q.size) <- { prio; value };
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear q = q.size <- 0

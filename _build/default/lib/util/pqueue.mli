@@ -1,0 +1,20 @@
+(** Minimal mutable min-priority queue (binary heap) keyed by float priority.
+
+    Used by the Dijkstra router and PathFinder.  Supports lazy deletion:
+    callers re-check the best known distance when popping. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generator.
+
+    Every stochastic component of the toolchain (motif regeneration, simulated
+    annealing, workload data generation) draws from an explicit [Rng.t] so that
+    a fixed seed reproduces a mapping bit-for-bit.  The generator is
+    splitmix64: tiny state, good statistical quality, trivially splittable. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** A statistically independent child generator; the parent advances. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val bits64 : t -> int64
+(** Raw 64 bits of output. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument if empty. *)

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Kernels List Plaid_ir Printf

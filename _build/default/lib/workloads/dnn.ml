@@ -1,0 +1,29 @@
+type layer = { entry : Suite.entry; invocations : int }
+
+type app = { app_name : string; layers : layer list }
+
+let conv n = { entry = Suite.find "conv3x3"; invocations = n }
+let conv2 n = { entry = Suite.find "conv2x2"; invocations = n }
+let dw n = { entry = Suite.find "dwconv"; invocations = n }
+let fc n = { entry = Suite.find "fc"; invocations = n }
+
+(* Layer counts follow MobileNet-style stacks: convolutions early with many
+   spatial invocations, depthwise blocks in the middle, dense layers last. *)
+let dnn10 =
+  { app_name = "dnn10";
+    layers =
+      [ conv 64; dw 64; conv 32; dw 32; conv2 32; dw 16; conv2 16; dw 8; fc 4; fc 1 ] }
+
+let dnn13 =
+  { app_name = "dnn13";
+    layers =
+      [ conv 128; dw 128; conv 64; dw 64; conv 32; dw 32; conv2 32; dw 16; conv2 16;
+        dw 8; conv2 8; fc 4; fc 1 ] }
+
+let dnn16 =
+  { app_name = "dnn16";
+    layers =
+      [ conv 256; dw 256; conv 128; dw 128; conv 64; dw 64; conv 32; dw 32; conv2 32;
+        dw 16; conv2 16; dw 8; conv2 8; fc 8; fc 2; fc 1 ] }
+
+let apps = [ dnn10; dnn13; dnn16 ]

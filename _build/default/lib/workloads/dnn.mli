@@ -1,0 +1,12 @@
+(** The three DNN applications adapted from TinyML (Figure 16):
+    10, 13, and 16 layers, mostly convolution and depthwise-convolution
+    layers, closing with fully-connected layers.  A layer is a kernel
+    entry plus an invocation count (how many inner-loop instances the
+    layer's spatial extent generates). *)
+
+type layer = { entry : Suite.entry; invocations : int }
+
+type app = { app_name : string; layers : layer list }
+
+val apps : app list
+(** dnn10, dnn13, dnn16. *)

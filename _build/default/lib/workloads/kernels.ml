@@ -1,0 +1,246 @@
+open Plaid_ir.Kernel
+
+(* Shorthand for readable kernel bodies. *)
+let ( *: ) a b = Binop (Plaid_ir.Op.Mul, a, b)
+let ( +: ) a b = Binop (Plaid_ir.Op.Add, a, b)
+let ( -: ) a b = Binop (Plaid_ir.Op.Sub, a, b)
+let relu e = Binop (Plaid_ir.Op.Max, e, Iconst 0)
+let asr_ e n = Binop (Plaid_ir.Op.Asr, e, Iconst n)
+let ld arr ?(shift = 0) scale = Load (arr, idx ~shift scale)
+let p name = Param name
+
+(* PolyBench-scale inner loops: overheads (pipeline fill, reconfiguration)
+   amortize the way they do in the paper's testbed *)
+let trip16 = 64
+
+let atax =
+  {
+    name = "atax";
+    trip = trip16;
+    body =
+      [
+        Let ("a", ld "A" 1);
+        Set_carry ("acc", Carry "acc" +: (Temp "a" *: ld "x" 1));
+        Store ("y", idx 1, ld "y" 1 +: (Temp "a" *: p "t"));
+        Store ("tmp", fixed 0, Carry "acc");
+      ];
+    carries = [ ("acc", 0) ];
+  }
+
+let bicg =
+  {
+    name = "bicg";
+    trip = trip16;
+    body =
+      [
+        Let ("a", ld "A" 1);
+        Store ("s", idx 1, ld "s" 1 +: (p "r" *: Temp "a"));
+        Set_carry ("q", Carry "q" +: (Temp "a" *: ld "pv" 1));
+        Store ("qout", fixed 0, Carry "q");
+      ];
+    carries = [ ("q", 0) ];
+  }
+
+let doitgen =
+  {
+    name = "doitgen";
+    trip = trip16;
+    body =
+      [
+        Set_carry ("sum", Carry "sum" +: (ld "A" 1 *: ld "C4" 1));
+        Store ("out", fixed 0, Carry "sum");
+      ];
+    carries = [ ("sum", 0) ];
+  }
+
+let gemm =
+  {
+    name = "gemm";
+    trip = trip16;
+    body =
+      [
+        Let ("t", ld "A" 1 *: ld "B" 1);
+        Set_carry ("acc", Carry "acc" +: (p "alpha" *: Temp "t"));
+        Store ("C", fixed 0, Carry "acc" +: (p "beta" *: p "c0"));
+      ];
+    carries = [ ("acc", 0) ];
+  }
+
+let gemver =
+  {
+    name = "gemver";
+    trip = trip16;
+    body =
+      [
+        Store
+          ( "A", idx 1,
+            ld "A" 1 +: (p "u1" *: ld "v1" 1) +: (p "u2" *: ld "v2" 1) );
+      ];
+    carries = [];
+  }
+
+let gesummv =
+  {
+    name = "gesummv";
+    trip = trip16;
+    body =
+      [
+        Let ("xv", ld "x" 1);
+        Set_carry ("tmp", Carry "tmp" +: (ld "A" 1 *: Temp "xv"));
+        Set_carry ("y", Carry "y" +: (ld "B" 1 *: Temp "xv"));
+        Store ("o1", fixed 0, p "alpha" *: Carry "tmp");
+        Store ("o2", fixed 1, p "beta" *: Carry "y");
+      ];
+    carries = [ ("tmp", 0); ("y", 0) ];
+  }
+
+let conv2x2 =
+  {
+    name = "conv2x2";
+    trip = trip16;
+    body =
+      [
+        Let ("r0", (p "w00" *: ld "in0" 1) +: (p "w01" *: ld "in0" ~shift:1 1));
+        Let ("r1", (p "w10" *: ld "in1" 1) +: (p "w11" *: ld "in1" ~shift:1 1));
+        Store ("out", idx 1, relu (Temp "r0" +: Temp "r1"));
+      ];
+    carries = [];
+  }
+
+let conv3x3 =
+  {
+    name = "conv3x3";
+    trip = trip16;
+    body =
+      [
+        Let
+          ( "r0",
+            (p "w00" *: ld "in0" 1)
+            +: (p "w01" *: ld "in0" ~shift:1 1)
+            +: (p "w02" *: ld "in0" ~shift:2 1) );
+        Let
+          ( "r1",
+            (p "w10" *: ld "in1" 1)
+            +: (p "w11" *: ld "in1" ~shift:1 1)
+            +: (p "w12" *: ld "in1" ~shift:2 1) );
+        Let
+          ( "r2",
+            (p "w20" *: ld "in2" 1)
+            +: (p "w21" *: ld "in2" ~shift:1 1)
+            +: (p "w22" *: ld "in2" ~shift:2 1) );
+        Store ("out", idx 1, relu (Temp "r0" +: Temp "r1" +: Temp "r2"));
+      ];
+    carries = [];
+  }
+
+let dwconv =
+  {
+    name = "dwconv";
+    trip = 60;
+    body =
+      [ Store ("out", idx 1, (p "w0" *: ld "in" 1) +: (p "w1" *: ld "in" ~shift:1 1)) ];
+    carries = [];
+  }
+
+let fc =
+  {
+    name = "fc";
+    trip = trip16;
+    body =
+      [
+        Let ("xv", ld "x" 1);
+        Set_carry ("a0", Carry "a0" +: (ld "W0" 1 *: Temp "xv"));
+        Set_carry ("a1", Carry "a1" +: (ld "W1" 1 *: Temp "xv"));
+        Store ("out", fixed 0, relu (Carry "a0"));
+        Store ("out", fixed 1, relu (Carry "a1"));
+      ];
+    carries = [ ("a0", 0); ("a1", 0) ];
+  }
+
+let cholesky =
+  {
+    name = "cholesky";
+    trip = trip16;
+    body =
+      [
+        Set_carry ("acc", Carry "acc" +: (ld "L" 1 *: ld "Lt" 1));
+        Store ("x", fixed 0, ld "Ad" (* diagonal element *) 0 -: Carry "acc");
+      ];
+    carries = [ ("acc", 0) ];
+  }
+
+let durbin =
+  {
+    name = "durbin";
+    trip = trip16;
+    body =
+      [
+        Set_carry ("acc", Carry "acc" +: (Load ("r", { scale = -1; shift = trip16 - 1 }) *: ld "y" 1));
+        Store ("z", idx 1, (p "alpha" *: ld "y" 1) +: Carry "acc");
+      ];
+    carries = [ ("acc", 0) ];
+  }
+
+let fdtd =
+  {
+    name = "fdtd";
+    trip = trip16;
+    body =
+      [
+        Store ("ey", idx ~shift:1 1, ld "ey" ~shift:1 1 -: (p "c" *: (ld "hz" ~shift:1 1 -: ld "hz" 1)));
+      ];
+    carries = [];
+  }
+
+let gramsc =
+  {
+    name = "gramsc";
+    trip = trip16;
+    body =
+      [
+        Set_carry ("nrm", Carry "nrm" +: (ld "A" 1 *: ld "A" 1));
+        Store ("q", idx 1, ld "A" 1 -: asr_ (Carry "nrm") 4);
+      ];
+    carries = [ ("nrm", 0) ];
+  }
+
+let jacobi =
+  {
+    name = "jacobi";
+    trip = trip16;
+    body =
+      [
+        Store
+          ( "Bv", idx 1,
+            asr_ ((ld "Av" 1 +: ld "Av" ~shift:1 1) +: ld "Av" ~shift:2 1) 2 );
+      ];
+    carries = [];
+  }
+
+let seidel =
+  {
+    name = "seidel";
+    trip = trip16;
+    body =
+      [
+        Store
+          ( "Av", idx ~shift:1 1,
+            asr_ ((ld "Av" 1 +: ld "Av" ~shift:1 1) +: ld "Av" ~shift:2 1) 2 );
+      ];
+    carries = [];
+  }
+
+let params_of = function
+  | "atax" -> [ ("t", 3) ]
+  | "bicg" -> [ ("r", 5) ]
+  | "gemm" -> [ ("alpha", 3); ("beta", 2); ("c0", 7) ]
+  | "gemver" -> [ ("u1", 2); ("u2", 3) ]
+  | "gesummv" -> [ ("alpha", 3); ("beta", 2) ]
+  | "conv2x2" -> [ ("w00", 1); ("w01", -2); ("w10", 3); ("w11", -1) ]
+  | "conv3x3" ->
+    [ ("w00", 1); ("w01", -2); ("w02", 1); ("w10", 2); ("w11", 4); ("w12", -2);
+      ("w20", 1); ("w21", -1); ("w22", 2) ]
+  | "dwconv" -> [ ("w0", 3); ("w1", -2) ]
+  | "durbin" -> [ ("alpha", 2) ]
+  | "fdtd" -> [ ("c", 2) ]
+  | _ -> []

@@ -1,0 +1,60 @@
+(** The evaluated kernels (Table 2), written in the kernel DSL.
+
+    Linear algebra and image kernels follow PolyBench; machine-learning
+    kernels follow TinyML.  Each function returns the innermost loop body
+    of the kernel (what the paper's pragma marks), with the listed live-in
+    parameters.  DFG node counts differ somewhat from Table 2 — the paper
+    lowers through LLVM, we lower through the DSL — and the measured
+    characteristics are reported in EXPERIMENTS.md. *)
+
+val atax : Plaid_ir.Kernel.t
+(** tmp += A[j]*x[j] fused with y[j] += A[j]*t. *)
+
+val bicg : Plaid_ir.Kernel.t
+(** s[j] += r*A[j] and q += A[j]*p[j]. *)
+
+val doitgen : Plaid_ir.Kernel.t
+(** sum += A[p]*C4[p] with running store. *)
+
+val gemm : Plaid_ir.Kernel.t
+(** acc += alpha*A[k]*B[k], C written with beta scaling. *)
+
+val gemver : Plaid_ir.Kernel.t
+(** A[j] += u1*v1[j] + u2*v2[j]. *)
+
+val gesummv : Plaid_ir.Kernel.t
+(** tmp += A[j]*x[j]; y += B[j]*x[j]; scaled outputs. *)
+
+val conv2x2 : Plaid_ir.Kernel.t
+(** 2x2 convolution over two rows, with ReLU. *)
+
+val conv3x3 : Plaid_ir.Kernel.t
+(** 3x3 convolution over three rows, with ReLU. *)
+
+val dwconv : Plaid_ir.Kernel.t
+(** two-tap depthwise convolution (trip 15 so unroll 5 divides). *)
+
+val fc : Plaid_ir.Kernel.t
+(** two interleaved dot products with ReLU outputs. *)
+
+val cholesky : Plaid_ir.Kernel.t
+(** acc += L[k]*Lt[k]; x = A - acc. *)
+
+val durbin : Plaid_ir.Kernel.t
+(** acc += r[n-k]*y[k] (reversed access) with scaled output. *)
+
+val fdtd : Plaid_ir.Kernel.t
+(** ey[i] -= c*(hz[i] - hz[i-1]). *)
+
+val gramsc : Plaid_ir.Kernel.t
+(** nrm += A[k]*A[k]; normalized column write. *)
+
+val jacobi : Plaid_ir.Kernel.t
+(** B[i] = c*(A[i-1] + A[i] + A[i+1]): two-array stencil, no recurrence. *)
+
+val seidel : Plaid_ir.Kernel.t
+(** A[i+1] = (A[i]+A[i+1]+A[i+2])/4 in place: true loop-carried stencil. *)
+
+val params_of : string -> (string * int) list
+(** Live-in parameter values for a kernel (by base kernel name), used when
+    preloading the scratchpad. *)

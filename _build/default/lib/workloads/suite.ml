@@ -1,0 +1,52 @@
+type domain = Linear_algebra | Machine_learning | Image
+
+type entry = {
+  base : Plaid_ir.Kernel.t;
+  unroll : int;
+  domain : domain;
+}
+
+let domain_to_string = function
+  | Linear_algebra -> "linear-algebra"
+  | Machine_learning -> "machine-learning"
+  | Image -> "image"
+
+let name e =
+  if e.unroll = 1 then e.base.Plaid_ir.Kernel.name
+  else Printf.sprintf "%s_u%d" e.base.Plaid_ir.Kernel.name e.unroll
+
+let la k u = { base = k; unroll = u; domain = Linear_algebra }
+let ml k u = { base = k; unroll = u; domain = Machine_learning }
+let im k u = { base = k; unroll = u; domain = Image }
+
+(* Table 2: six linear-algebra kernels at unroll 2 and 4, five ML kernels,
+   and the image/stencil set — 30 DFGs. *)
+let table2 =
+  [
+    la Kernels.atax 2; la Kernels.atax 4;
+    la Kernels.bicg 2; la Kernels.bicg 4;
+    la Kernels.doitgen 2; la Kernels.doitgen 4;
+    la Kernels.gemm 2; la Kernels.gemm 4;
+    la Kernels.gemver 2; la Kernels.gemver 4;
+    la Kernels.gesummv 2; la Kernels.gesummv 4;
+    ml Kernels.conv2x2 1; ml Kernels.conv3x3 1;
+    ml Kernels.dwconv 1; ml Kernels.dwconv 5;
+    ml Kernels.fc 1;
+    im Kernels.cholesky 2; im Kernels.cholesky 4;
+    im Kernels.durbin 2; im Kernels.durbin 4;
+    im Kernels.fdtd 2; im Kernels.fdtd 4;
+    im Kernels.gramsc 2; im Kernels.gramsc 4;
+    im Kernels.jacobi 1; im Kernels.jacobi 2; im Kernels.jacobi 4;
+    im Kernels.seidel 1; im Kernels.seidel 2;
+  ]
+
+let ml_entries = List.filter (fun e -> e.domain = Machine_learning) table2
+
+let dfg e = Plaid_ir.Lower.lower (Plaid_ir.Unroll.apply e.base e.unroll)
+
+let params e = Kernels.params_of e.base.Plaid_ir.Kernel.name
+
+let find n =
+  match List.find_opt (fun e -> name e = n) table2 with
+  | Some e -> e
+  | None -> raise Not_found

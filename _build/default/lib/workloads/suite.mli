@@ -1,0 +1,28 @@
+(** The 30-DFG evaluation suite (Table 2) and helpers. *)
+
+type domain = Linear_algebra | Machine_learning | Image
+
+type entry = {
+  base : Plaid_ir.Kernel.t;
+  unroll : int;
+  domain : domain;
+}
+
+val domain_to_string : domain -> string
+
+val name : entry -> string
+(** "gemm_u2" style; "_u1" suffix omitted. *)
+
+val table2 : entry list
+(** The 30 evaluated DFGs, in Table 2 order. *)
+
+val ml_entries : entry list
+(** The machine-learning subset (Figure 19). *)
+
+val dfg : entry -> Plaid_ir.Dfg.t
+(** Unroll then lower. *)
+
+val params : entry -> (string * int) list
+
+val find : string -> entry
+(** Lookup by {!name}.  @raise Not_found. *)

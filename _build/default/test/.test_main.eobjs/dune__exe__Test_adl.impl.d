@@ -1,0 +1,1 @@
+test/test_adl.ml: Alcotest Array Filename Format List Option Plaid_arch Plaid_core Plaid_mapping Plaid_workloads Sys

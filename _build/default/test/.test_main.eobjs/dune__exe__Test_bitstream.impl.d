@@ -1,0 +1,1 @@
+test/test_bitstream.ml: Alcotest Anneal Array Bitstream Dfg Driver Format Lazy List Mapping Op Plaid_arch Plaid_core Plaid_ir Plaid_mapping Plaid_workloads String

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Analysis Anneal Driver Exact Generate Lazy List Mapping Plaid_arch Plaid_ir Plaid_mapping Schedule

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Lazy List Plaid_arch Plaid_core Plaid_exp Plaid_ir Plaid_mapping Plaid_workloads

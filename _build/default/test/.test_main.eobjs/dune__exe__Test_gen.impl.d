@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Analysis Array Dfg Gen Generate Lazy List Plaid_arch Plaid_core Plaid_ir Plaid_mapping Plaid_sim Plaid_workloads QCheck QCheck_alcotest Random

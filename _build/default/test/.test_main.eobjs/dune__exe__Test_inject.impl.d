@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Anneal Array Dfg Driver Lazy List Mapping Op Plaid_arch Plaid_ir Plaid_mapping Plaid_workloads

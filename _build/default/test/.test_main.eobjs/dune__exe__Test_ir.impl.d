@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Analysis Array Dfg Hashtbl Kernel List Lower Op Plaid_ir Plaid_util Printf QCheck QCheck_alcotest Random String Unroll

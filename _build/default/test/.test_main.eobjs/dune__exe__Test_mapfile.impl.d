@@ -1,0 +1,1 @@
+test/test_mapfile.ml: Alcotest Anneal Array Dfg Driver Lazy List Mapfile Mapping Op Option Plaid_arch Plaid_ir Plaid_mapping Plaid_sim Plaid_workloads Printf String

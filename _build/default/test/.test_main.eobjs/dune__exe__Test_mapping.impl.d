@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Analysis Anneal Array Dfg Driver Gen Kernel Lazy List Lower Mapping Mrrg Op Pathfinder Plaid_arch Plaid_ir Plaid_mapping QCheck QCheck_alcotest Random Route Schedule

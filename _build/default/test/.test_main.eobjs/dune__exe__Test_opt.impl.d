@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Dfg Gen Hashtbl List Op Opt Plaid_ir Plaid_sim Plaid_util Plaid_workloads Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Format Hashtbl Kernel List Lower Op Parse Plaid_arch Plaid_ir Plaid_mapping Plaid_sim Plaid_workloads String

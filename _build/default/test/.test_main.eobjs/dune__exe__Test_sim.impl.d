@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dfg Gen Hashtbl Kernel Lazy List Lower Op Plaid_arch Plaid_core Plaid_ir Plaid_mapping Plaid_sim Plaid_workloads Printf QCheck QCheck_alcotest Random

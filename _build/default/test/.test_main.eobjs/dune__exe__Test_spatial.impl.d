@@ -1,0 +1,1 @@
+test/test_spatial.ml: Alcotest Analysis Dfg Kernel Lazy List Lower Op Partition Plaid_ir Plaid_mapping Plaid_sim Plaid_spatial Plaid_workloads Spatial String Unroll

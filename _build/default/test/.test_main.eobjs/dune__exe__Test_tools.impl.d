@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Lazy List Plaid_arch Plaid_core Plaid_mapping Plaid_sim Plaid_workloads Printf String

@@ -1,0 +1,128 @@
+(* Tests for configuration bitstream generation: every valid mapping must
+   encode, stay within the architecture's configuration budget, and decode
+   back to the routed sources. *)
+
+open Plaid_mapping
+
+let check = Alcotest.check
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4")
+
+let plaid2 = lazy (Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"p2" ())
+
+let map_st name =
+  let e = Plaid_workloads.Suite.find name in
+  match
+    (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4)
+       ~dfg:(Plaid_workloads.Suite.dfg e) ~seed:5)
+      .Driver.mapping
+  with
+  | Some m -> m
+  | None -> Alcotest.failf "mapping failed for %s" name
+
+let map_plaid name =
+  let e = Plaid_workloads.Suite.find name in
+  match
+    (Plaid_core.Hier_mapper.map ~params:Plaid_core.Hier_mapper.quick ~plaid:(Lazy.force plaid2)
+       ~seed:5 (Plaid_workloads.Suite.dfg e))
+      .Plaid_core.Hier_mapper.mapping
+  with
+  | Some m -> m
+  | None -> Alcotest.failf "plaid mapping failed for %s" name
+
+let test_generate_st () =
+  let m = map_st "gemm_u2" in
+  match Bitstream.generate m with
+  | Error e -> Alcotest.fail e
+  | Ok bs ->
+    check Alcotest.bool "has fields" true (List.length bs.Bitstream.fields > 0);
+    check Alcotest.bool "within budget" true
+      (Bitstream.total_bits bs <= Bitstream.budget_bits bs)
+
+let test_generate_plaid () =
+  let m = map_plaid "conv2x2" in
+  match Bitstream.generate m with
+  | Error e -> Alcotest.fail e
+  | Ok bs ->
+    check Alcotest.bool "within budget" true
+      (Bitstream.total_bits bs <= Bitstream.budget_bits bs)
+
+let test_decode_roundtrip () =
+  (* every routed path step must be recoverable from the mux selections *)
+  let m = map_st "dwconv" in
+  match Bitstream.generate m with
+  | Error e -> Alcotest.fail e
+  | Ok bs ->
+    List.iter
+      (fun (r : Mapping.route_entry) ->
+        let e = r.re_edge in
+        let prev = ref m.place.(e.src) in
+        List.iter
+          (fun (res, elapsed) ->
+            let slot = (m.times.(e.src) + elapsed) mod m.ii in
+            (match Bitstream.source_of bs ~res ~slot with
+            | Some src -> check Alcotest.int "decoded source" !prev src
+            | None -> Alcotest.failf "no selection decoded for resource %d slot %d" res slot);
+            prev := res)
+          r.re_path)
+      m.routes
+
+let test_op_encoding_per_fu () =
+  (* a lean (pruned) FU uses a narrower opcode field than a full ALSU *)
+  let m = map_st "gemm_u2" in
+  match Bitstream.generate m with
+  | Error e -> Alcotest.fail e
+  | Ok bs ->
+    let widths =
+      List.filter_map
+        (fun (f : Bitstream.field) -> if f.f_kind = `Op then Some f.f_width else None)
+        bs.Bitstream.fields
+    in
+    check Alcotest.bool "op fields present" true (widths <> []);
+    List.iter (fun w -> check Alcotest.bool "4-5 bits" true (w >= 4 && w <= 5)) widths
+
+let test_imm_range_enforced () =
+  (* immediates beyond 8 bits must be rejected, matching Section 4.3 *)
+  let open Plaid_ir in
+  let b = Dfg.builder ~trip:4 "bigimm" in
+  let ld = Dfg.add_node b ~access:{ array = "x"; offset = 0; stride = 1 } Op.Load in
+  let add = Dfg.add_node b ~imms:[ (1, 1000) ] Op.Add in
+  let st = Dfg.add_node b ~access:{ array = "y"; offset = 0; stride = 1 } Op.Store in
+  Dfg.add_edge b ~src:ld ~dst:add ~operand:0 ();
+  Dfg.add_edge b ~src:add ~dst:st ~operand:0 ();
+  let g = Dfg.finish b in
+  match
+    (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed:5)
+      .Driver.mapping
+  with
+  | None -> Alcotest.fail "mapping failed"
+  | Some m -> (
+    match Bitstream.generate m with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected 8-bit immediate rejection")
+
+let test_listing_renders () =
+  let m = map_st "dwconv" in
+  match Bitstream.generate m with
+  | Error e -> Alcotest.fail e
+  | Ok bs ->
+    let s = Format.asprintf "%a" Bitstream.pp_listing bs in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "mentions total" true (contains s "total")
+
+let suites =
+  [
+    ( "bitstream",
+      [
+        Alcotest.test_case "generate (ST)" `Quick test_generate_st;
+        Alcotest.test_case "generate (Plaid)" `Quick test_generate_plaid;
+        Alcotest.test_case "decode roundtrip" `Quick test_decode_roundtrip;
+        Alcotest.test_case "per-FU opcode width" `Quick test_op_encoding_per_fu;
+        Alcotest.test_case "8-bit immediate enforced" `Quick test_imm_range_enforced;
+        Alcotest.test_case "listing renders" `Quick test_listing_renders;
+      ] );
+  ]

@@ -1,0 +1,161 @@
+(* Failure injection: systematically corrupt mappings and assert the
+   independent validator rejects each corruption class.  The validator is
+   the last line of defence between the mappers and the simulator, so every
+   invariant it claims to check gets a dedicated attack. *)
+
+open Plaid_ir
+open Plaid_mapping
+
+let check = Alcotest.check
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4")
+
+let victim =
+  lazy
+    (match
+       (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4)
+          ~dfg:(Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find "gemm_u2"))
+          ~seed:5)
+         .Driver.mapping
+     with
+    | Some m -> m
+    | None -> Alcotest.fail "victim mapping failed")
+
+let expect_reject name m =
+  match Mapping.validate m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: corrupted mapping accepted" name
+
+let test_reject_bad_fu_kind () =
+  (* placing a node on a port resource *)
+  let m = Lazy.force victim in
+  let place = Array.copy m.Mapping.place in
+  place.(0) <- m.Mapping.place.(0) + 1 (* ports follow the FU in the layout *);
+  expect_reject "port placement" { m with place }
+
+let test_reject_unsupported_op () =
+  (* a load on a compute-only ALU *)
+  let m = Lazy.force victim in
+  let g = m.Mapping.dfg in
+  let load =
+    Array.to_list g.Dfg.nodes
+    |> List.find (fun (nd : Dfg.node) -> nd.op = Op.Load)
+  in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let alu_only = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:3 in
+  let place = Array.copy m.Mapping.place in
+  place.(load.id) <- alu_only;
+  expect_reject "unsupported op" { m with place }
+
+let test_reject_noncausal_schedule () =
+  let m = Lazy.force victim in
+  let e = m.Mapping.dfg.Dfg.edges.(0) in
+  let times = Array.copy m.Mapping.times in
+  times.(e.dst) <- times.(e.src) - 3;
+  expect_reject "non-causal edge" { m with times }
+
+let test_reject_truncated_path () =
+  let m = Lazy.force victim in
+  match m.Mapping.routes with
+  | [] -> Alcotest.fail "victim has no routes"
+  | r :: rest -> (
+    match r.Mapping.re_path with
+    | [] -> () (* a bypass route has no interior to truncate *)
+    | _ :: tail ->
+      expect_reject "truncated path" { m with routes = { r with re_path = tail } :: rest })
+
+let test_reject_missing_route () =
+  let m = Lazy.force victim in
+  match m.Mapping.routes with
+  | [] -> Alcotest.fail "victim has no routes"
+  | _ :: rest -> expect_reject "missing route" { m with routes = rest }
+
+let test_reject_teleporting_path () =
+  (* a path step onto a resource with no link from the previous one *)
+  let m = Lazy.force victim in
+  let far = Plaid_arch.Mesh.fu_of_pe Plaid_arch.Mesh.spatio_temporal_4x4 ~row:3 ~col:3 + 1 in
+  match m.Mapping.routes with
+  | [] -> Alcotest.fail "victim has no routes"
+  | r :: rest ->
+    let tampered =
+      { r with Mapping.re_path = (far, 1) :: (match r.re_path with _ :: t -> t | [] -> []) }
+    in
+    expect_reject "teleporting path" { m with routes = tampered :: rest }
+
+let test_reject_wrong_elapsed () =
+  (* break the monotone elapsed sequence *)
+  let m = Lazy.force victim in
+  let bad =
+    List.find_map
+      (fun (r : Mapping.route_entry) ->
+        match r.re_path with
+        | (res, e) :: rest when rest <> [] -> Some (r, (res, e + 5) :: rest)
+        | _ -> None)
+      m.Mapping.routes
+  in
+  match bad with
+  | None -> () (* all routes are single-step; nothing to corrupt *)
+  | Some (r, path) ->
+    let routes =
+      List.map
+        (fun (x : Mapping.route_entry) ->
+          if x == r then { x with re_path = path } else x)
+        m.Mapping.routes
+    in
+    expect_reject "elapsed jump" { m with routes }
+
+let test_reject_double_booked_wire () =
+  (* duplicate a route so the same wire carries two signals... with itself
+     this is legal (same signal); so instead reroute one edge's path onto
+     another edge's resources at conflicting slots by swapping sources *)
+  let m = Lazy.force victim in
+  let distinct =
+    let rec find = function
+      | (a : Mapping.route_entry) :: rest ->
+        let m = Lazy.force victim in
+        let partner =
+          List.find_opt
+            (fun (b : Mapping.route_entry) ->
+              b.re_edge.src <> a.re_edge.src
+              && m.Mapping.place.(b.re_edge.src) <> m.Mapping.place.(a.re_edge.src)
+              && b.re_path <> [] && a.re_path <> [])
+            rest
+        in
+        (match partner with Some b -> Some (a, b) | None -> find rest)
+      | [] -> None
+    in
+    find m.Mapping.routes
+  in
+  match distinct with
+  | None -> ()
+  | Some (a, b) ->
+    (* give b's path to a: a's signal now claims b's wires — either the
+       links don't exist from a's producer or the slots conflict *)
+    let routes =
+      List.map
+        (fun (x : Mapping.route_entry) ->
+          if x == a then { x with Mapping.re_path = b.re_path } else x)
+        m.Mapping.routes
+    in
+    expect_reject "stolen path" { m with routes }
+
+let test_clean_mapping_accepted () =
+  match Mapping.validate (Lazy.force victim) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean mapping rejected: %s" e
+
+let suites =
+  [
+    ( "failure-injection",
+      [
+        Alcotest.test_case "clean accepted" `Quick test_clean_mapping_accepted;
+        Alcotest.test_case "port placement" `Quick test_reject_bad_fu_kind;
+        Alcotest.test_case "unsupported op" `Quick test_reject_unsupported_op;
+        Alcotest.test_case "non-causal schedule" `Quick test_reject_noncausal_schedule;
+        Alcotest.test_case "truncated path" `Quick test_reject_truncated_path;
+        Alcotest.test_case "missing route" `Quick test_reject_missing_route;
+        Alcotest.test_case "teleporting path" `Quick test_reject_teleporting_path;
+        Alcotest.test_case "elapsed jump" `Quick test_reject_wrong_elapsed;
+        Alcotest.test_case "stolen path" `Quick test_reject_double_booked_wire;
+      ] );
+  ]

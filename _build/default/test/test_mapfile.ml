@@ -1,0 +1,121 @@
+(* Tests for mapping object files: save/load round trip, validation on
+   load, tamper rejection, and execution of a reloaded mapping. *)
+
+open Plaid_mapping
+
+let check = Alcotest.check
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st_4x4")
+
+let resolve name = if name = "st_4x4" then Some (Lazy.force st4) else None
+
+let mapped =
+  lazy
+    (let e = Plaid_workloads.Suite.find "gemm_u2" in
+     match
+       (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4)
+          ~dfg:(Plaid_workloads.Suite.dfg e) ~seed:5)
+         .Driver.mapping
+     with
+     | Some m -> m
+     | None -> Alcotest.fail "gemm_u2 should map")
+
+let test_roundtrip () =
+  let m = Lazy.force mapped in
+  match Mapfile.of_string ~resolve (Mapfile.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+    check Alcotest.int "ii" m.Mapping.ii m'.Mapping.ii;
+    check Alcotest.(array int) "times" m.Mapping.times m'.Mapping.times;
+    check Alcotest.(array int) "place" m.Mapping.place m'.Mapping.place;
+    check Alcotest.int "routes" (List.length m.Mapping.routes) (List.length m'.Mapping.routes)
+
+let test_loaded_mapping_executes () =
+  let m = Lazy.force mapped in
+  match Mapfile.of_string ~resolve (Mapfile.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' -> (
+    let e = Plaid_workloads.Suite.find "gemm_u2" in
+    let kernel =
+      Plaid_ir.Unroll.apply e.Plaid_workloads.Suite.base e.Plaid_workloads.Suite.unroll
+    in
+    let spm = Plaid_sim.Spm.of_kernel kernel ~params:(Plaid_workloads.Suite.params e) ~seed:4 in
+    match Plaid_sim.Cycle_sim.verify m' spm with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg)
+
+let test_unknown_arch_rejected () =
+  let m = Lazy.force mapped in
+  match Mapfile.of_string ~resolve:(fun _ -> None) (Mapfile.to_string m) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown-architecture error"
+
+let test_tampered_placement_rejected () =
+  let m = Lazy.force mapped in
+  let text = Mapfile.to_string m in
+  (* move node 0 onto node 1's FU: double-booking must fail validation *)
+  let fu1 =
+    String.split_on_char '\n' text
+    |> List.find_map (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "place"; "1"; fu ] -> Some fu
+           | _ -> None)
+  in
+  let fu1 = Option.get fu1 in
+  let tampered =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "place"; "0"; _ ] -> Printf.sprintf "place 0 %s" fu1
+           | _ -> l)
+    |> String.concat "\n"
+  in
+  match Mapfile.of_string ~resolve tampered with
+  | Error _ -> ()
+  | Ok m' ->
+    (* only acceptable if nodes 0 and 1 occupy different slots *)
+    let slot v = m'.Mapping.times.(v) mod m'.Mapping.ii in
+    if slot 0 = slot 1 then Alcotest.fail "tampered placement accepted"
+
+let test_version_guard () =
+  match Mapfile.of_string ~resolve "bogus-file" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected version rejection"
+
+let test_label_encoding () =
+  (* labels with spaces/percent survive the round trip *)
+  let open Plaid_ir in
+  let b = Dfg.builder ~trip:2 "odd name" in
+  let ld =
+    Dfg.add_node b ~access:{ array = "my array"; offset = 0; stride = 1 } ~label:"load 100%"
+      Op.Load
+  in
+  let st =
+    Dfg.add_node b ~access:{ array = "out"; offset = 0; stride = 1 } Op.Store
+  in
+  Dfg.add_edge b ~src:ld ~dst:st ~operand:0 ();
+  let g = Dfg.finish b in
+  match
+    (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed:2)
+      .Driver.mapping
+  with
+  | None -> Alcotest.fail "mapping failed"
+  | Some m -> (
+    match Mapfile.of_string ~resolve (Mapfile.to_string m) with
+    | Error e -> Alcotest.fail e
+    | Ok m' ->
+      check Alcotest.string "label" "load 100%" (Dfg.node m'.Mapping.dfg 0).label;
+      check Alcotest.string "dfg name" "odd name" m'.Mapping.dfg.Dfg.name)
+
+let suites =
+  [
+    ( "mapfile",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "loaded mapping executes" `Quick test_loaded_mapping_executes;
+        Alcotest.test_case "unknown arch rejected" `Quick test_unknown_arch_rejected;
+        Alcotest.test_case "tampering rejected" `Quick test_tampered_placement_rejected;
+        Alcotest.test_case "version guard" `Quick test_version_guard;
+        Alcotest.test_case "label encoding" `Quick test_label_encoding;
+      ] );
+  ]

@@ -1,0 +1,364 @@
+(* Tests for plaid_arch + plaid_mapping: architecture invariants, MRRG
+   occupancy rules, scheduling, routing, and end-to-end mapping with both
+   baseline mappers on the 4x4 spatio-temporal mesh. *)
+
+open Plaid_ir
+open Plaid_mapping
+
+let check = Alcotest.check
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4x4")
+
+(* ------------------------------------------------------------------ arch *)
+
+let test_mesh_counts () =
+  let arch = Lazy.force st4 in
+  check Alcotest.int "16 FUs" 16 (Array.length arch.Plaid_arch.Arch.fus);
+  check Alcotest.int "4 memory FUs" 4 (Array.length arch.Plaid_arch.Arch.mem_fus)
+
+let test_mesh_capacity () =
+  let cap = Plaid_arch.Arch.capacity (Lazy.force st4) in
+  check Alcotest.int "total" 16 cap.Analysis.total_slots;
+  check Alcotest.int "memory" 4 cap.Analysis.memory_slots
+
+let test_fu_supports () =
+  let arch = Lazy.force st4 in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let mem_fu = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+  let alu_fu = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:3 in
+  check Alcotest.bool "alsu loads" true (Plaid_arch.Arch.fu_supports arch mem_fu Op.Load);
+  check Alcotest.bool "alu no loads" false (Plaid_arch.Arch.fu_supports arch alu_fu Op.Load);
+  check Alcotest.bool "alu adds" true (Plaid_arch.Arch.fu_supports arch alu_fu Op.Add);
+  check Alcotest.bool "port is not fu" false (Plaid_arch.Arch.fu_supports arch (mem_fu + 1) Op.Add)
+
+let test_config_bits_positive () =
+  let arch = Lazy.force st4 in
+  let c = arch.Plaid_arch.Arch.config in
+  check Alcotest.bool "compute bits" true (c.compute_bits = 16 * 12);
+  check Alcotest.bool "comm bits substantial" true (c.comm_bits > c.compute_bits)
+
+let test_combinational_loop_rejected () =
+  let cfg = { Plaid_arch.Arch.compute_bits = 0; comm_bits = 0; entries = 4; clock_gated = false } in
+  let b = Plaid_arch.Arch.builder ~name:"loopy" ~config:cfg () in
+  let p1 = Plaid_arch.Arch.add_resource b ~name:"p1" ~kind:Plaid_arch.Arch.Port ~tile:(0, 0) ~area_class:"router_port" in
+  let p2 = Plaid_arch.Arch.add_resource b ~name:"p2" ~kind:Plaid_arch.Arch.Port ~tile:(0, 0) ~area_class:"router_port" in
+  Plaid_arch.Arch.add_link b ~src:p1 ~dst:p2 ~latency:0;
+  Plaid_arch.Arch.add_link b ~src:p2 ~dst:p1 ~latency:0;
+  match Plaid_arch.Arch.freeze b with
+  | _ -> Alcotest.fail "expected combinational loop rejection"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ mrrg *)
+
+let test_mrrg_fu_exclusive () =
+  let arch = Lazy.force st4 in
+  let mrrg = Mrrg.create arch ~ii:2 in
+  let fu = arch.Plaid_arch.Arch.fus.(0) in
+  Mrrg.place_node mrrg ~node:0 ~fu ~slot:0;
+  check Alcotest.bool "slot 0 busy" false (Mrrg.fu_free mrrg ~fu ~slot:0);
+  check Alcotest.bool "slot 1 free" true (Mrrg.fu_free mrrg ~fu ~slot:1);
+  (match Mrrg.place_node mrrg ~node:1 ~fu ~slot:0 with
+  | _ -> Alcotest.fail "expected exclusivity"
+  | exception Invalid_argument _ -> ());
+  Mrrg.unplace_node mrrg ~node:0 ~fu ~slot:0;
+  check Alcotest.bool "freed" true (Mrrg.fu_free mrrg ~fu ~slot:0)
+
+let test_mrrg_signal_sharing () =
+  let arch = Lazy.force st4 in
+  let mrrg = Mrrg.create arch ~ii:2 in
+  let res = 1 (* some port *) in
+  let s1 = { Mrrg.s_node = 5; s_elapsed = 1 } in
+  let s2 = { Mrrg.s_node = 6; s_elapsed = 1 } in
+  check Alcotest.bool "free" true (Mrrg.can_use mrrg ~res ~slot:0 s1);
+  Mrrg.occupy mrrg ~res ~slot:0 s1;
+  check Alcotest.bool "same signal shares" true (Mrrg.can_use mrrg ~res ~slot:0 s1);
+  check Alcotest.bool "other signal blocked" false (Mrrg.can_use mrrg ~res ~slot:0 s2);
+  Mrrg.occupy mrrg ~res ~slot:0 s1;
+  Mrrg.release mrrg ~res ~slot:0 s1;
+  check Alcotest.bool "still held (refcount)" false (Mrrg.can_use mrrg ~res ~slot:0 s2);
+  Mrrg.release mrrg ~res ~slot:0 s1;
+  check Alcotest.bool "released" true (Mrrg.can_use mrrg ~res ~slot:0 s2)
+
+let test_mrrg_overuse () =
+  let arch = Lazy.force st4 in
+  let mrrg = Mrrg.create arch ~ii:1 in
+  let s1 = { Mrrg.s_node = 1; s_elapsed = 1 } in
+  let s2 = { Mrrg.s_node = 2; s_elapsed = 1 } in
+  check Alcotest.int "no overuse" 0 (Mrrg.overuse mrrg);
+  Mrrg.occupy mrrg ~res:1 ~slot:0 s1;
+  Mrrg.occupy mrrg ~res:1 ~slot:0 s2;
+  check Alcotest.int "one violation" 1 (Mrrg.overuse mrrg);
+  check Alcotest.int "presence" 2 (Mrrg.presence mrrg ~res:1 ~slot:0)
+
+(* -------------------------------------------------------------- schedule *)
+
+let saxpy_dfg () =
+  Lower.lower
+    {
+      Kernel.name = "saxpy";
+      trip = 16;
+      body =
+        [
+          Kernel.Let ("t", Kernel.Binop (Op.Mul, Kernel.Param "a", Kernel.Load ("x", Kernel.idx 1)));
+          Kernel.Store
+            ("y", Kernel.idx 1, Kernel.Binop (Op.Add, Kernel.Temp "t", Kernel.Load ("y", Kernel.idx 1)));
+        ];
+      carries = [];
+    }
+
+let sumsq_dfg () =
+  Lower.lower
+    {
+      Kernel.name = "sumsq";
+      trip = 16;
+      body =
+        [
+          Kernel.Let
+            ("sq", Kernel.Binop (Op.Mul, Kernel.Load ("x", Kernel.idx 1), Kernel.Load ("x", Kernel.idx 1)));
+          Kernel.Set_carry ("s", Kernel.Binop (Op.Add, Kernel.Carry "s", Kernel.Temp "sq"));
+          Kernel.Store ("out", Kernel.fixed 0, Kernel.Carry "s");
+        ];
+      carries = [ ("s", 0) ];
+    }
+
+let test_schedule_satisfies_edges () =
+  let g = saxpy_dfg () in
+  let cap = Plaid_arch.Arch.capacity (Lazy.force st4) in
+  List.iter
+    (fun ii ->
+      match Schedule.compute g ~ii ~cap with
+      | None -> Alcotest.failf "no schedule at II=%d" ii
+      | Some times ->
+        Array.iter
+          (fun (e : Dfg.edge) ->
+            if times.(e.dst) < times.(e.src) + 1 - (e.dist * ii) then
+              Alcotest.fail "edge constraint violated")
+          g.Dfg.edges)
+    [ 1; 2; 3 ]
+
+let test_schedule_pressure () =
+  (* 6 loads at II=2 with 4 memory slots: must spread across slots *)
+  let b = Dfg.builder "loads" in
+  for i = 0 to 5 do
+    ignore (Dfg.add_node b ~access:{ array = "a"; offset = i; stride = 0 } Op.Load)
+  done;
+  let g = Dfg.finish b in
+  let cap = { Analysis.total_slots = 16; memory_slots = 4 } in
+  match Schedule.compute g ~ii:2 ~cap with
+  | None -> Alcotest.fail "expected schedule"
+  | Some times ->
+    let per_slot = Array.make 2 0 in
+    Array.iter (fun t -> per_slot.(t mod 2) <- (per_slot.(t mod 2) + 1)) times;
+    check Alcotest.bool "within capacity" true (per_slot.(0) <= 4 && per_slot.(1) <= 4)
+
+let test_slack_bounds () =
+  let g = saxpy_dfg () in
+  let cap = Plaid_arch.Arch.capacity (Lazy.force st4) in
+  match Schedule.compute g ~ii:2 ~cap with
+  | None -> Alcotest.fail "no schedule"
+  | Some times ->
+    for v = 0 to Dfg.n_nodes g - 1 do
+      let lo, hi = Schedule.slack g ~times ~ii:2 ~node:v in
+      if not (lo <= times.(v) && times.(v) <= hi) then
+        Alcotest.failf "current time outside its own slack [%d,%d] for node %d" lo hi v
+    done
+
+(* ----------------------------------------------------------------- route *)
+
+let test_route_adjacent () =
+  let arch = Lazy.force st4 in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let mrrg = Mrrg.create arch ~ii:2 in
+  let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+  let dst = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:1 in
+  match Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:1 ~mode:Route.Hard with
+  | None -> Alcotest.fail "no route to neighbour"
+  | Some (path, _) ->
+    (* outreg (elapsed 1) then neighbour inport (elapsed 1) *)
+    check Alcotest.int "two wire steps" 2 (List.length path)
+
+let test_route_distance_needs_cycles () =
+  let arch = Lazy.force st4 in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let mrrg = Mrrg.create arch ~ii:4 in
+  let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+  let dst = Plaid_arch.Mesh.fu_of_pe p ~row:3 ~col:3 in
+  (* manhattan distance 6: cannot arrive in fewer than 6 cycles *)
+  check Alcotest.bool "too short fails" true
+    (Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:3 ~mode:Route.Hard = None);
+  check Alcotest.bool "exact works" true
+    (Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:6 ~mode:Route.Hard <> None)
+
+let test_route_padding () =
+  (* Longer-than-shortest routes pad in registers. *)
+  let arch = Lazy.force st4 in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let mrrg = Mrrg.create arch ~ii:4 in
+  let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+  let dst = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:1 in
+  match Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:4 ~mode:Route.Hard with
+  | None -> Alcotest.fail "padding route not found"
+  | Some (path, _) -> check Alcotest.bool "path uses >= 4 steps" true (List.length path >= 4)
+
+let test_route_self_loop () =
+  (* Accumulator feedback at II=1: value circulates every cycle. *)
+  let arch = Lazy.force st4 in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let mrrg = Mrrg.create arch ~ii:1 in
+  let fu = Plaid_arch.Mesh.fu_of_pe p ~row:1 ~col:1 in
+  match Route.find mrrg ~src_fu:fu ~src_node:0 ~t_src:0 ~dst_fu:fu ~length:1 ~mode:Route.Hard with
+  | None -> Alcotest.fail "self feedback not routable"
+  | Some (path, _) -> check Alcotest.int "through outreg only" 1 (List.length path)
+
+let test_route_respects_occupancy () =
+  let arch = Lazy.force st4 in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let mrrg = Mrrg.create arch ~ii:1 in
+  let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+  let dst = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:1 in
+  (* Block with a foreign signal on every route taken until exhaustion. *)
+  let rec burn k =
+    if k > 50 then Alcotest.fail "never exhausted"
+    else
+      match
+        Route.find mrrg ~src_fu:src ~src_node:k ~t_src:0 ~dst_fu:dst ~length:1 ~mode:Route.Hard
+      with
+      | None -> ()
+      | Some (path, _) -> Route.occupy_path mrrg ~src_node:k ~t_src:0 path; burn (k + 1)
+  in
+  burn 1;
+  check Alcotest.bool "hard mode eventually refuses" true
+    (Route.find mrrg ~src_fu:src ~src_node:9999 ~t_src:0 ~dst_fu:dst ~length:1 ~mode:Route.Hard
+     = None)
+
+(* ---------------------------------------------------------- end-to-end *)
+
+let validate_or_fail m =
+  match Mapping.validate m with Ok () -> () | Error msg -> Alcotest.failf "invalid mapping: %s" msg
+
+let map_with algo g =
+  let arch = Lazy.force st4 in
+  let out = Driver.map ~algo ~arch ~dfg:g ~seed:7 in
+  match out.Driver.mapping with
+  | None -> Alcotest.failf "mapper failed on %s" g.Dfg.name
+  | Some m -> validate_or_fail m; m
+
+let test_sa_maps_saxpy () =
+  let m = map_with (Driver.Sa Anneal.quick) (saxpy_dfg ()) in
+  check Alcotest.bool "II small" true (m.Mapping.ii <= 3)
+
+let test_sa_maps_sumsq () =
+  let m = map_with (Driver.Sa Anneal.quick) (sumsq_dfg ()) in
+  check Alcotest.bool "II small" true (m.Mapping.ii <= 3)
+
+let test_pf_maps_saxpy () =
+  let m = map_with (Driver.Pf Pathfinder.quick) (saxpy_dfg ()) in
+  check Alcotest.bool "II small" true (m.Mapping.ii <= 3)
+
+let test_pf_maps_sumsq () =
+  let m = map_with (Driver.Pf Pathfinder.quick) (sumsq_dfg ()) in
+  check Alcotest.bool "II small" true (m.Mapping.ii <= 3)
+
+let test_perf_cycles_formula () =
+  let m = map_with (Driver.Sa Anneal.quick) (saxpy_dfg ()) in
+  check Alcotest.int "cycles" ((m.Mapping.ii * 15) + Mapping.makespan m) (Mapping.perf_cycles m)
+
+let test_best_of_picks_lower_ii () =
+  let g = saxpy_dfg () in
+  let arch = Lazy.force st4 in
+  let out =
+    Driver.best_of ~algos:[ Driver.Sa Anneal.quick; Driver.Pf Pathfinder.quick ] ~arch ~dfg:g
+      ~seed:3
+  in
+  match out.Driver.mapping with
+  | None -> Alcotest.fail "best_of found nothing"
+  | Some m -> validate_or_fail m
+
+(* Mapping determinism: same seed, same mapping. *)
+let test_mapping_deterministic () =
+  let g = sumsq_dfg () in
+  let arch = Lazy.force st4 in
+  let run () =
+    match (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch ~dfg:g ~seed:99).Driver.mapping with
+    | None -> Alcotest.fail "mapper failed"
+    | Some m -> (m.Mapping.ii, Array.to_list m.Mapping.place, Array.to_list m.Mapping.times)
+  in
+  check
+    Alcotest.(triple int (list int) (list int))
+    "deterministic" (run ()) (run ())
+
+(* Property: for random small reduction DFGs, SA produces valid mappings. *)
+let prop_sa_valid =
+  QCheck.Test.make ~name:"SA mappings validate" ~count:12
+    QCheck.(make Gen.(pair (int_range 1 4) (int_range 0 2)))
+    (fun (muls, extra_loads) ->
+      let b = Dfg.builder ~trip:8 "rand" in
+      let loads =
+        List.init (1 + extra_loads) (fun i ->
+            Dfg.add_node b ~access:{ array = "x"; offset = i; stride = 1 } Op.Load)
+      in
+      let acc = ref (List.hd loads) in
+      for _ = 1 to muls do
+        let m = Dfg.add_node b ~imms:[ (1, 3) ] Op.Mul in
+        Dfg.add_edge b ~src:!acc ~dst:m ~operand:0 ();
+        acc := m
+      done;
+      let st = Dfg.add_node b ~access:{ array = "y"; offset = 0; stride = 1 } Op.Store in
+      Dfg.add_edge b ~src:!acc ~dst:st ~operand:0 ();
+      List.iteri
+        (fun i ld ->
+          if i > 0 then begin
+            let sink = Dfg.add_node b ~imms:[ (1, 1) ] Op.Add in
+            Dfg.add_edge b ~src:ld ~dst:sink ~operand:0 ();
+            let st2 = Dfg.add_node b ~access:{ array = "z"; offset = i; stride = 1 } Op.Store in
+            Dfg.add_edge b ~src:sink ~dst:st2 ~operand:0 ()
+          end)
+        loads;
+      let g = Dfg.finish b in
+      let arch = Lazy.force st4 in
+      match (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch ~dfg:g ~seed:5).Driver.mapping with
+      | None -> false
+      | Some m -> Mapping.validate m = Ok ())
+
+let suites =
+  [
+    ( "arch",
+      [
+        Alcotest.test_case "mesh counts" `Quick test_mesh_counts;
+        Alcotest.test_case "mesh capacity" `Quick test_mesh_capacity;
+        Alcotest.test_case "fu supports" `Quick test_fu_supports;
+        Alcotest.test_case "config bits" `Quick test_config_bits_positive;
+        Alcotest.test_case "combinational loop rejected" `Quick test_combinational_loop_rejected;
+      ] );
+    ( "mrrg",
+      [
+        Alcotest.test_case "fu exclusive" `Quick test_mrrg_fu_exclusive;
+        Alcotest.test_case "signal sharing" `Quick test_mrrg_signal_sharing;
+        Alcotest.test_case "overuse" `Quick test_mrrg_overuse;
+      ] );
+    ( "schedule",
+      [
+        Alcotest.test_case "satisfies edges" `Quick test_schedule_satisfies_edges;
+        Alcotest.test_case "pressure smoothing" `Quick test_schedule_pressure;
+        Alcotest.test_case "slack bounds" `Quick test_slack_bounds;
+      ] );
+    ( "route",
+      [
+        Alcotest.test_case "adjacent" `Quick test_route_adjacent;
+        Alcotest.test_case "distance needs cycles" `Quick test_route_distance_needs_cycles;
+        Alcotest.test_case "padding" `Quick test_route_padding;
+        Alcotest.test_case "self loop" `Quick test_route_self_loop;
+        Alcotest.test_case "respects occupancy" `Quick test_route_respects_occupancy;
+      ] );
+    ( "mappers",
+      [
+        Alcotest.test_case "sa saxpy" `Quick test_sa_maps_saxpy;
+        Alcotest.test_case "sa sumsq" `Quick test_sa_maps_sumsq;
+        Alcotest.test_case "pf saxpy" `Quick test_pf_maps_saxpy;
+        Alcotest.test_case "pf sumsq" `Quick test_pf_maps_sumsq;
+        Alcotest.test_case "perf formula" `Quick test_perf_cycles_formula;
+        Alcotest.test_case "best_of" `Quick test_best_of_picks_lower_ii;
+        Alcotest.test_case "deterministic" `Quick test_mapping_deterministic;
+      ] );
+    ("mapping-properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) t) [ prop_sa_valid ]);
+  ]

@@ -1,0 +1,148 @@
+(* Tests for the DFG optimizer: dead-code elimination, identity forwarding,
+   constant folding, strength reduction — and above all, semantics
+   preservation against the golden reference. *)
+
+open Plaid_ir
+
+let check = Alcotest.check
+
+let spm_of_dfg g seed =
+  let spm = Plaid_sim.Spm.create () in
+  List.iter
+    (fun (name, extent) ->
+      let rng = Plaid_util.Rng.create (seed + Hashtbl.hash name) in
+      Plaid_sim.Spm.ensure spm name extent;
+      for i = 0 to extent - 1 do
+        Plaid_sim.Spm.write spm name i (Plaid_util.Rng.int rng 256 - 128)
+      done)
+    (Dfg.arrays g);
+  spm
+
+let same_semantics g g' =
+  let a = spm_of_dfg g 5 in
+  let b = Plaid_sim.Spm.copy a in
+  Plaid_sim.Reference.run g a;
+  Plaid_sim.Reference.run g' b;
+  Plaid_sim.Spm.dump a = Plaid_sim.Spm.dump b
+
+let test_dce_removes_unused () =
+  let b = Dfg.builder ~trip:4 "dce" in
+  let ld = Dfg.add_node b ~access:{ array = "x"; offset = 0; stride = 1 } Op.Load in
+  let used = Dfg.add_node b ~imms:[ (1, 2) ] Op.Add in
+  let dead = Dfg.add_node b ~imms:[ (1, 3) ] Op.Mul in
+  let dead2 = Dfg.add_node b ~imms:[ (1, 1) ] Op.Sub in
+  Dfg.add_edge b ~src:ld ~dst:used ~operand:0 ();
+  Dfg.add_edge b ~src:ld ~dst:dead ~operand:0 ();
+  Dfg.add_edge b ~src:dead ~dst:dead2 ~operand:0 ();
+  let st = Dfg.add_node b ~access:{ array = "y"; offset = 0; stride = 1 } Op.Store in
+  Dfg.add_edge b ~src:used ~dst:st ~operand:0 ();
+  let g = Dfg.finish b in
+  let g', stats = Opt.optimize g in
+  check Alcotest.int "two dead nodes" 2 stats.Opt.removed_dead;
+  check Alcotest.int "three survivors" 3 (Dfg.n_nodes g');
+  check Alcotest.bool "semantics" true (same_semantics g g')
+
+let test_identity_forwarding () =
+  (* x + 0 and y * 1 disappear *)
+  let b = Dfg.builder ~trip:4 "fwd" in
+  let ld = Dfg.add_node b ~access:{ array = "x"; offset = 0; stride = 1 } Op.Load in
+  let add0 = Dfg.add_node b ~imms:[ (1, 0) ] Op.Add in
+  let mul1 = Dfg.add_node b ~imms:[ (1, 1) ] Op.Mul in
+  let st = Dfg.add_node b ~access:{ array = "y"; offset = 0; stride = 1 } Op.Store in
+  Dfg.add_edge b ~src:ld ~dst:add0 ~operand:0 ();
+  Dfg.add_edge b ~src:add0 ~dst:mul1 ~operand:0 ();
+  Dfg.add_edge b ~src:mul1 ~dst:st ~operand:0 ();
+  let g = Dfg.finish b in
+  let g', stats = Opt.optimize g in
+  check Alcotest.int "two forwarded" 2 stats.Opt.forwarded;
+  check Alcotest.int "load + store remain" 2 (Dfg.n_nodes g');
+  check Alcotest.bool "semantics" true (same_semantics g g')
+
+let test_mul_zero_folds () =
+  let b = Dfg.builder ~trip:4 "fold" in
+  let ld = Dfg.add_node b ~access:{ array = "x"; offset = 0; stride = 1 } Op.Load in
+  let mul0 = Dfg.add_node b ~imms:[ (1, 0) ] Op.Mul in
+  let add = Dfg.add_node b Op.Add in
+  let st = Dfg.add_node b ~access:{ array = "y"; offset = 0; stride = 1 } Op.Store in
+  Dfg.add_edge b ~src:ld ~dst:mul0 ~operand:0 ();
+  Dfg.add_edge b ~src:ld ~dst:add ~operand:0 ();
+  Dfg.add_edge b ~src:mul0 ~dst:add ~operand:1 ();
+  Dfg.add_edge b ~src:add ~dst:st ~operand:0 ();
+  let g = Dfg.finish b in
+  let g', stats = Opt.optimize g in
+  check Alcotest.bool "folded" true (stats.Opt.folded >= 1);
+  check Alcotest.bool "semantics" true (same_semantics g g')
+
+let test_strength_reduction () =
+  let b = Dfg.builder ~trip:4 "sr" in
+  let ld = Dfg.add_node b ~access:{ array = "x"; offset = 0; stride = 1 } Op.Load in
+  let mul8 = Dfg.add_node b ~imms:[ (1, 8) ] Op.Mul in
+  let st = Dfg.add_node b ~access:{ array = "y"; offset = 0; stride = 1 } Op.Store in
+  Dfg.add_edge b ~src:ld ~dst:mul8 ~operand:0 ();
+  Dfg.add_edge b ~src:mul8 ~dst:st ~operand:0 ();
+  let g = Dfg.finish b in
+  let g', stats = Opt.optimize g in
+  check Alcotest.int "one reduced" 1 stats.Opt.reduced;
+  let has_shift =
+    Array.exists (fun (nd : Dfg.node) -> nd.op = Op.Shl) g'.Dfg.nodes
+  in
+  check Alcotest.bool "shift present" true has_shift;
+  check Alcotest.bool "no mul" true
+    (not (Array.exists (fun (nd : Dfg.node) -> nd.op = Op.Mul) g'.Dfg.nodes));
+  check Alcotest.bool "semantics" true (same_semantics g g')
+
+let test_accumulator_untouched () =
+  (* a self-loop accumulator must never be folded away *)
+  let g = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find "gemm_u2") in
+  let g', _ = Opt.optimize g in
+  check Alcotest.bool "semantics preserved" true (same_semantics g g');
+  check Alcotest.bool "back edges kept" true (Dfg.max_dist g' >= 1)
+
+let test_suite_semantics_preserved () =
+  List.iter
+    (fun e ->
+      let g = Plaid_workloads.Suite.dfg e in
+      let g', _ = Opt.optimize g in
+      if not (same_semantics g g') then
+        Alcotest.failf "optimizer broke %s" (Plaid_workloads.Suite.name e))
+    Plaid_workloads.Suite.table2
+
+let prop_optimizer_safe =
+  QCheck.Test.make ~name:"optimizer preserves random kernels" ~count:40
+    QCheck.(
+      make
+        ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+        Gen.(triple (int_range 0 4) (int_range 0 2) (oneofl [ 0; 1; 2; 8 ])))
+    (fun (nops, dead_ops, magic) ->
+      let b = Dfg.builder ~trip:4 "rand" in
+      let ld = Dfg.add_node b ~access:{ array = "x"; offset = 0; stride = 1 } Op.Load in
+      let cur = ref ld in
+      for k = 0 to nops - 1 do
+        let op = if k mod 2 = 0 then Op.Add else Op.Mul in
+        let node = Dfg.add_node b ~imms:[ (1, magic) ] op in
+        Dfg.add_edge b ~src:!cur ~dst:node ~operand:0 ();
+        cur := node
+      done;
+      for _ = 1 to dead_ops do
+        let d = Dfg.add_node b ~imms:[ (1, 7) ] Op.Xor in
+        Dfg.add_edge b ~src:ld ~dst:d ~operand:0 ()
+      done;
+      let st = Dfg.add_node b ~access:{ array = "y"; offset = 0; stride = 1 } Op.Store in
+      Dfg.add_edge b ~src:!cur ~dst:st ~operand:0 ();
+      let g = Dfg.finish b in
+      let g', _ = Opt.optimize g in
+      same_semantics g g')
+
+let suites =
+  [
+    ( "opt",
+      [
+        Alcotest.test_case "dce" `Quick test_dce_removes_unused;
+        Alcotest.test_case "identity forwarding" `Quick test_identity_forwarding;
+        Alcotest.test_case "mul by zero folds" `Quick test_mul_zero_folds;
+        Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+        Alcotest.test_case "accumulator untouched" `Quick test_accumulator_untouched;
+        Alcotest.test_case "suite semantics" `Quick test_suite_semantics_preserved;
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) prop_optimizer_safe;
+      ] );
+  ]

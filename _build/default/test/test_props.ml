@@ -1,0 +1,155 @@
+(* Cross-cutting property tests: router conservation laws, MRRG occupancy
+   restoration, schedule invariants, example kernel sources, and motif
+   algebra (Section 3.2's exhaustiveness claim). *)
+
+open Plaid_ir
+open Plaid_mapping
+
+let check = Alcotest.check
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4")
+
+(* ---------------------------------------------------------------- router *)
+
+(* every found path has exactly the requested latency *)
+let prop_route_exact_length =
+  QCheck.Test.make ~name:"routes have the requested latency" ~count:60
+    QCheck.(
+      make
+        ~print:(fun (a, b, l, ii) -> Printf.sprintf "src=%d dst=%d len=%d ii=%d" a b l ii)
+        Gen.(quad (int_range 0 15) (int_range 0 15) (int_range 1 8) (int_range 1 4)))
+    (fun (src_pe, dst_pe, len, ii) ->
+      let arch = Lazy.force st4 in
+      let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+      let mrrg = Mrrg.create arch ~ii in
+      let src = Plaid_arch.Mesh.fu_of_pe p ~row:(src_pe / 4) ~col:(src_pe mod 4) in
+      let dst = Plaid_arch.Mesh.fu_of_pe p ~row:(dst_pe / 4) ~col:(dst_pe mod 4) in
+      match Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:len ~mode:Route.Hard with
+      | None -> true (* absence is legal; presence must be exact *)
+      | Some (path, _) ->
+        (* the last step's elapsed never exceeds len, and elapsed values are
+           non-decreasing with steps of at most one *)
+        let ok, _ =
+          List.fold_left
+            (fun (ok, prev) (_, e) -> (ok && e >= prev && e - prev <= 1 && e <= len, e))
+            (true, 0) path
+        in
+        ok)
+
+(* occupy + release leaves the MRRG exactly as before *)
+let prop_route_release_restores =
+  QCheck.Test.make ~name:"release restores occupancy" ~count:40
+    QCheck.(make Gen.(pair (int_range 0 15) (int_range 1 6)))
+    (fun (dst_pe, len) ->
+      let arch = Lazy.force st4 in
+      let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+      let mrrg = Mrrg.create arch ~ii:2 in
+      let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+      let dst = Plaid_arch.Mesh.fu_of_pe p ~row:(dst_pe / 4) ~col:(dst_pe mod 4) in
+      match Route.find mrrg ~src_fu:src ~src_node:7 ~t_src:1 ~dst_fu:dst ~length:len ~mode:Route.Hard with
+      | None -> true
+      | Some (path, _) ->
+        Route.occupy_path mrrg ~src_node:7 ~t_src:1 path;
+        let occupied = Mrrg.overuse mrrg in
+        Route.release_path mrrg ~src_node:7 ~t_src:1 path;
+        let free_again =
+          List.for_all
+            (fun (res, elapsed) ->
+              Mrrg.can_use mrrg ~res ~slot:((1 + elapsed) mod 2)
+                { Mrrg.s_node = 99; s_elapsed = 0 })
+            path
+        in
+        occupied = 0 && free_again)
+
+(* -------------------------------------------------------------- schedule *)
+
+let prop_schedule_sound =
+  QCheck.Test.make ~name:"schedules satisfy every edge for every suite kernel" ~count:15
+    QCheck.(make Gen.(pair (int_range 0 29) (int_range 1 8)))
+    (fun (idx, ii) ->
+      let e = List.nth Plaid_workloads.Suite.table2 idx in
+      let g = Plaid_workloads.Suite.dfg e in
+      let cap = { Analysis.total_slots = 16; memory_slots = 4 } in
+      match Schedule.compute g ~ii ~cap with
+      | None -> true
+      | Some times ->
+        Array.for_all
+          (fun (ed : Dfg.edge) -> times.(ed.dst) >= times.(ed.src) + 1 - (ed.dist * ii))
+          g.Dfg.edges)
+
+(* ------------------------------------------------------------- motifs *)
+
+(* Section 3.2: the three basic motifs exhaust two-edge DAGs on three nodes
+   (the acyclic triangle contains one of them).  Enumerate all two-edge
+   graphs on {0,1,2} and check each matches some motif role assignment. *)
+let test_motif_exhaustiveness () =
+  let all_edges = [ (0, 1); (0, 2); (1, 0); (1, 2); (2, 0); (2, 1) ] in
+  let build_triple edges =
+    (* three Add nodes; edges fill operand slots first, immediates cover the
+       rest, so every two-edge DAG on three nodes validates *)
+    let bb = Dfg.builder "t" in
+    let incoming v = List.length (List.filter (fun (_, d) -> d = v) edges) in
+    let ids =
+      Array.init 3 (fun v ->
+          let imms = List.init (2 - incoming v) (fun k -> (incoming v + k, 1)) in
+          Dfg.add_node bb ~imms Op.Add)
+    in
+    let used = Array.make 3 0 in
+    List.iter
+      (fun (s, d) ->
+        Dfg.add_edge bb ~src:ids.(s) ~dst:ids.(d) ~operand:used.(d) ();
+        used.(d) <- used.(d) + 1)
+      edges;
+    (Dfg.finish bb, ids)
+  in
+  List.iter
+    (fun e1 ->
+      List.iter
+        (fun e2 ->
+          let distinct_nodes =
+            List.length (List.sort_uniq compare [ fst e1; snd e1; fst e2; snd e2 ]) = 3
+          in
+          let acyclic = e1 <> (snd e2, fst e2) in
+          if e1 < e2 && distinct_nodes && acyclic then begin
+            let g, ids = build_triple [ e1; e2 ] in
+            match Plaid_core.Motif.of_nodes g ids.(0) ids.(1) ids.(2) with
+            | Some _ -> ()
+            | None ->
+              Alcotest.failf "no motif for edges (%d,%d) (%d,%d)" (fst e1) (snd e1) (fst e2)
+                (snd e2)
+          end)
+        all_edges)
+    all_edges
+
+(* -------------------------------------------------------- example kernels *)
+
+let test_example_kernels_compile () =
+  let dir = "../../../examples/kernels" in
+  let dir = if Sys.file_exists dir then dir else "examples/kernels" in
+  if Sys.file_exists dir then begin
+    let files = Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".plc") in
+    check Alcotest.bool "found example kernels" true (List.length files >= 3);
+    List.iter
+      (fun f ->
+        match Parse.kernel_of_file (Filename.concat dir f) with
+        | Error e -> Alcotest.failf "%s: %s" f (Format.asprintf "%a" Parse.pp_error e)
+        | Ok k ->
+          let g = Lower.lower k in
+          check Alcotest.bool f true (Dfg.n_nodes g > 0);
+          (* and they interpret without faults *)
+          let params = List.map (fun p -> (p, 3)) (Parse.params k) in
+          let mem = Kernel.memory_for k ~seed:3 in
+          Kernel.interpret k ~params mem)
+      files
+  end
+
+let suites =
+  [
+    ( "properties",
+      List.map (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) t)
+        [ prop_route_exact_length; prop_route_release_restores; prop_schedule_sound ]
+      @ [
+          Alcotest.test_case "motif exhaustiveness" `Quick test_motif_exhaustiveness;
+          Alcotest.test_case "example kernels compile" `Quick test_example_kernels_compile;
+        ] );
+  ]

@@ -1,0 +1,220 @@
+(* Tests for plaid_sim: scratchpad, golden reference, cycle-level simulation
+   of mapped kernels (bit-exactness on both architectures), and property
+   tests cross-checking kernel DSL semantics against the DFG reference. *)
+
+open Plaid_ir
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------- spm *)
+
+let test_spm_roundtrip () =
+  let spm = Plaid_sim.Spm.create () in
+  Plaid_sim.Spm.write spm "a" 3 42;
+  check Alcotest.int "read back" 42 (Plaid_sim.Spm.read spm "a" 3);
+  check Alcotest.int "zero fill" 0 (Plaid_sim.Spm.read spm "a" 0)
+
+let test_spm_bounds () =
+  let spm = Plaid_sim.Spm.create () in
+  Plaid_sim.Spm.ensure spm "a" 4;
+  (match Plaid_sim.Spm.read spm "a" 9 with
+  | _ -> Alcotest.fail "expected bounds error"
+  | exception Invalid_argument _ -> ());
+  match Plaid_sim.Spm.read spm "nope" 0 with
+  | _ -> Alcotest.fail "expected unknown array"
+  | exception Invalid_argument _ -> ()
+
+let test_spm_copy_independent () =
+  let spm = Plaid_sim.Spm.create () in
+  Plaid_sim.Spm.write spm "a" 0 1;
+  let c = Plaid_sim.Spm.copy spm in
+  Plaid_sim.Spm.write c "a" 0 99;
+  check Alcotest.int "original untouched" 1 (Plaid_sim.Spm.read spm "a" 0)
+
+(* -------------------------------------------------------------- reference *)
+
+let sumsq_kernel =
+  {
+    Kernel.name = "sumsq";
+    trip = 8;
+    body =
+      [
+        Kernel.Let
+          ("sq", Kernel.Binop (Op.Mul, Kernel.Load ("x", Kernel.idx 1), Kernel.Load ("x", Kernel.idx 1)));
+        Kernel.Set_carry ("s", Kernel.Binop (Op.Add, Kernel.Carry "s", Kernel.Temp "sq"));
+        Kernel.Store ("out", Kernel.fixed 0, Kernel.Carry "s");
+      ];
+    carries = [ ("s", 0) ];
+  }
+
+let test_reference_matches_kernel_interpreter () =
+  (* the DFG reference and the DSL interpreter agree on every array *)
+  let k = sumsq_kernel in
+  let g = Lower.lower k in
+  let mem = Kernel.memory_for k ~seed:5 in
+  let spm = Plaid_sim.Spm.create () in
+  Hashtbl.iter (fun name a -> Array.iteri (fun i v -> Plaid_sim.Spm.write spm name i v) a) mem;
+  Kernel.interpret k ~params:[] mem;
+  Plaid_sim.Reference.run g spm;
+  Hashtbl.iter
+    (fun name a ->
+      Array.iteri
+        (fun i v -> check Alcotest.int (Printf.sprintf "%s[%d]" name i) v (Plaid_sim.Spm.read spm name i))
+        a)
+    mem
+
+let test_reference_carry_init () =
+  (* a nonzero carry initial value must flow through edge init *)
+  let k = { sumsq_kernel with carries = [ ("s", 100) ] } in
+  let g = Lower.lower k in
+  let mem = Kernel.memory_for k ~seed:6 in
+  let spm = Plaid_sim.Spm.create () in
+  Hashtbl.iter (fun name a -> Array.iteri (fun i v -> Plaid_sim.Spm.write spm name i v) a) mem;
+  Kernel.interpret k ~params:[] mem;
+  Plaid_sim.Reference.run g spm;
+  check Alcotest.int "out agrees with DSL" (Hashtbl.find mem "out").(0)
+    (Plaid_sim.Spm.read spm "out" 0)
+
+(* -------------------------------------------------------------- cycle sim *)
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4")
+
+let plaid2 = lazy (Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"p2" ())
+
+let verify_on_st kernel params =
+  let g = Lower.lower kernel in
+  match
+    (Plaid_mapping.Driver.map
+       ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
+       ~arch:(Lazy.force st4) ~dfg:g ~seed:7)
+      .Plaid_mapping.Driver.mapping
+  with
+  | None -> Alcotest.failf "mapping failed for %s" kernel.Kernel.name
+  | Some m -> (
+    let spm = Plaid_sim.Spm.of_kernel kernel ~params ~seed:3 in
+    match Plaid_sim.Cycle_sim.verify m spm with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "%s: %s" kernel.Kernel.name msg)
+
+let verify_on_plaid kernel params =
+  let g = Lower.lower kernel in
+  match
+    (Plaid_core.Hier_mapper.map ~params:Plaid_core.Hier_mapper.quick ~plaid:(Lazy.force plaid2)
+       ~seed:7 g)
+      .Plaid_core.Hier_mapper.mapping
+  with
+  | None -> Alcotest.failf "plaid mapping failed for %s" kernel.Kernel.name
+  | Some m -> (
+    let spm = Plaid_sim.Spm.of_kernel kernel ~params ~seed:3 in
+    match Plaid_sim.Cycle_sim.verify m spm with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "%s: %s" kernel.Kernel.name msg)
+
+let test_cycle_sim_sumsq_st () = verify_on_st sumsq_kernel []
+
+let test_cycle_sim_sumsq_plaid () = verify_on_plaid sumsq_kernel []
+
+let test_cycle_sim_stencil_st () =
+  (* in-place stencil: exercises memory-ordering edges under modulo overlap *)
+  verify_on_st (Plaid_ir.Unroll.apply Plaid_workloads.Kernels.seidel 1) []
+
+let test_cycle_sim_reduction_unrolled () =
+  verify_on_st (Plaid_ir.Unroll.apply sumsq_kernel 2) []
+
+let test_cycle_sim_reports_stats () =
+  let g = Lower.lower sumsq_kernel in
+  match
+    (Plaid_mapping.Driver.map
+       ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
+       ~arch:(Lazy.force st4) ~dfg:g ~seed:7)
+      .Plaid_mapping.Driver.mapping
+  with
+  | None -> Alcotest.fail "mapping failed"
+  | Some m -> (
+    let spm = Plaid_sim.Spm.of_kernel sumsq_kernel ~params:[] ~seed:3 in
+    match Plaid_sim.Cycle_sim.run m spm with
+    | Error msg -> Alcotest.fail msg
+    | Ok stats ->
+      check Alcotest.int "firings = nodes x trip" (Dfg.n_nodes g * 8) stats.fu_firings;
+      check Alcotest.bool "wire hops positive" true (stats.wire_hops > 0))
+
+(* a corrupted mapping must be caught by the validator (and would fail sim) *)
+let test_validator_catches_tampering () =
+  let g = Lower.lower sumsq_kernel in
+  match
+    (Plaid_mapping.Driver.map
+       ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
+       ~arch:(Lazy.force st4) ~dfg:g ~seed:7)
+      .Plaid_mapping.Driver.mapping
+  with
+  | None -> Alcotest.fail "mapping failed"
+  | Some m ->
+    let tampered = { m with Plaid_mapping.Mapping.times = Array.map (fun t -> t + 1) m.times } in
+    (* shifting every time by one breaks route latencies against back edges *)
+    let tampered2 =
+      { m with Plaid_mapping.Mapping.place = Array.map (fun _ -> m.place.(0)) m.place }
+    in
+    check Alcotest.bool "double-booked placement rejected" true
+      (Plaid_mapping.Mapping.validate tampered2 <> Ok ());
+    ignore tampered
+
+(* property: random small kernels verify bit-exact through the whole flow *)
+let prop_end_to_end =
+  QCheck.Test.make ~name:"mapped execution is bit-exact" ~count:10
+    QCheck.(make ~print:(fun (a, b) -> Printf.sprintf "(%d,%d)" a b)
+      Gen.(pair (int_range 1 3) (oneofl [ 4; 8 ])))
+    (fun (muls, trip) ->
+      let body =
+        List.init muls (fun i ->
+            Kernel.Let
+              ( Printf.sprintf "t%d" i,
+                Kernel.Binop
+                  ( Op.Mul,
+                    Kernel.Load ("x", Kernel.idx ~shift:i 1),
+                    Kernel.Load ("w", Kernel.idx 1) ) ))
+        @ [
+            Kernel.Store
+              ( "y", Kernel.idx 1,
+                List.fold_left
+                  (fun acc i -> Kernel.Binop (Op.Add, acc, Kernel.Temp (Printf.sprintf "t%d" i)))
+                  (Kernel.Iconst 0)
+                  (List.init muls (fun i -> i)) );
+          ]
+      in
+      let k = { Kernel.name = "rand"; trip; body; carries = [] } in
+      let g = Lower.lower k in
+      match
+        (Plaid_mapping.Driver.map
+           ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
+           ~arch:(Lazy.force st4) ~dfg:g ~seed:5)
+          .Plaid_mapping.Driver.mapping
+      with
+      | None -> false
+      | Some m -> (
+        let spm = Plaid_sim.Spm.of_kernel k ~params:[] ~seed:9 in
+        match Plaid_sim.Cycle_sim.verify m spm with Ok _ -> true | Error _ -> false))
+
+let suites =
+  [
+    ( "spm",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_spm_roundtrip;
+        Alcotest.test_case "bounds" `Quick test_spm_bounds;
+        Alcotest.test_case "copy independent" `Quick test_spm_copy_independent;
+      ] );
+    ( "reference",
+      [
+        Alcotest.test_case "matches DSL interpreter" `Quick test_reference_matches_kernel_interpreter;
+        Alcotest.test_case "carry init" `Quick test_reference_carry_init;
+      ] );
+    ( "cycle-sim",
+      [
+        Alcotest.test_case "sumsq on ST" `Quick test_cycle_sim_sumsq_st;
+        Alcotest.test_case "sumsq on Plaid" `Quick test_cycle_sim_sumsq_plaid;
+        Alcotest.test_case "in-place stencil" `Quick test_cycle_sim_stencil_st;
+        Alcotest.test_case "unrolled reduction" `Quick test_cycle_sim_reduction_unrolled;
+        Alcotest.test_case "stats" `Quick test_cycle_sim_reports_stats;
+        Alcotest.test_case "validator catches tampering" `Quick test_validator_catches_tampering;
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) prop_end_to_end;
+      ] );
+  ]

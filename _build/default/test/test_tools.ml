@@ -1,0 +1,117 @@
+(* Tests for the tooling layer: Verilog export, the host invocation model,
+   and the mapping visualizer. *)
+
+let check = Alcotest.check
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st_4x4")
+
+let plaid2 = lazy (Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"plaid_2x2" ())
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --------------------------------------------------------------- verilog *)
+
+let test_verilog_emits_module () =
+  let v = Plaid_arch.Verilog.emit (Lazy.force st4) in
+  check Alcotest.bool "module header" true (contains v "module st_4x4");
+  check Alcotest.bool "endmodule" true (contains v "endmodule");
+  check Alcotest.bool "alu instances" true (contains v "alu #(.N_OPS(15))");
+  check Alcotest.bool "alsu instances" true (contains v "alsu #(.N_OPS(18))")
+
+let test_verilog_stats_match_resources () =
+  let arch = Lazy.force st4 in
+  let regs, muxes, wires = Plaid_arch.Verilog.stats arch in
+  check Alcotest.int "every resource is a wire" (Plaid_arch.Arch.n_resources arch) wires;
+  (* 16 FUs + 64 outregs + 64 regfile entries *)
+  check Alcotest.int "registered elements" (16 + 64 + 64) regs;
+  check Alcotest.bool "mux count positive" true (muxes > 0)
+
+let test_verilog_plaid_fewer_muxes () =
+  (* the headline claim at netlist granularity: Plaid needs fewer muxes
+     than the baseline for the same FU count *)
+  let _, st_muxes, _ = Plaid_arch.Verilog.stats (Lazy.force st4) in
+  let _, plaid_muxes, _ = Plaid_arch.Verilog.stats (Lazy.force plaid2).Plaid_core.Pcu.arch in
+  check Alcotest.bool "plaid leaner" true (plaid_muxes < st_muxes)
+
+let test_verilog_cfg_width_matches () =
+  let arch = Lazy.force st4 in
+  let v = Plaid_arch.Verilog.emit arch in
+  let expected =
+    Printf.sprintf "input  wire [%d:0] cfg_entry"
+      (Plaid_arch.Arch.config_bits_per_entry arch - 1)
+  in
+  check Alcotest.bool "cfg port width" true (contains v expected)
+
+(* ------------------------------------------------------------------ host *)
+
+let mapped =
+  lazy
+    (let e = Plaid_workloads.Suite.find "dwconv" in
+     match
+       (Plaid_core.Hier_mapper.map ~params:Plaid_core.Hier_mapper.quick
+          ~plaid:(Lazy.force plaid2) ~seed:3 (Plaid_workloads.Suite.dfg e))
+         .Plaid_core.Hier_mapper.mapping
+     with
+     | Some m -> m
+     | None -> Alcotest.fail "dwconv should map")
+
+let test_host_invocation_cost () =
+  let m = Lazy.force mapped in
+  let words_in, words_out = Plaid_sim.Host.kernel_words m.Plaid_mapping.Mapping.dfg in
+  check Alcotest.bool "reads input words" true (words_in > 0);
+  check Alcotest.bool "writes output words" true (words_out > 0);
+  let c = Plaid_sim.Host.invoke m ~words_in ~words_out in
+  check Alcotest.int "compute matches mapping"
+    (Plaid_mapping.Mapping.perf_cycles m)
+    c.Plaid_sim.Host.compute_cycles;
+  check Alcotest.bool "config load dominates small kernels" true (c.config_cycles > 0);
+  check Alcotest.int "total adds up"
+    (c.config_cycles + c.dma_in_cycles + c.compute_cycles + c.dma_out_cycles)
+    (Plaid_sim.Host.total c)
+
+let test_host_steady_state_skips_config () =
+  let m = Lazy.force mapped in
+  let c = Plaid_sim.Host.invoke ~already_configured:true m ~words_in:16 ~words_out:16 in
+  check Alcotest.int "no config load" 0 c.Plaid_sim.Host.config_cycles
+
+(* ------------------------------------------------------------------- viz *)
+
+let test_viz_fabric_view () =
+  let m = Lazy.force mapped in
+  let s = Plaid_mapping.Viz.fabric_view m in
+  check Alcotest.bool "one grid per slot" true (contains s "slot 0/");
+  check Alcotest.bool "mentions a node" true (contains s "mul")
+
+let test_viz_route_view () =
+  let m = Lazy.force mapped in
+  let s = Plaid_mapping.Viz.route_view m in
+  check Alcotest.bool "route arrows" true (contains s "->");
+  (* every data edge appears *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  check Alcotest.int "one line per routed edge"
+    (List.length m.Plaid_mapping.Mapping.routes)
+    (List.length lines)
+
+let suites =
+  [
+    ( "verilog",
+      [
+        Alcotest.test_case "emits module" `Quick test_verilog_emits_module;
+        Alcotest.test_case "stats match resources" `Quick test_verilog_stats_match_resources;
+        Alcotest.test_case "plaid fewer muxes" `Quick test_verilog_plaid_fewer_muxes;
+        Alcotest.test_case "cfg width" `Quick test_verilog_cfg_width_matches;
+      ] );
+    ( "host",
+      [
+        Alcotest.test_case "invocation cost" `Quick test_host_invocation_cost;
+        Alcotest.test_case "steady state" `Quick test_host_steady_state_skips_config;
+      ] );
+    ( "viz",
+      [
+        Alcotest.test_case "fabric view" `Quick test_viz_fabric_view;
+        Alcotest.test_case "route view" `Quick test_viz_route_view;
+      ] );
+  ]
