@@ -11,9 +11,20 @@
    generation, the exact-latency router, the hierarchical mapper, the
    cycle-level simulator), one Test.make per component. *)
 
-let run_experiments () =
-  let ctx = Plaid_exp.Ctx.create () in
-  ignore (Plaid_exp.Experiments.all ctx)
+let jobs =
+  (* -j N / --jobs N: worker count for the experiment and speedup sections *)
+  let rec scan = function
+    | ("-j" | "--jobs") :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  match scan (Array.to_list Sys.argv) with
+  | Some n -> max 1 n
+  | None -> Domain.recommended_domain_count ()
+
+let run_experiments pool =
+  let ctx = Plaid_exp.Ctx.create ~pool () in
+  ignore (Plaid_exp.Experiments.all ~pool ctx)
 
 (* --- microbenchmarks --------------------------------------------------- *)
 
@@ -90,7 +101,55 @@ let run_microbenches () =
         results)
     [ bench_motif_gen; bench_router; bench_hier_mapper; bench_simulator ]
 
+(* --- parallel speedup -------------------------------------------------- *)
+
+(* Time the mapper portfolio sequentially and on a [jobs]-worker pool.  The
+   parallel run must produce the same outcomes (asserted below); the point
+   of this section is the wall-clock ratio. *)
+let run_speedup () =
+  Plaid_exp.Ascii.heading (Printf.sprintf "Mapper portfolio speedup (-j %d)" jobs);
+  let kernels = [ "gemm_u2"; "conv3x3"; "jacobi_u2"; "bicg_u2" ] in
+  let arch = Lazy.force st_arch in
+  let algos =
+    [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
+      Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
+  in
+  let portfolio ?pool () =
+    List.map
+      (fun k ->
+        let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find k) in
+        Plaid_mapping.Driver.best_of ?pool ~restarts:2 ~algos ~arch ~dfg ~seed:7 ())
+      kernels
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq = time (fun () -> portfolio ()) in
+  let par, t_par =
+    Plaid_util.Pool.with_pool ~size:jobs (fun pool ->
+        time (fun () -> portfolio ~pool ()))
+  in
+  let ii o =
+    match o.Plaid_mapping.Driver.mapping with
+    | Some m -> m.Plaid_mapping.Mapping.ii
+    | None -> -1
+  in
+  if List.map ii seq <> List.map ii par then
+    failwith "speedup bench: parallel outcomes differ from sequential";
+  List.iter2
+    (fun k o -> Printf.printf "  %-12s II=%d attempts=%d
+" k (ii o) o.Plaid_mapping.Driver.attempts)
+    kernels seq;
+  Printf.printf "  sequential  %.2fs
+  %d workers   %.2fs
+  speedup     %.2fx
+"
+    t_seq jobs t_par (t_seq /. t_par)
+
 let () =
-  run_experiments ();
+  Plaid_util.Pool.with_pool ~size:jobs run_experiments;
+  run_speedup ();
   run_microbenches ();
   print_endline "\nbench: done"

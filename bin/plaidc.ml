@@ -42,6 +42,19 @@ let arch_arg =
 let seed_arg =
   Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"SEED" ~doc:"Mapper RNG seed.")
 
+let jobs_arg =
+  let doc =
+    "Worker-pool width for parallel mapping and experiments.  Defaults to the number of \
+     cores.  Results are identical for every value of $(docv); -j 1 disables parallelism."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Every subcommand resolves -j the same way: explicit value, else the
+   domain count the runtime recommends for this machine. *)
+let with_jobs jobs f =
+  let size = match jobs with Some n -> max 1 n | None -> Domain.recommended_domain_count () in
+  Plaid_util.Pool.with_pool ~size f
+
 let report_mapping ctx name (m : Plaid_mapping.Mapping.t) =
   Printf.printf "%s on %s: II=%d, cycles=%d (outer-scaled %d)\n" name
     m.arch.Plaid_arch.Arch.name m.ii
@@ -74,13 +87,14 @@ let map_cmd =
       & opt (some string) None
       & info [ "o" ] ~docv:"FILE" ~doc:"Save the mapping object file here.")
   in
-  let run kernel arch seed viz out =
+  let run kernel arch seed viz out jobs =
     match Plaid_workloads.Suite.find kernel with
     | exception Not_found ->
       Printf.eprintf "unknown kernel %s; try 'plaidc list'\n" kernel;
       1
-    | entry -> (
-      let ctx = Plaid_exp.Ctx.create ~seed () in
+    | entry ->
+      with_jobs jobs @@ fun pool ->
+      let ctx = Plaid_exp.Ctx.create ~seed ~pool () in
       if String.length arch > 0 && arch.[0] = '@' then begin
         (* architecture from an ADL file *)
         match Plaid_core.Fabrics.of_file (String.sub arch 1 (String.length arch - 1)) with
@@ -94,11 +108,11 @@ let map_cmd =
             | Some pcu ->
               (Plaid_core.Hier_mapper.map ~plaid:pcu ~seed dfg).Plaid_core.Hier_mapper.mapping
             | None ->
-              (Plaid_mapping.Driver.best_of
+              (Plaid_mapping.Driver.best_of ~pool
                  ~algos:
                    [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
                      Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
-                 ~arch:built.Plaid_core.Fabrics.arch ~dfg ~seed)
+                 ~arch:built.Plaid_core.Fabrics.arch ~dfg ~seed ())
                 .Plaid_mapping.Driver.mapping
           in
           match mapping with
@@ -161,11 +175,11 @@ let map_cmd =
           | Some path ->
             Plaid_mapping.Mapfile.save m ~path;
             Printf.printf "saved %s\n" path);
-          0))
+          0)
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map one kernel onto an architecture and verify it")
-    Term.(const run $ kernel_arg $ arch_arg $ seed_arg $ viz_arg $ out_arg)
+    Term.(const run $ kernel_arg $ arch_arg $ seed_arg $ viz_arg $ out_arg $ jobs_arg)
 
 let run_cmd =
   let file_arg =
@@ -268,7 +282,7 @@ let compile_cmd =
       & opt_all (pair ~sep:'=' string int) []
       & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc:"Live-in parameter value (repeatable).")
   in
-  let run file arch seed show_config param_values =
+  let run file arch seed show_config param_values jobs =
     match Plaid_ir.Parse.kernel_of_file file with
     | Error e ->
       Format.eprintf "%s: %a@." file Plaid_ir.Parse.pp_error e;
@@ -278,18 +292,19 @@ let compile_cmd =
       Format.printf "%a@." Plaid_ir.Dfg.pp_stats dfg;
       let dfg, opt_stats = Plaid_ir.Opt.optimize dfg in
       Format.printf "optimizer: %a@." Plaid_ir.Opt.pp_stats opt_stats;
-      let ctx = Plaid_exp.Ctx.create ~seed () in
+      with_jobs jobs @@ fun pool ->
+      let ctx = Plaid_exp.Ctx.create ~seed ~pool () in
       let mapping =
         match arch with
         | "plaid" ->
           (Plaid_core.Hier_mapper.map ~plaid:(Plaid_exp.Ctx.plaid2 ctx) ~seed dfg)
             .Plaid_core.Hier_mapper.mapping
         | "st" ->
-          (Plaid_mapping.Driver.best_of
+          (Plaid_mapping.Driver.best_of ~pool
              ~algos:
                [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
                  Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
-             ~arch:(Plaid_exp.Ctx.st ctx) ~dfg ~seed)
+             ~arch:(Plaid_exp.Ctx.st ctx) ~dfg ~seed ())
             .Plaid_mapping.Driver.mapping
         | other ->
           Printf.eprintf "compile supports -a plaid or -a st, not %s\n" other;
@@ -320,7 +335,7 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a kernel source file end to end")
-    Term.(const run $ file_arg $ arch_arg $ seed_arg $ config_arg $ param_arg)
+    Term.(const run $ file_arg $ arch_arg $ seed_arg $ config_arg $ param_arg $ jobs_arg)
 
 let rtl_cmd =
   let out_arg =
@@ -363,23 +378,17 @@ let exp_cmd =
             "Which experiment to run: table2, fig2, fig12, fig13, fig14, fig15, fig16, fig17, \
              fig18, fig19, utilization, ablations, verify.  Default: all.")
   in
-  let run name seed =
-    let ctx = Plaid_exp.Ctx.create ~seed () in
-    let open Plaid_exp.Experiments in
-    let runners =
-      [ ("table2", table2); ("fig2", fig2); ("fig12", fig12); ("fig13", fig13);
-        ("fig14", fig14); ("fig15", fig15); ("fig16", fig16); ("fig17", fig17);
-        ("fig18", fig18); ("fig19", fig19); ("utilization", utilization);
-        ("ablations", ablations); ("dse", dse); ("verify", verify_all) ]
-    in
+  let run name seed jobs =
+    with_jobs jobs @@ fun pool ->
+    let ctx = Plaid_exp.Ctx.create ~seed ~pool () in
     match name with
     | None ->
-      ignore (all ctx);
+      ignore (Plaid_exp.Experiments.all ~pool ctx);
       0
     | Some n -> (
-      match List.assoc_opt n runners with
+      match List.assoc_opt n Plaid_exp.Experiments.runners with
       | Some f ->
-        ignore (f ctx);
+        ignore (Plaid_exp.Experiments.run ~pool ctx [ (n, f) ]);
         0
       | None ->
         Printf.eprintf "unknown experiment %s\n" n;
@@ -387,7 +396,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ exp_arg $ seed_arg)
+    Term.(const run $ exp_arg $ seed_arg $ jobs_arg)
 
 let () =
   let info =

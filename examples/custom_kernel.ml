@@ -52,7 +52,7 @@ let () =
         ~algos:
           [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
             Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
-        ~arch:st ~dfg ~seed:3)
+        ~arch:st ~dfg ~seed:3 ())
        .Plaid_mapping.Driver.mapping
    with
   | Some m ->

@@ -1,3 +1,33 @@
+(* All experiment output funnels through [emit].  The sink is domain-local:
+   by default text goes straight to stdout, but a task running under
+   [with_capture] collects its output in a private buffer, so experiments
+   executing in parallel on different domains never interleave bytes. *)
+let sink : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let emit s =
+  match !(Domain.DLS.get sink) with
+  | Some b -> Buffer.add_string b s
+  | None -> print_string s
+
+let printf fmt = Printf.ksprintf emit fmt
+
+let with_capture f =
+  let r = Domain.DLS.get sink in
+  let saved = !r in
+  r := Some (Buffer.create 4096);
+  let fin () =
+    let b = match !r with Some b -> Buffer.contents b | None -> "" in
+    r := saved;
+    b
+  in
+  match f () with
+  | v -> (v, fin ())
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (fin ());
+    Printexc.raise_with_backtrace e bt
+
 let table ~headers rows =
   let all = headers :: rows in
   let cols = List.length headers in
@@ -7,7 +37,7 @@ let table ~headers rows =
   let widths = List.init cols width in
   let print_row row =
     List.iteri
-      (fun c cell -> Printf.printf "%-*s%s" (List.nth widths c) cell (if c = cols - 1 then "\n" else "  "))
+      (fun c cell -> printf "%-*s%s" (List.nth widths c) cell (if c = cols - 1 then "\n" else "  "))
       row
   in
   print_row headers;
@@ -29,4 +59,4 @@ let f1 x = Printf.sprintf "%.1f" x
 let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
 
 let heading s =
-  Printf.printf "\n%s\n%s\n" s (String.make (String.length s) '=')
+  printf "\n%s\n%s\n" s (String.make (String.length s) '=')

@@ -1,8 +1,23 @@
 (** Plain-text table rendering and small statistics helpers for the
-    experiment harness. *)
+    experiment harness.
+
+    All output goes through a domain-local sink: by default stdout, but
+    inside {!with_capture} a private buffer.  Experiments print exclusively
+    via this module (and {!printf}), which is what lets the parallel
+    experiment engine buffer each experiment's output and emit it in paper
+    order, byte-identical to a sequential run. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** Like [Printf.printf], into the current domain's sink. *)
+
+val with_capture : (unit -> 'a) -> 'a * string
+(** [with_capture f] runs [f] with output redirected to a fresh buffer and
+    returns [f ()]'s value together with everything it printed.  Capture
+    scopes nest and are per-domain.  On exception the capture is discarded
+    and the exception re-raised. *)
 
 val table : headers:string list -> string list list -> unit
-(** Column-aligned table on stdout. *)
+(** Column-aligned table on the current sink. *)
 
 val geomean : float list -> float
 (** Geometric mean; 1.0 on the empty list; ignores non-positive values. *)

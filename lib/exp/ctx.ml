@@ -3,6 +3,8 @@ open Plaid_workloads
 type t = {
   seed : int;
   outer_trips : int;
+  pool : Plaid_util.Pool.t option;
+  lock : Mutex.t;  (* guards the three memo tables when [t] is shared *)
   st : Plaid_arch.Arch.t Lazy.t;
   st6 : Plaid_arch.Arch.t Lazy.t;
   st_ml : Plaid_arch.Arch.t Lazy.t;
@@ -14,10 +16,12 @@ type t = {
   spatials : (string, (Plaid_spatial.Spatial.result, string) result) Hashtbl.t;
 }
 
-let create ?(seed = 2025) ?(outer = 16) () =
+let create ?(seed = 2025) ?(outer = 16) ?pool () =
   {
     seed;
     outer_trips = outer;
+    pool;
+    lock = Mutex.create ();
     st = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st_4x4");
     st6 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_6x6 ~name:"st_6x6");
     st_ml = lazy (Plaid_core.Specialize.st_ml ());
@@ -31,6 +35,8 @@ let create ?(seed = 2025) ?(outer = 16) () =
 
 let outer t = t.outer_trips
 
+let pool t = t.pool
+
 let st t = Lazy.force t.st
 let st6 t = Lazy.force t.st6
 let st_ml t = Lazy.force t.st_ml
@@ -38,34 +44,56 @@ let plaid2 t = Lazy.force t.plaid2
 let plaid3 t = Lazy.force t.plaid3
 let plaid_ml t = Lazy.force t.plaid_ml
 
-let memo tbl key f =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
-  | None ->
-    let v = f () in
-    Hashtbl.replace tbl key v;
+(* Concurrent forcing of a lazy raises in OCaml 5, so before tasks share a
+   context the architectures must be built once, on the spawning domain. *)
+let prewarm t =
+  ignore (st t); ignore (st6 t); ignore (st_ml t);
+  ignore (plaid2 t); ignore (plaid3 t); ignore (plaid_ml t)
+
+(* Compute outside the lock: mapping results are deterministic functions of
+   the key, so a duplicated computation under contention is wasted work but
+   never a wrong (or torn) value. *)
+let memo t tbl key f =
+  let find_opt () =
+    Mutex.lock t.lock;
+    let v = Hashtbl.find_opt tbl key in
+    Mutex.unlock t.lock;
     v
+  in
+  match find_opt () with
+  | Some v -> v
+  | None -> (
+    let v = f () in
+    Mutex.lock t.lock;
+    (match Hashtbl.find_opt tbl key with
+    | Some w ->
+      Mutex.unlock t.lock;
+      w
+    | None ->
+      Hashtbl.replace tbl key v;
+      Mutex.unlock t.lock;
+      v))
 
 let best_of_baselines t arch entry =
   let dfg = Suite.dfg entry in
-  (Plaid_mapping.Driver.best_of
+  (Plaid_mapping.Driver.best_of ?pool:t.pool
      ~algos:
        [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
          Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
-     ~arch ~dfg ~seed:t.seed)
+     ~arch ~dfg ~seed:t.seed ())
     .Plaid_mapping.Driver.mapping
 
 let map_st t entry =
-  memo t.mappings ("st/" ^ Suite.name entry) (fun () -> best_of_baselines t (st t) entry)
+  memo t t.mappings ("st/" ^ Suite.name entry) (fun () -> best_of_baselines t (st t) entry)
 
 let map_st6 t entry =
-  memo t.mappings ("st6/" ^ Suite.name entry) (fun () -> best_of_baselines t (st6 t) entry)
+  memo t t.mappings ("st6/" ^ Suite.name entry) (fun () -> best_of_baselines t (st6 t) entry)
 
 let map_st_ml t entry =
-  memo t.mappings ("stml/" ^ Suite.name entry) (fun () -> best_of_baselines t (st_ml t) entry)
+  memo t t.mappings ("stml/" ^ Suite.name entry) (fun () -> best_of_baselines t (st_ml t) entry)
 
 let hier_on t key plaid entry =
-  memo t.hier (key ^ "/" ^ Suite.name entry) (fun () ->
+  memo t t.hier (key ^ "/" ^ Suite.name entry) (fun () ->
       Plaid_core.Hier_mapper.map ~plaid ~seed:t.seed (Suite.dfg entry))
 
 let map_plaid t entry = hier_on t "plaid2" (plaid2 t) entry
@@ -76,18 +104,18 @@ let map_plaid_ml t entry = hier_on t "plaidml" (plaid_ml t) entry
 
 let map_plaid_generic t algo entry =
   let name = match algo with `Sa -> "plaid-sa" | `Pf -> "plaid-pf" in
-  memo t.mappings (name ^ "/" ^ Suite.name entry) (fun () ->
+  memo t t.mappings (name ^ "/" ^ Suite.name entry) (fun () ->
       let arch = (plaid2 t).Plaid_core.Pcu.arch in
       let algo =
         match algo with
         | `Sa -> Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default
         | `Pf -> Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default
       in
-      (Plaid_mapping.Driver.map ~algo ~arch ~dfg:(Suite.dfg entry) ~seed:t.seed)
+      (Plaid_mapping.Driver.map ?pool:t.pool ~algo ~arch ~dfg:(Suite.dfg entry) ~seed:t.seed ())
         .Plaid_mapping.Driver.mapping)
 
 let spatial t entry =
-  memo t.spatials ("spatial/" ^ Suite.name entry) (fun () ->
+  memo t t.spatials ("spatial/" ^ Suite.name entry) (fun () ->
       Plaid_spatial.Spatial.run ~seed:t.seed (Suite.dfg entry))
 
 (* Outer-scaled cycle count: the modulo kernel admits one iteration per II,

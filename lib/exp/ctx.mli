@@ -10,9 +10,20 @@
 
 type t
 
-val create : ?seed:int -> ?outer:int -> unit -> t
+val create : ?seed:int -> ?outer:int -> ?pool:Plaid_util.Pool.t -> unit -> t
+(** [?pool] is forwarded to the baseline mapper portfolio ([Driver.best_of])
+    and the generic-mapper II search; mapping results are identical for any
+    pool size (see {!Plaid_mapping.Driver}). *)
 
 val outer : t -> int
+
+val pool : t -> Plaid_util.Pool.t option
+
+val prewarm : t -> unit
+(** Force every architecture lazily held by the context.  Call once before
+    sharing [t] across pool tasks: concurrent [Lazy.force] raises in
+    OCaml 5, and the memo tables are mutex-protected but the lazies are
+    not. *)
 
 (** {1 Architectures} *)
 

@@ -54,7 +54,7 @@ let table2 _ctx =
     let l = !coverages in
     List.fold_left ( +. ) 0.0 l /. float_of_int (max 1 (List.length l))
   in
-  Printf.printf "\nmean motif coverage of compute nodes: %s\n" (Ascii.pct mean_cov);
+  Ascii.printf "\nmean motif coverage of compute nodes: %s\n" (Ascii.pct mean_cov);
   [ ("mean_motif_coverage", mean_cov) ]
 
 (* Suite-wide power split and totals for one architecture's mappings. *)
@@ -91,12 +91,12 @@ let fig2 ctx =
        (fun (c, s) (_, p) -> [ c; Ascii.pct s; Ascii.pct p ])
        st_split plaid_split);
   let reduction = 1.0 -. (plaid_power /. st_power) in
-  Printf.printf "\nST fabric power (geomean) %.1f uW, Plaid %.1f uW -> reduction %s (paper: 43%%)\n"
+  Ascii.printf "\nST fabric power (geomean) %.1f uW, Plaid %.1f uW -> reduction %s (paper: 43%%)\n"
     st_power plaid_power (Ascii.pct reduction);
   let cfg_share =
     List.assoc "compute_config" st_split +. List.assoc "comm_config" st_split
   in
-  Printf.printf "ST configuration share of power: %s (paper: 48%%)\n" (Ascii.pct cfg_share);
+  Ascii.printf "ST configuration share of power: %s (paper: 48%%)\n" (Ascii.pct cfg_share);
   [ ("plaid_power_reduction", reduction); ("st_config_share", cfg_share) ]
 
 (* Per-kernel relative performance (baseline cycles / arch cycles). *)
@@ -144,14 +144,14 @@ let fig12 ctx =
   let plaids = List.filter_map (fun (_, _, p, _) -> p) rows in
   let spatials = List.filter_map (fun (_, _, _, s) -> s) rows in
   let gp = Ascii.geomean plaids and gs = Ascii.geomean spatials in
-  print_newline ();
+  Ascii.printf "\n";
   Ascii.table
     ~headers:[ "domain"; "Plaid vs ST"; "Spatial vs ST" ]
     (List.map2
        (fun (d, p) (_, s) -> [ d; Ascii.f2 p; Ascii.f2 s ])
        (by_domain rows (fun (_, _, p, _) -> p))
        (by_domain rows (fun (_, _, _, s) -> s)));
-  Printf.printf
+  Ascii.printf
     "\ngeomean: Plaid %.2fx ST (paper: ~1.0x); Spatial %.2fx ST; Plaid %.2fx Spatial (paper: 1.40x)\n"
     gp gs (gp /. gs);
   [ ("plaid_vs_st", gp); ("spatial_vs_st", gs); ("plaid_vs_spatial", gp /. gs) ]
@@ -160,17 +160,17 @@ let fig13 ctx =
   Ascii.heading "Figure 13: Plaid fabric area breakdown";
   let arch = (Ctx.plaid2 ctx).Plaid_core.Pcu.arch in
   let r = Plaid_model.Area.fabric arch in
-  Format.printf "%a@." (Plaid_model.Report.pp ~unit:"um2") r;
+  Ascii.printf "%s\n" (Format.asprintf "%a" (Plaid_model.Report.pp ~unit:"um2") r);
   let total = Plaid_model.Report.total r in
   let comm =
     Plaid_model.Report.share r "comm" +. Plaid_model.Report.share r "comm_config"
   in
   let st_total = Plaid_model.Area.fabric_total (Ctx.st ctx) in
-  Printf.printf "total %.0f um2 (paper: 33366); comm share %s (paper: ~40%%)\n" total
+  Ascii.printf "total %.0f um2 (paper: 33366); comm share %s (paper: ~40%%)\n" total
     (Ascii.pct comm);
-  Printf.printf "area vs ST baseline: %.0f/%.0f = %s saved (paper: 46%%)\n" total st_total
+  Ascii.printf "area vs ST baseline: %.0f/%.0f = %s saved (paper: 46%%)\n" total st_total
     (Ascii.pct (1.0 -. (total /. st_total)));
-  Printf.printf "SPM (4x4KB): %.0f um2 (paper: 30000)\n" (Plaid_model.Area.spm ~kb:16);
+  Ascii.printf "SPM (4x4KB): %.0f um2 (paper: 30000)\n" (Plaid_model.Area.spm ~kb:16);
   [ ("plaid_fabric_area", total); ("comm_share", comm);
     ("area_saving_vs_st", 1.0 -. (total /. st_total)) ]
 
@@ -203,7 +203,7 @@ let fig14 ctx =
        rows);
   let gp = Ascii.geomean (List.filter_map (fun (_, _, p, _) -> p) rows) in
   let gs = Ascii.geomean (List.filter_map (fun (_, _, _, s) -> s) rows) in
-  Printf.printf
+  Ascii.printf
     "\ngeomean energy: Plaid %s of ST (paper: 58%%); Spatial %s of ST (paper: 72%%); Plaid/Spatial %s (paper: ~81%%)\n"
     (Ascii.pct gp) (Ascii.pct gs) (Ascii.pct (gp /. gs));
   [ ("plaid_energy_vs_st", gp); ("spatial_energy_vs_st", gs) ]
@@ -234,7 +234,7 @@ let fig15 ctx =
     (List.map (fun (e, p, s) -> [ Suite.name e; opt_str p; opt_str s ]) rows);
   let gp = Ascii.geomean (List.filter_map (fun (_, p, _) -> p) rows) in
   let gs = Ascii.geomean (List.filter_map (fun (_, _, s) -> s) rows) in
-  Printf.printf "\ngeomean perf/area: Plaid %.2fx ST, Spatial %.2fx ST\n" gp gs;
+  Ascii.printf "\ngeomean perf/area: Plaid %.2fx ST, Spatial %.2fx ST\n" gp gs;
   [ ("plaid_ppa_vs_st", gp); ("spatial_ppa_vs_st", gs) ]
 
 let fig16 ctx =
@@ -276,7 +276,7 @@ let fig16 ctx =
     ~headers:[ "app"; "layers"; "spatial energy (x Plaid)"; "spatial perf/area (x Plaid)" ]
     (List.rev !rows);
   let ge = Ascii.geomean !eratios and gp = Ascii.geomean !pratios in
-  Printf.printf "\ngeomean: spatial consumes %.2fx energy (paper: 1.42x), %s perf/area (paper: 36%%)\n"
+  Ascii.printf "\ngeomean: spatial consumes %.2fx energy (paper: 1.42x), %s perf/area (paper: 36%%)\n"
     ge (Ascii.pct gp);
   [ ("spatial_energy_x_plaid", ge); ("spatial_ppa_of_plaid", gp) ]
 
@@ -306,7 +306,7 @@ let fig17 ctx =
     Suite.table2;
   Ascii.table ~headers:[ "kernel"; "II 2x2"; "II 3x3"; "speedup" ] (List.rev !rows);
   let g = Ascii.geomean !speedups in
-  Printf.printf "\ngeomean 3x3 speedup: %.2fx (paper: 1.71x)\n" g;
+  Ascii.printf "\ngeomean 3x3 speedup: %.2fx (paper: 1.71x)\n" g;
   [ ("plaid3_speedup", g) ]
 
 let fig18 ctx =
@@ -341,7 +341,7 @@ let fig18 ctx =
     ~headers:[ "kernel"; "Plaid-mapper II"; "PathFinder slowdown"; "SA slowdown" ]
     (List.rev !rows);
   let gpf = Ascii.geomean !vs_pf and gsa = Ascii.geomean !vs_sa in
-  Printf.printf "\nPlaid mapper speedup: %.2fx over PathFinder (paper: 1.25x), %.2fx over SA (paper: 1.28x)\n"
+  Ascii.printf "\nPlaid mapper speedup: %.2fx over PathFinder (paper: 1.25x), %.2fx over SA (paper: 1.28x)\n"
     gpf gsa;
   ignore (!t_hier, !t_generic);
   [ ("vs_pathfinder", gpf); ("vs_sa", gsa) ]
@@ -381,10 +381,10 @@ let fig19 ctx =
         "Plaid-ML ppa" ]
     (List.rev !rows);
   let g k = Ascii.geomean (try Hashtbl.find acc k with Not_found -> []) in
-  Printf.printf
+  Ascii.printf
     "\ngeomeans vs Plaid: ST-ML energy %.2fx (paper: Plaid saves 18%% vs ST-ML), Plaid-ML energy %.2fx;\n"
     (g "stml_e") (g "pml_e");
-  Printf.printf "ST-ML perf/area %.2fx, Plaid-ML perf/area %.2fx (paper: Plaid-ML 1.46x ST-ML)\n"
+  Ascii.printf "ST-ML perf/area %.2fx, Plaid-ML perf/area %.2fx (paper: Plaid-ML 1.46x ST-ML)\n"
     (g "stml_p") (g "pml_p");
   [ ("stml_energy_x_plaid", g "stml_e"); ("plaidml_energy_x_plaid", g "pml_e");
     ("stml_ppa_x_plaid", g "stml_p"); ("plaidml_ppa_x_plaid", g "pml_p") ]
@@ -428,7 +428,7 @@ let utilization ctx =
     (List.rev !rows);
   let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (max 1 (List.length l)) in
   let st_m = mean !acc_st and lo_m = mean !acc_plaid_local and gl_m = mean !acc_plaid_global in
-  Printf.printf
+  Ascii.printf
     "\nmean utilization: ST crossbar %s; Plaid local router %s; Plaid global network %s\n"
     (Ascii.pct st_m) (Ascii.pct lo_m) (Ascii.pct gl_m);
   ignore comm_classes;
@@ -438,7 +438,7 @@ let utilization ctx =
 
 let ablations ctx =
   Ascii.heading "Ablations: motif generation, schedule templates, bypass paths";
-  print_endline
+  Ascii.printf "%s\n"
     "(run with the reduced-budget mapper so architecture/algorithm differences
 show up as II loss rather than being annealed away)";
   let subset =
@@ -508,7 +508,7 @@ show up as II loss rather than being annealed away)";
         "no-bypass cyc/wire" ]
     (List.rev !rows);
   let gg = Ascii.geomean !r_greedy and gs = Ascii.geomean !r_strict and gb = Ascii.geomean !r_nobyp in
-  Printf.printf
+  Ascii.printf
     "\ngeomean cycle slowdowns: greedy-only motifs %.2fx, strict templates %.2fx, no bypass %.2fx\n" gg gs gb;
   [ ("greedy_only_slowdown", gg); ("strict_templates_slowdown", gs);
     ("no_bypass_slowdown", gb) ]
@@ -555,7 +555,7 @@ let dse ctx =
     ~headers:("family" :: "nodes" :: List.map fst fabrics)
     (List.rev !rows);
   let g = Ascii.geomean !improvements in
-  Printf.printf "\ngeomean II improvement, smallest to largest fabric: %.2fx\n" g;
+  Ascii.printf "\ngeomean II improvement, smallest to largest fabric: %.2fx\n" g;
   [ ("dse_scaling", g) ]
 
 (* --- verification ------------------------------------------------------ *)
@@ -572,7 +572,7 @@ let verify_entry ctx e =
         match Plaid_sim.Cycle_sim.verify m (spm ()) with
         | Ok _ -> true
         | Error msg ->
-          Printf.printf "FAIL %s %s: %s\n" (Suite.name e) name msg;
+          Ascii.printf "FAIL %s %s: %s\n" (Suite.name e) name msg;
           false
       in
       (* the configuration bitstream must encode and stay within budget *)
@@ -581,7 +581,7 @@ let verify_entry ctx e =
         | Ok bs ->
           Plaid_mapping.Bitstream.total_bits bs <= Plaid_mapping.Bitstream.budget_bits bs
         | Error msg ->
-          Printf.printf "FAIL %s %s bitstream: %s\n" (Suite.name e) name msg;
+          Ascii.printf "FAIL %s %s bitstream: %s\n" (Suite.name e) name msg;
           false
       in
       [ (name, sim_ok && cfg_ok) ])
@@ -605,7 +605,7 @@ let verify_entry ctx e =
             match Plaid_sim.Cycle_sim.run m spm with
             | Ok _ -> true
             | Error msg ->
-              Printf.printf "FAIL %s spatial: %s\n" (Suite.name e) msg;
+              Ascii.printf "FAIL %s spatial: %s\n" (Suite.name e) msg;
               false)
           r.mappings
       in
@@ -614,7 +614,7 @@ let verify_entry ctx e =
         List.filter (fun (n, _) -> not (String.length n > 0 && n.[0] = '%')) d
       in
       let same = strip (Plaid_sim.Spm.dump spm) = strip (Plaid_sim.Spm.dump golden) in
-      if not same then Printf.printf "FAIL %s spatial: memory mismatch\n" (Suite.name e);
+      if not same then Ascii.printf "FAIL %s spatial: memory mismatch\n" (Suite.name e);
       [ ("spatial", run_ok && same) ])
   in
   check "st" (Ctx.map_st ctx e)
@@ -626,20 +626,41 @@ let verify_all ctx =
   let results = List.concat_map (verify_entry ctx) Suite.table2 in
   let total = List.length results in
   let passed = List.length (List.filter snd results) in
-  Printf.printf "verified %d/%d mapped executions bit-exact (with in-budget bitstreams)\n"
+  Ascii.printf "verified %d/%d mapped executions bit-exact (with in-budget bitstreams)\n"
     passed total;
   [ ("verified", float_of_int passed); ("total", float_of_int total) ]
 
-let all ctx =
-  (* run strictly in paper order (a list literal evaluates its elements
-     right to left) *)
-  List.fold_left
-    (fun acc (name, f) -> (name, f ctx) :: acc)
-    []
-    [
-      ("table2", table2); ("fig2", fig2); ("fig12", fig12); ("fig13", fig13);
-      ("fig14", fig14); ("fig15", fig15); ("fig16", fig16); ("fig17", fig17);
-      ("fig18", fig18); ("fig19", fig19); ("utilization", utilization);
-      ("ablations", ablations); ("dse", dse); ("verify", verify_all);
-    ]
-  |> List.rev
+(* --- the experiment engine --------------------------------------------- *)
+
+let runners =
+  [
+    ("table2", table2); ("fig2", fig2); ("fig12", fig12); ("fig13", fig13);
+    ("fig14", fig14); ("fig15", fig15); ("fig16", fig16); ("fig17", fig17);
+    ("fig18", fig18); ("fig19", fig19); ("utilization", utilization);
+    ("ablations", ablations); ("dse", dse); ("verify", verify_all);
+  ]
+
+let run ?pool ctx selection =
+  let tasks =
+    List.map
+      (fun (name, f) () -> (name, Ascii.with_capture (fun () -> f ctx)))
+      selection
+  in
+  let results =
+    match pool with
+    | Some p when Plaid_util.Pool.size p > 1 ->
+      (* tasks share [ctx]: its memo tables are mutex-protected, but the
+         lazily-built architectures must exist before the fan-out *)
+      Ctx.prewarm ctx;
+      Plaid_util.Pool.run p tasks
+    | _ -> List.map (fun f -> f ()) tasks
+  in
+  (* every experiment buffered its own output; replay in selection order so
+     the report reads identically for any worker count *)
+  List.map
+    (fun (name, (summary, output)) ->
+      Ascii.printf "%s" output;
+      (name, summary))
+    results
+
+let all ?pool ctx = run ?pool ctx runners

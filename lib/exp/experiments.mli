@@ -57,5 +57,18 @@ val verify_all : Ctx.t -> summary
     reference (and sequential-segment verification for the spatial
     baseline).  Returns pass/fail counts; prints any mismatch. *)
 
-val all : Ctx.t -> (string * summary) list
+val runners : (string * (Ctx.t -> summary)) list
+(** Every experiment, in paper order, keyed by CLI name. *)
+
+val run :
+  ?pool:Plaid_util.Pool.t ->
+  Ctx.t -> (string * (Ctx.t -> summary)) list -> (string * summary) list
+(** Run a selection of experiments.  Each experiment's output is captured
+    in a private buffer ({!Ascii.with_capture}) and replayed in selection
+    order, so the printed report and the returned summaries are
+    byte-identical whether the experiments execute sequentially or as
+    parallel pool tasks.  With [~pool], the shared context is prewarmed and
+    independent experiments race on the pool's workers. *)
+
+val all : ?pool:Plaid_util.Pool.t -> Ctx.t -> (string * summary) list
 (** Run everything in paper order. *)

@@ -4,45 +4,96 @@ type algo = Sa of Anneal.params | Pf of Pathfinder.params
 
 type outcome = { mapping : Mapping.t option; mii : int; attempts : int }
 
-let map ~algo ~arch ~dfg ~seed =
+(* One II attempt is a pure function of (algo, arch, dfg, seed, ii): the
+   RNG stream for II [ii] is derived by index from the seed rather than
+   threaded through the search loop, so speculative parallel attempts at
+   several IIs produce exactly the values the sequential loop would. *)
+let attempt_at ~algo ~arch ~dfg ~cap ~base ii =
+  let rng = Plaid_util.Rng.derive base ii in
+  (* PathFinder cannot retime, so prefer a schedule with a two-cycle
+     routing budget per edge; fall back to the tight schedule when
+     recurrences make the padded one infeasible. *)
+  let schedules =
+    match algo with
+    | Sa _ -> [ Schedule.compute dfg ~ii ~cap ]
+    | Pf _ -> [ Schedule.compute ~lat:2 dfg ~ii ~cap; Schedule.compute dfg ~ii ~cap ]
+  in
+  let run times =
+    match algo with
+    | Sa params -> Anneal.map_at_ii arch dfg ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng)
+    | Pf params ->
+      Pathfinder.map_at_ii arch dfg ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng)
+  in
+  List.fold_left
+    (fun acc sched ->
+      match (acc, sched) with
+      | Some _, _ | _, None -> acc
+      | None, Some times -> run times)
+    None schedules
+
+let map ?pool ~algo ~arch ~dfg ~seed () =
   let cap = Plaid_arch.Arch.capacity arch in
   let mii = Analysis.mii dfg cap in
   let max_ii = arch.Plaid_arch.Arch.config.entries in
-  let rng = Plaid_util.Rng.create seed in
-  let rec attempt ii tried =
-    if ii > max_ii then { mapping = None; mii; attempts = tried }
-    else begin
-      (* PathFinder cannot retime, so prefer a schedule with a two-cycle
-         routing budget per edge; fall back to the tight schedule when
-         recurrences make the padded one infeasible. *)
-      let schedules =
-        match algo with
-        | Sa _ -> [ Schedule.compute dfg ~ii ~cap ]
-        | Pf _ -> [ Schedule.compute ~lat:2 dfg ~ii ~cap; Schedule.compute dfg ~ii ~cap ]
-      in
-      let run times =
-        match algo with
-        | Sa params -> Anneal.map_at_ii arch dfg ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng)
-        | Pf params ->
-          Pathfinder.map_at_ii arch dfg ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng)
-      in
-      let m =
-        List.fold_left
-          (fun acc sched ->
-            match (acc, sched) with
-            | Some _, _ | _, None -> acc
-            | None, Some times -> run times)
-          None schedules
-      in
-      match m with
-      | Some mapping -> { mapping = Some mapping; mii; attempts = tried + 1 }
-      | None -> attempt (ii + 1) (tried + 1)
-    end
-  in
-  attempt mii 0
+  let base = Plaid_util.Rng.create seed in
+  let attempt = attempt_at ~algo ~arch ~dfg ~cap ~base in
+  let width = match pool with Some p -> Plaid_util.Pool.size p | None -> 1 in
+  if width <= 1 then begin
+    let rec search ii tried =
+      if ii > max_ii then { mapping = None; mii; attempts = tried }
+      else
+        match attempt ii with
+        | Some mapping -> { mapping = Some mapping; mii; attempts = tried + 1 }
+        | None -> search (ii + 1) (tried + 1)
+    in
+    search mii 0
+  end
+  else begin
+    let pool = Option.get pool in
+    (* Race a window of consecutive IIs; accept the lowest II that maps.
+       The attempt count matches the sequential loop: every II up to and
+       including the winner counts, speculative overshoot does not. *)
+    let rec search lo tried =
+      if lo > max_ii then { mapping = None; mii; attempts = tried }
+      else begin
+        let hi = min max_ii (lo + width - 1) in
+        let iis = List.init (hi - lo + 1) (fun k -> lo + k) in
+        let results = Plaid_util.Pool.run pool (List.map (fun ii () -> attempt ii) iis) in
+        let rec first iis results =
+          match (iis, results) with
+          | ii :: _, Some m :: _ -> Some (ii, m)
+          | _ :: iis, None :: results -> first iis results
+          | _ -> None
+        in
+        match first iis results with
+        | Some (ii, mapping) ->
+          { mapping = Some mapping; mii; attempts = tried + (ii - lo) + 1 }
+        | None -> search (hi + 1) (tried + List.length iis)
+      end
+    in
+    search mii 0
+  end
 
-let best_of ~algos ~arch ~dfg ~seed =
-  let outcomes = List.mapi (fun i algo -> map ~algo ~arch ~dfg ~seed:(seed + (i * 7919))) algos in
+let best_of ?pool ?(restarts = 1) ~algos ~arch ~dfg ~seed () =
+  if algos = [] then invalid_arg "Driver.best_of: no algorithms";
+  if restarts < 1 then invalid_arg "Driver.best_of: restarts must be >= 1";
+  (* Fixed algo-major, restart-minor order; the reduction below keeps the
+     earliest entry on II ties, so the winner is independent of execution
+     interleaving. *)
+  let tasks =
+    List.concat
+      (List.mapi
+         (fun i algo ->
+           List.init restarts (fun r ->
+               let seed = seed + (i * 7919) + (r * 104729) in
+               fun () -> map ?pool ~algo ~arch ~dfg ~seed ()))
+         algos)
+  in
+  let outcomes =
+    match pool with
+    | Some p when Plaid_util.Pool.size p > 1 -> Plaid_util.Pool.run p tasks
+    | _ -> List.map (fun f -> f ()) tasks
+  in
   let better a b =
     match (a.mapping, b.mapping) with
     | None, _ -> b
@@ -50,5 +101,5 @@ let best_of ~algos ~arch ~dfg ~seed =
     | Some ma, Some mb -> if mb.Mapping.ii < ma.Mapping.ii then b else a
   in
   match outcomes with
-  | [] -> invalid_arg "Driver.best_of: no algorithms"
+  | [] -> assert false
   | first :: rest -> List.fold_left better first rest

@@ -16,9 +16,23 @@ type outcome = {
 }
 
 val map :
-  algo:algo -> arch:Plaid_arch.Arch.t -> dfg:Plaid_ir.Dfg.t -> seed:int -> outcome
+  ?pool:Plaid_util.Pool.t ->
+  algo:algo -> arch:Plaid_arch.Arch.t -> dfg:Plaid_ir.Dfg.t -> seed:int -> unit -> outcome
+(** With [~pool], consecutive candidate IIs are attempted speculatively in
+    parallel (window = pool width) and the lowest feasible II wins.  Each
+    II's RNG stream is derived by index from the seed ([Rng.derive]), so
+    the outcome — mapping, MII, and attempt count — is bit-identical to the
+    sequential search for every pool size. *)
 
 val best_of :
-  algos:algo list -> arch:Plaid_arch.Arch.t -> dfg:Plaid_ir.Dfg.t -> seed:int -> outcome
+  ?pool:Plaid_util.Pool.t ->
+  ?restarts:int ->
+  algos:algo list -> arch:Plaid_arch.Arch.t -> dfg:Plaid_ir.Dfg.t -> seed:int -> unit -> outcome
 (** Runs several mappers and keeps the lowest-II mapping — the paper selects
-    the better of PathFinder and SA for its baselines (Section 6.3). *)
+    the better of PathFinder and SA for its baselines (Section 6.3).
+
+    [~restarts] (default 1) runs each algorithm that many times under
+    distinct derived seeds.  With [~pool] the whole algorithm × restart
+    portfolio races in parallel; the reduction is deterministic (lowest II
+    wins, ties broken by the fixed algo-major/restart-minor order), so the
+    result is identical to the sequential portfolio. *)

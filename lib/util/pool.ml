@@ -1,0 +1,119 @@
+type t = {
+  width : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was queued, or the pool is stopping *)
+  settled : Condition.t;  (* some task finished; batch waiters re-check *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Workers loop until [stop] is set AND the queue has drained, so a
+   shutdown never abandons queued work (by construction [run] is
+   synchronous, so the queue is empty by then anyway). *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ?size () =
+  let width =
+    match size with Some n -> n | None -> Domain.recommended_domain_count ()
+  in
+  if width < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      width;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      settled = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.width
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* A finished task is either a value or the exception it raised, kept with
+   its backtrace so the join can re-raise faithfully. *)
+type 'a slot =
+  | Pending
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+let run_inline tasks = List.map (fun f -> f ()) tasks
+
+let run t tasks =
+  match tasks with
+  | [] -> []
+  | _ when t.width = 1 ->
+    if t.stop then invalid_arg "Pool.run: pool is shut down";
+    run_inline tasks
+  | _ ->
+    let n = List.length tasks in
+    let results = Array.make n Pending in
+    let remaining = ref n in
+    (* [results] and [remaining] are only touched under [t.mutex]. *)
+    let wrap i f () =
+      let r =
+        match f () with
+        | v -> Value v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      results.(i) <- r;
+      decr remaining;
+      Condition.broadcast t.settled;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    List.iteri (fun i f -> Queue.add (wrap i f) t.queue) tasks;
+    Condition.broadcast t.work;
+    (* Drain: execute any queued task (ours or a nested batch's) while the
+       batch is unfinished; block only when the queue is momentarily empty. *)
+    while !remaining > 0 do
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      | None -> if !remaining > 0 then Condition.wait t.settled t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    let out =
+      Array.map
+        (function
+          | Value v -> v
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Pending -> assert false)
+        results
+    in
+    Array.to_list out

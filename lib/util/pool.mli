@@ -1,0 +1,43 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    A pool of size [n] provides [n]-way parallelism: [n - 1] worker domains
+    plus the submitting domain, which participates in draining the task
+    queue while it waits for its batch.  Because every waiter helps execute
+    queued tasks, nested submission ([Pool.run] called from inside a pool
+    task) cannot deadlock — the inner batch is drained by the very domain
+    that is blocked on it.
+
+    [run] returns results in task order and re-raises the first (by task
+    index) exception at the join point, so a reduction over the result list
+    is deterministic regardless of execution interleaving: a pool of size 1
+    and a pool of size 8 produce identical values.  All scheduling state is
+    protected by a single mutex; tasks themselves must not share mutable
+    state unless they synchronize it. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size - 1] worker domains.  [size] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to at least 1; a
+    pool of size 1 spawns no domains and executes every task inline, making
+    it observationally identical to sequential code.
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+(** Parallelism width the pool was created with (workers + caller). *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run t tasks] executes every task exactly once and returns their
+    results in the order the tasks were given.  If one or more tasks raise,
+    [run] waits for the whole batch to settle and then re-raises the
+    exception of the lowest-indexed failing task (with its backtrace).
+    Safe to call from within a task running on [t].
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent.  Any [run] after [shutdown]
+    raises. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool ~size f] runs [f] with a fresh pool and shuts it down on the
+    way out, including on exceptions. *)

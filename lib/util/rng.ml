@@ -18,6 +18,15 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+(* Indexed splitting: the child for index [i] depends only on the parent's
+   current state and [i], and the parent does not advance — so parallel
+   tasks can each derive stream [i] without any ordering between them, and
+   the same (state, i) always yields the same stream. *)
+let derive t i =
+  if i < 0 then invalid_arg "Rng.derive: negative index";
+  let c = { state = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) } in
+  { state = bits64 c }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Drop two top bits so the value fits OCaml's 63-bit native int. *)

@@ -16,6 +16,13 @@ val copy : t -> t
 val split : t -> t
 (** A statistically independent child generator; the parent advances. *)
 
+val derive : t -> int -> t
+(** [derive t i] is the [i]-th child stream of [t]'s current state.  Unlike
+    {!split} the parent does not advance, so [derive t 0], [derive t 1], …
+    can be taken in any order (or concurrently from copies) and always name
+    the same pairwise-independent streams — the seed-splitting primitive
+    parallel tasks use.  @raise Invalid_argument on a negative index. *)
+
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound).  [bound] must be > 0. *)
 

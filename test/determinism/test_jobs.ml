@@ -1,0 +1,82 @@
+(* Parallel-vs-sequential determinism gate, run from `dune runtest` under
+   both -j 1 and -j 4 (see the dune rules in this directory).
+
+   Two independent checks:
+
+   1. [Driver.best_of] on a pool of the requested width must return the
+      same outcome — mapping, II, attempt count — as the sequential path,
+      for several suite kernels.
+
+   2. [Experiments.run] over a representative subset must emit the same
+      bytes and the same summaries from a -j N context as from a fresh
+      sequential context.  This is the acceptance criterion that the
+      regenerated report is independent of worker count. *)
+
+let jobs =
+  let rec scan = function
+    | ("-j" | "--jobs") :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  match scan (Array.to_list Sys.argv) with Some n -> max 1 n | None -> 4
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.eprintf "FAIL: %s\n%!" s)
+    fmt
+
+(* ------------------------------------------------------- mapper outcomes *)
+
+let fingerprint (o : Plaid_mapping.Driver.outcome) =
+  ( o.mii,
+    o.attempts,
+    Option.map
+      (fun (m : Plaid_mapping.Mapping.t) -> (m.ii, m.times, m.place, m.routes))
+      o.mapping )
+
+let check_mapper pool =
+  let arch = Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4" in
+  let algos =
+    [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.quick;
+      Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick ]
+  in
+  List.iter
+    (fun kernel ->
+      let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find kernel) in
+      let seq = Plaid_mapping.Driver.best_of ~algos ~arch ~dfg ~seed:17 () in
+      let par = Plaid_mapping.Driver.best_of ~pool ~algos ~arch ~dfg ~seed:17 () in
+      if fingerprint seq <> fingerprint par then
+        fail "best_of(%s) differs between sequential and -j %d" kernel jobs)
+    [ "dwconv"; "atax_u2"; "cholesky_u2" ]
+
+(* --------------------------------------------------- experiment identity *)
+
+let selection =
+  List.filter
+    (fun (name, _) -> List.mem name [ "table2"; "fig13"; "dse" ])
+    Plaid_exp.Experiments.runners
+
+let report ?pool () =
+  (* a fresh context each time: no cached mappings leak between runs *)
+  let ctx = Plaid_exp.Ctx.create ?pool () in
+  Plaid_exp.Ascii.with_capture (fun () -> Plaid_exp.Experiments.run ?pool ctx selection)
+
+let check_experiments pool =
+  let seq_summaries, seq_bytes = report () in
+  let par_summaries, par_bytes = report ~pool () in
+  if seq_summaries <> par_summaries then
+    fail "experiment summaries differ between sequential and -j %d" jobs;
+  if seq_bytes <> par_bytes then
+    fail "experiment report bytes differ between sequential and -j %d (%d vs %d bytes)"
+      jobs (String.length seq_bytes) (String.length par_bytes)
+
+let () =
+  Plaid_util.Pool.with_pool ~size:jobs (fun pool ->
+      check_mapper pool;
+      check_experiments pool);
+  if !failures > 0 then exit 1;
+  Printf.printf "determinism: sequential and -j %d agree\n" jobs

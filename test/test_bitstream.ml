@@ -14,7 +14,7 @@ let map_st name =
   let e = Plaid_workloads.Suite.find name in
   match
     (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4)
-       ~dfg:(Plaid_workloads.Suite.dfg e) ~seed:5)
+       ~dfg:(Plaid_workloads.Suite.dfg e) ~seed:5 ())
       .Driver.mapping
   with
   | Some m -> m
@@ -92,7 +92,7 @@ let test_imm_range_enforced () =
   Dfg.add_edge b ~src:add ~dst:st ~operand:0 ();
   let g = Dfg.finish b in
   match
-    (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed:5)
+    (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed:5 ())
       .Driver.mapping
   with
   | None -> Alcotest.fail "mapping failed"

@@ -53,7 +53,7 @@ let test_sa_optimality_gap () =
       | None -> () (* nothing to compare against *)
       | Some (exact_ii, _) -> (
         match
-          (Driver.map ~algo:(Driver.Sa Anneal.default) ~arch ~dfg:g ~seed:7).Driver.mapping
+          (Driver.map ~algo:(Driver.Sa Anneal.default) ~arch ~dfg:g ~seed:7 ()).Driver.mapping
         with
         | None -> Alcotest.failf "SA failed where exact succeeded (seed %d)" seed
         | Some m ->

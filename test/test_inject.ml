@@ -15,7 +15,7 @@ let victim =
     (match
        (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4)
           ~dfg:(Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find "gemm_u2"))
-          ~seed:5)
+          ~seed:5 ())
          .Driver.mapping
      with
     | Some m -> m

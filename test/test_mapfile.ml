@@ -14,7 +14,7 @@ let mapped =
     (let e = Plaid_workloads.Suite.find "gemm_u2" in
      match
        (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4)
-          ~dfg:(Plaid_workloads.Suite.dfg e) ~seed:5)
+          ~dfg:(Plaid_workloads.Suite.dfg e) ~seed:5 ())
          .Driver.mapping
      with
      | Some m -> m
@@ -96,7 +96,7 @@ let test_label_encoding () =
   Dfg.add_edge b ~src:ld ~dst:st ~operand:0 ();
   let g = Dfg.finish b in
   match
-    (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed:2)
+    (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed:2 ())
       .Driver.mapping
   with
   | None -> Alcotest.fail "mapping failed"

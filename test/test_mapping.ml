@@ -238,7 +238,7 @@ let validate_or_fail m =
 
 let map_with algo g =
   let arch = Lazy.force st4 in
-  let out = Driver.map ~algo ~arch ~dfg:g ~seed:7 in
+  let out = Driver.map ~algo ~arch ~dfg:g ~seed:7 () in
   match out.Driver.mapping with
   | None -> Alcotest.failf "mapper failed on %s" g.Dfg.name
   | Some m -> validate_or_fail m; m
@@ -268,7 +268,7 @@ let test_best_of_picks_lower_ii () =
   let arch = Lazy.force st4 in
   let out =
     Driver.best_of ~algos:[ Driver.Sa Anneal.quick; Driver.Pf Pathfinder.quick ] ~arch ~dfg:g
-      ~seed:3
+      ~seed:3 ()
   in
   match out.Driver.mapping with
   | None -> Alcotest.fail "best_of found nothing"
@@ -279,13 +279,79 @@ let test_mapping_deterministic () =
   let g = sumsq_dfg () in
   let arch = Lazy.force st4 in
   let run () =
-    match (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch ~dfg:g ~seed:99).Driver.mapping with
+    match (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch ~dfg:g ~seed:99 ()).Driver.mapping with
     | None -> Alcotest.fail "mapper failed"
     | Some m -> (m.Mapping.ii, Array.to_list m.Mapping.place, Array.to_list m.Mapping.times)
   in
   check
     Alcotest.(triple int (list int) (list int))
     "deterministic" (run ()) (run ())
+
+(* ------------------------------------------------- parallel determinism *)
+
+(* [best_of ~pool] must return bit-identical results for every worker
+   count: same mapping (placement, schedule, routes), same MII, same
+   attempt count.  Exercised on several suite kernels and two fabrics. *)
+
+let plaid_arch =
+  lazy (Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"plaid2x2" ()).Plaid_core.Pcu.arch
+
+let fingerprint (o : Driver.outcome) =
+  ( o.Driver.mii,
+    o.Driver.attempts,
+    Option.map
+      (fun (m : Mapping.t) -> (m.Mapping.ii, m.Mapping.times, m.Mapping.place, m.Mapping.routes))
+      o.Driver.mapping )
+
+let det_kernels = [ "dwconv"; "atax_u2"; "cholesky_u2" ]
+
+let det_archs () = [ ("st4x4", Lazy.force st4); ("plaid2x2", Lazy.force plaid_arch) ]
+
+let test_best_of_parallel_deterministic () =
+  let algos = [ Driver.Sa Anneal.quick; Driver.Pf Pathfinder.quick ] in
+  List.iter
+    (fun (aname, arch) ->
+      List.iter
+        (fun k ->
+          let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find k) in
+          let seq = fingerprint (Driver.best_of ~algos ~arch ~dfg ~seed:11 ()) in
+          List.iter
+            (fun size ->
+              Plaid_util.Pool.with_pool ~size (fun pool ->
+                  let par = fingerprint (Driver.best_of ~pool ~algos ~arch ~dfg ~seed:11 ()) in
+                  if par <> seq then
+                    Alcotest.failf "best_of diverged on %s/%s with %d workers" aname k size))
+            [ 2; 4 ])
+        det_kernels)
+    (det_archs ())
+
+let test_map_parallel_ii_search_deterministic () =
+  (* the speculative II window must agree with the one-at-a-time search *)
+  List.iter
+    (fun (aname, arch) ->
+      List.iter
+        (fun k ->
+          let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find k) in
+          let algo = Driver.Sa Anneal.quick in
+          let seq = fingerprint (Driver.map ~algo ~arch ~dfg ~seed:23 ()) in
+          List.iter
+            (fun size ->
+              Plaid_util.Pool.with_pool ~size (fun pool ->
+                  let par = fingerprint (Driver.map ~pool ~algo ~arch ~dfg ~seed:23 ()) in
+                  if par <> seq then
+                    Alcotest.failf "II search diverged on %s/%s with %d workers" aname k size))
+            [ 2; 4 ])
+        det_kernels)
+    (det_archs ())
+
+let test_best_of_restarts_deterministic () =
+  let algos = [ Driver.Sa Anneal.quick; Driver.Pf Pathfinder.quick ] in
+  let arch = Lazy.force st4 in
+  let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find "dwconv") in
+  let seq = fingerprint (Driver.best_of ~restarts:3 ~algos ~arch ~dfg ~seed:5 ()) in
+  Plaid_util.Pool.with_pool ~size:4 (fun pool ->
+      check Alcotest.bool "restart portfolio identical" true
+        (fingerprint (Driver.best_of ~pool ~restarts:3 ~algos ~arch ~dfg ~seed:5 ()) = seq))
 
 (* Property: for random small reduction DFGs, SA produces valid mappings. *)
 let prop_sa_valid =
@@ -316,7 +382,7 @@ let prop_sa_valid =
         loads;
       let g = Dfg.finish b in
       let arch = Lazy.force st4 in
-      match (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch ~dfg:g ~seed:5).Driver.mapping with
+      match (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch ~dfg:g ~seed:5 ()).Driver.mapping with
       | None -> false
       | Some m -> Mapping.validate m = Ok ())
 
@@ -359,6 +425,12 @@ let suites =
         Alcotest.test_case "perf formula" `Quick test_perf_cycles_formula;
         Alcotest.test_case "best_of" `Quick test_best_of_picks_lower_ii;
         Alcotest.test_case "deterministic" `Quick test_mapping_deterministic;
+      ] );
+    ( "parallel-determinism",
+      [
+        Alcotest.test_case "best_of pool 2/4" `Quick test_best_of_parallel_deterministic;
+        Alcotest.test_case "II search pool 2/4" `Quick test_map_parallel_ii_search_deterministic;
+        Alcotest.test_case "restart portfolio" `Quick test_best_of_restarts_deterministic;
       ] );
     ("mapping-properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) t) [ prop_sa_valid ]);
   ]

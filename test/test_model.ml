@@ -55,7 +55,7 @@ let mapped_pair =
      let st =
        (Plaid_mapping.Driver.map
           ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
-          ~arch:(Lazy.force st4) ~dfg ~seed:3)
+          ~arch:(Lazy.force st4) ~dfg ~seed:3 ())
          .Plaid_mapping.Driver.mapping
      in
      let plaid =

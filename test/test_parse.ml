@@ -146,7 +146,7 @@ let test_parse_then_lower_and_map () =
   match
     (Plaid_mapping.Driver.map
        ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
-       ~arch ~dfg:g ~seed:4)
+       ~arch ~dfg:g ~seed:4 ())
       .Plaid_mapping.Driver.mapping
   with
   | None -> Alcotest.fail "mapping failed"

@@ -1,0 +1,131 @@
+(* Tests for the Domain worker pool: exactly-once execution, ordered
+   results, exception propagation at join, sequential equivalence of a
+   size-1 pool, nested submission, and qcheck properties over random task
+   batches. *)
+
+let check = Alcotest.check
+
+exception Boom of int
+
+let test_results_in_order () =
+  Plaid_util.Pool.with_pool ~size:4 (fun pool ->
+      let tasks = List.init 25 (fun i () -> i * i) in
+      check
+        Alcotest.(list int)
+        "squares in task order"
+        (List.init 25 (fun i -> i * i))
+        (Plaid_util.Pool.run pool tasks))
+
+let test_tasks_execute_exactly_once () =
+  Plaid_util.Pool.with_pool ~size:4 (fun pool ->
+      let n = 50 in
+      let counts = Array.make n 0 in
+      let m = Mutex.create () in
+      let tasks =
+        List.init n (fun i () ->
+            Mutex.lock m;
+            counts.(i) <- counts.(i) + 1;
+            Mutex.unlock m)
+      in
+      ignore (Plaid_util.Pool.run pool tasks);
+      Array.iteri
+        (fun i c -> if c <> 1 then Alcotest.failf "task %d ran %d times" i c)
+        counts)
+
+let test_empty_batch () =
+  Plaid_util.Pool.with_pool ~size:2 (fun pool ->
+      check Alcotest.(list int) "empty" [] (Plaid_util.Pool.run pool []))
+
+let test_exception_reraised_at_join () =
+  Plaid_util.Pool.with_pool ~size:3 (fun pool ->
+      let ran = Array.make 6 false in
+      let tasks =
+        List.init 6 (fun i () ->
+            ran.(i) <- true;
+            if i = 2 || i = 4 then raise (Boom i))
+      in
+      (match Plaid_util.Pool.run pool tasks with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        (* deterministic join: the lowest-indexed failure wins *)
+        check Alcotest.int "first failing task" 2 i);
+      (* the whole batch still settled before the join raised *)
+      Array.iteri (fun i r -> if not r then Alcotest.failf "task %d never ran" i) ran)
+
+let test_size_one_is_sequential () =
+  Plaid_util.Pool.with_pool ~size:1 (fun pool ->
+      check Alcotest.int "no worker domains" 1 (Plaid_util.Pool.size pool);
+      (* inline execution: tasks see each other's left-to-right effects *)
+      let trace = ref [] in
+      let tasks = List.init 8 (fun i () -> trace := i :: !trace; i) in
+      let out = Plaid_util.Pool.run pool tasks in
+      check Alcotest.(list int) "results" (List.init 8 Fun.id) out;
+      check Alcotest.(list int) "strict left-to-right order" (List.init 8 (fun i -> 7 - i)) !trace)
+
+let test_nested_submission () =
+  Plaid_util.Pool.with_pool ~size:2 (fun pool ->
+      (* every task submits a sub-batch on the same pool; with 2 domains and
+         4 outer tasks this deadlocks unless waiters drain the queue *)
+      let outer =
+        List.init 4 (fun i () ->
+            let inner = List.init 3 (fun j () -> (i * 10) + j) in
+            List.fold_left ( + ) 0 (Plaid_util.Pool.run pool inner))
+      in
+      check
+        Alcotest.(list int)
+        "nested sums" [ 3; 33; 63; 93 ]
+        (Plaid_util.Pool.run pool outer))
+
+let test_run_after_shutdown_raises () =
+  let pool = Plaid_util.Pool.create ~size:2 () in
+  Plaid_util.Pool.shutdown pool;
+  Plaid_util.Pool.shutdown pool (* idempotent *);
+  match Plaid_util.Pool.run pool [ (fun () -> ()) ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------- properties *)
+
+(* a pool of any size computes the same results as List.map *)
+let prop_pool_matches_sequential =
+  QCheck.Test.make ~name:"pool run = sequential map" ~count:30
+    QCheck.(make Gen.(pair (int_range 1 6) (list_size (int_range 0 40) small_int)))
+    (fun (size, xs) ->
+      let expect = List.map (fun x -> (x * 7) + 1) xs in
+      Plaid_util.Pool.with_pool ~size (fun pool ->
+          Plaid_util.Pool.run pool (List.map (fun x () -> (x * 7) + 1) xs) = expect))
+
+(* every task runs exactly once, whatever the batch/pool geometry *)
+let prop_exactly_once =
+  QCheck.Test.make ~name:"all tasks execute exactly once" ~count:30
+    QCheck.(make Gen.(pair (int_range 1 5) (int_range 0 60)))
+    (fun (size, n) ->
+      let counts = Array.make (max 1 n) 0 in
+      let m = Mutex.create () in
+      Plaid_util.Pool.with_pool ~size (fun pool ->
+          ignore
+            (Plaid_util.Pool.run pool
+               (List.init n (fun i () ->
+                    Mutex.lock m;
+                    counts.(i) <- counts.(i) + 1;
+                    Mutex.unlock m))));
+      Array.for_all (fun c -> c <= 1) counts
+      && Array.to_list counts = List.init (max 1 n) (fun i -> if i < n then 1 else 0))
+
+let suites =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "results in order" `Quick test_results_in_order;
+        Alcotest.test_case "exactly once" `Quick test_tasks_execute_exactly_once;
+        Alcotest.test_case "empty batch" `Quick test_empty_batch;
+        Alcotest.test_case "exception at join" `Quick test_exception_reraised_at_join;
+        Alcotest.test_case "size 1 sequential" `Quick test_size_one_is_sequential;
+        Alcotest.test_case "nested submission" `Quick test_nested_submission;
+        Alcotest.test_case "run after shutdown" `Quick test_run_after_shutdown_raises;
+      ] );
+    ( "pool-properties",
+      List.map
+        (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250806 |]) t)
+        [ prop_pool_matches_sequential; prop_exactly_once ] );
+  ]

@@ -143,11 +143,62 @@ let test_example_kernels_compile () =
       files
   end
 
+(* ------------------------------------------------------- rng splitting *)
+
+(* Parallel tasks rely on [Rng.derive]/[Rng.split] to hand each task its
+   own stream.  The streams must be pairwise independent: for a sample of
+   seeds, no two of {parent continuation, derived children, split child}
+   may share a prefix of draws — otherwise two domains would silently see
+   the same randomness. *)
+let prop_rng_streams_disjoint =
+  QCheck.Test.make ~name:"rng split/derive streams share no prefix" ~count:100
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let prefix_len = 16 in
+      let prefix rng = List.init prefix_len (fun _ -> Plaid_util.Rng.bits64 rng) in
+      let parent = Plaid_util.Rng.create seed in
+      let children = List.init 8 (fun i -> Plaid_util.Rng.derive parent i) in
+      let split_child = Plaid_util.Rng.split (Plaid_util.Rng.copy parent) in
+      let streams =
+        (* parent continuation comes last: [derive] must not advance it *)
+        List.map prefix children @ [ prefix split_child; prefix parent ]
+      in
+      let rec pairwise_distinct = function
+        | [] -> true
+        | s :: rest -> (not (List.mem s rest)) && pairwise_distinct rest
+      in
+      pairwise_distinct streams)
+
+(* [derive] is read-only on the parent and reproducible: the same (state,
+   index) always names the same stream. *)
+let prop_rng_derive_pure =
+  QCheck.Test.make ~name:"rng derive is pure in (state, index)" ~count:100
+    QCheck.(make Gen.(pair (int_range 0 1_000_000) (int_range 0 64)))
+    (fun (seed, i) ->
+      let a = Plaid_util.Rng.create seed in
+      let b = Plaid_util.Rng.create seed in
+      let da = Plaid_util.Rng.derive a i in
+      let da' = Plaid_util.Rng.derive a i in
+      let db = Plaid_util.Rng.derive b i in
+      let draws rng = List.init 8 (fun _ -> Plaid_util.Rng.bits64 rng) in
+      (* bind each draw sequence: [=] gives no evaluation-order guarantee,
+         and draws mutate the generator *)
+      let xa = draws da in
+      let xa' = draws da' in
+      let xb = draws (Plaid_util.Rng.copy db) in
+      let xb' = draws db in
+      let pa = Plaid_util.Rng.bits64 a in
+      let pb = Plaid_util.Rng.bits64 b in
+      xa = xa' && xb = xb' && xa = xb
+      (* parent unperturbed: both parents continue identically *)
+      && pa = pb)
+
 let suites =
   [
     ( "properties",
       List.map (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) t)
-        [ prop_route_exact_length; prop_route_release_restores; prop_schedule_sound ]
+        [ prop_route_exact_length; prop_route_release_restores; prop_schedule_sound;
+          prop_rng_streams_disjoint; prop_rng_derive_pure ]
       @ [
           Alcotest.test_case "motif exhaustiveness" `Quick test_motif_exhaustiveness;
           Alcotest.test_case "example kernels compile" `Quick test_example_kernels_compile;

@@ -86,7 +86,7 @@ let verify_on_st kernel params =
   match
     (Plaid_mapping.Driver.map
        ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
-       ~arch:(Lazy.force st4) ~dfg:g ~seed:7)
+       ~arch:(Lazy.force st4) ~dfg:g ~seed:7 ())
       .Plaid_mapping.Driver.mapping
   with
   | None -> Alcotest.failf "mapping failed for %s" kernel.Kernel.name
@@ -126,7 +126,7 @@ let test_cycle_sim_reports_stats () =
   match
     (Plaid_mapping.Driver.map
        ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
-       ~arch:(Lazy.force st4) ~dfg:g ~seed:7)
+       ~arch:(Lazy.force st4) ~dfg:g ~seed:7 ())
       .Plaid_mapping.Driver.mapping
   with
   | None -> Alcotest.fail "mapping failed"
@@ -144,7 +144,7 @@ let test_validator_catches_tampering () =
   match
     (Plaid_mapping.Driver.map
        ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
-       ~arch:(Lazy.force st4) ~dfg:g ~seed:7)
+       ~arch:(Lazy.force st4) ~dfg:g ~seed:7 ())
       .Plaid_mapping.Driver.mapping
   with
   | None -> Alcotest.fail "mapping failed"
@@ -186,7 +186,7 @@ let prop_end_to_end =
       match
         (Plaid_mapping.Driver.map
            ~algo:(Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick)
-           ~arch:(Lazy.force st4) ~dfg:g ~seed:5)
+           ~arch:(Lazy.force st4) ~dfg:g ~seed:5 ())
           .Plaid_mapping.Driver.mapping
       with
       | None -> false
