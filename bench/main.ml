@@ -103,29 +103,30 @@ let run_microbenches () =
 
 (* --- parallel speedup -------------------------------------------------- *)
 
-(* Time the mapper portfolio sequentially and on a [jobs]-worker pool.  The
-   parallel run must produce the same outcomes (asserted below); the point
-   of this section is the wall-clock ratio. *)
-let run_speedup () =
-  Plaid_exp.Ascii.heading (Printf.sprintf "Mapper portfolio speedup (-j %d)" jobs);
-  let kernels = [ "gemm_u2"; "conv3x3"; "jacobi_u2"; "bicg_u2" ] in
+let kernels = [ "gemm_u2"; "conv3x3"; "jacobi_u2"; "bicg_u2" ]
+
+let portfolio ?pool () =
   let arch = Lazy.force st_arch in
   let algos =
     [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
       Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
   in
-  let portfolio ?pool () =
-    List.map
-      (fun k ->
-        let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find k) in
-        Plaid_mapping.Driver.best_of ?pool ~restarts:2 ~algos ~arch ~dfg ~seed:7 ())
-      kernels
-  in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let v = f () in
-    (v, Unix.gettimeofday () -. t0)
-  in
+  List.map
+    (fun k ->
+      let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find k) in
+      Plaid_mapping.Driver.best_of ?pool ~restarts:2 ~algos ~arch ~dfg ~seed:7 ())
+    kernels
+
+let time f =
+  let t0 = Plaid_obs.Trace.Clock.now_ns () in
+  let v = f () in
+  (v, Plaid_obs.Trace.Clock.seconds_since t0)
+
+(* Time the mapper portfolio sequentially and on a [jobs]-worker pool.  The
+   parallel run must produce the same outcomes (asserted below); the point
+   of this section is the wall-clock ratio. *)
+let run_speedup () =
+  Plaid_exp.Ascii.heading (Printf.sprintf "Mapper portfolio speedup (-j %d)" jobs);
   let seq, t_seq = time (fun () -> portfolio ()) in
   let par, t_par =
     Plaid_util.Pool.with_pool ~size:jobs (fun pool ->
@@ -148,8 +149,36 @@ let run_speedup () =
 "
     t_seq jobs t_par (t_seq /. t_par)
 
+(* --- observability overhead -------------------------------------------- *)
+
+(* Same portfolio, tracing + metrics off vs on.  Off is the shipping
+   configuration (every probe is one branch on a static flag); on bounds
+   the cost of the probes themselves.  The instrumented run's counters are
+   then printed as the metrics summary table. *)
+let run_obs_overhead () =
+  Plaid_exp.Ascii.heading "Observability overhead (mapper portfolio, sequential)";
+  let off, t_off = time (fun () -> portfolio ()) in
+  Plaid_obs.Metrics.set_enabled true;
+  Plaid_obs.Trace.set_enabled true;
+  let on, t_on = time (fun () -> portfolio ()) in
+  Plaid_obs.Trace.set_enabled false;
+  Plaid_obs.Metrics.set_enabled false;
+  let ii o =
+    match o.Plaid_mapping.Driver.mapping with
+    | Some m -> m.Plaid_mapping.Mapping.ii
+    | None -> -1
+  in
+  if List.map ii off <> List.map ii on then
+    failwith "obs bench: instrumented outcomes differ from plain";
+  Printf.printf "  obs off     %.2fs\n  obs on      %.2fs\n  delta       %+.1f%%\n" t_off t_on
+    (((t_on /. t_off) -. 1.0) *. 100.0);
+  Printf.printf "  spans recorded: %d\n\n" (Plaid_obs.Trace.span_count ());
+  Printf.printf "metrics summary (instrumented run):\n";
+  Format.printf "%a@?" Plaid_obs.Metrics.pp_summary (Plaid_obs.Metrics.snapshot ())
+
 let () =
   Plaid_util.Pool.with_pool ~size:jobs run_experiments;
   run_speedup ();
+  run_obs_overhead ();
   run_microbenches ();
   print_endline "\nbench: done"

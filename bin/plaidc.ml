@@ -55,6 +55,44 @@ let with_jobs jobs f =
   let size = match jobs with Some n -> max 1 n | None -> Domain.recommended_domain_count () in
   Plaid_util.Pool.with_pool ~size f
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of this invocation and write it to $(docv) as Chrome \
+           trace-event JSON (load it at https://ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "metrics" ]
+        ~doc:"Print a summary of internal counters and histograms to stderr on exit.")
+
+(* Enable tracing/metrics around [f] and emit the artifacts afterwards.
+   Everything lands on stderr or in the trace file, never stdout, so the
+   command's report bytes are identical with or without these flags. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Plaid_obs.Trace.set_enabled true;
+  if metrics then Plaid_obs.Metrics.set_enabled true;
+  let finish () =
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Plaid_obs.Trace.write ~path;
+      let dropped = Plaid_obs.Trace.dropped () in
+      Printf.eprintf "trace: %d spans -> %s%s\n"
+        (Plaid_obs.Trace.span_count ())
+        path
+        (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else ""));
+    if metrics then
+      Format.eprintf "-- metrics --@.%a@?" Plaid_obs.Metrics.pp_summary
+        (Plaid_obs.Metrics.snapshot ())
+  in
+  Fun.protect ~finally:finish f
+
 let report_mapping ctx name (m : Plaid_mapping.Mapping.t) =
   Printf.printf "%s on %s: II=%d, cycles=%d (outer-scaled %d)\n" name
     m.arch.Plaid_arch.Arch.name m.ii
@@ -87,7 +125,8 @@ let map_cmd =
       & opt (some string) None
       & info [ "o" ] ~docv:"FILE" ~doc:"Save the mapping object file here.")
   in
-  let run kernel arch seed viz out jobs =
+  let run kernel arch seed viz out jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     match Plaid_workloads.Suite.find kernel with
     | exception Not_found ->
       Printf.eprintf "unknown kernel %s; try 'plaidc list'\n" kernel;
@@ -164,22 +203,29 @@ let map_cmd =
           let spm =
             Plaid_sim.Spm.of_kernel k ~params:(Plaid_workloads.Suite.params entry) ~seed:77
           in
-          (match Plaid_sim.Cycle_sim.verify m spm with
-          | Ok stats ->
-            Printf.printf "simulation: bit-exact vs reference (%d firings, %d wire hops)\n"
-              stats.fu_firings stats.wire_hops
-          | Error msg -> Printf.printf "simulation MISMATCH: %s\n" msg);
+          let sim_ok =
+            match Plaid_sim.Cycle_sim.verify m spm with
+            | Ok stats ->
+              Printf.printf "simulation: bit-exact vs reference (%d firings, %d wire hops)\n"
+                stats.fu_firings stats.wire_hops;
+              true
+            | Error msg ->
+              Printf.eprintf "simulation MISMATCH: %s\n" msg;
+              false
+          in
           if viz then Format.printf "%a@." Plaid_mapping.Viz.pp m;
           (match out with
           | None -> ()
           | Some path ->
             Plaid_mapping.Mapfile.save m ~path;
             Printf.printf "saved %s\n" path);
-          0)
+          if sim_ok then 0 else 1)
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map one kernel onto an architecture and verify it")
-    Term.(const run $ kernel_arg $ arch_arg $ seed_arg $ viz_arg $ out_arg $ jobs_arg)
+    Term.(
+      const run $ kernel_arg $ arch_arg $ seed_arg $ viz_arg $ out_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 let run_cmd =
   let file_arg =
@@ -188,8 +234,20 @@ let run_cmd =
       & opt (some string) None
       & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Mapping object file from 'plaidc map -o'.")
   in
-  let run file =
-    match Plaid_mapping.Mapfile.load ~resolve:resolve_arch ~path:file with
+  let no_validate_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-validate" ]
+          ~doc:
+            "Skip mapping validation after loading (failure injection: lets a corrupted \
+             mapfile reach the simulator so mismatch handling can be tested).")
+  in
+  let run file no_validate trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    match
+      Plaid_mapping.Mapfile.load ~validate:(not no_validate) ~resolve:resolve_arch ~path:file
+    with
     | Error e ->
       Printf.eprintf "%s: %s\n" file e;
       1
@@ -207,22 +265,27 @@ let run_cmd =
             Plaid_sim.Spm.write spm name i (Plaid_util.Rng.int rng 256 - 128)
           done)
         (Plaid_ir.Dfg.arrays g);
-      (match Plaid_sim.Cycle_sim.verify m spm with
-      | Ok stats ->
-        Printf.printf "simulation: bit-exact (%d cycles, %d firings)\n" stats.cycles
-          stats.fu_firings
-      | Error msg -> Printf.printf "simulation MISMATCH: %s\n" msg);
+      let sim_ok =
+        match Plaid_sim.Cycle_sim.verify m spm with
+        | Ok stats ->
+          Printf.printf "simulation: bit-exact (%d cycles, %d firings)\n" stats.cycles
+            stats.fu_firings;
+          true
+        | Error msg ->
+          Printf.eprintf "simulation MISMATCH: %s\n" msg;
+          false
+      in
       let words_in, words_out = Plaid_sim.Host.kernel_words g in
       let cost = Plaid_sim.Host.invoke m ~words_in ~words_out in
       Printf.printf
         "host invocation: %d config + %d dma-in + %d compute + %d dma-out = %d cycles\n"
         cost.config_cycles cost.dma_in_cycles cost.compute_cycles cost.dma_out_cycles
         (Plaid_sim.Host.total cost);
-      0
+      if sim_ok then 0 else 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Load a mapping object file, simulate and price it")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ no_validate_arg $ trace_arg $ metrics_arg)
 
 let motifs_cmd =
   let out_arg =
@@ -282,7 +345,8 @@ let compile_cmd =
       & opt_all (pair ~sep:'=' string int) []
       & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc:"Live-in parameter value (repeatable).")
   in
-  let run file arch seed show_config param_values jobs =
+  let run file arch seed show_config param_values jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     match Plaid_ir.Parse.kernel_of_file file with
     | Error e ->
       Format.eprintf "%s: %a@." file Plaid_ir.Parse.pp_error e;
@@ -324,18 +388,26 @@ let compile_cmd =
             (Plaid_ir.Parse.params kernel)
         in
         let spm = Plaid_sim.Spm.of_kernel kernel ~params ~seed:77 in
-        (match Plaid_sim.Cycle_sim.verify m spm with
-        | Ok _ -> Printf.printf "simulation: bit-exact vs reference\n"
-        | Error msg -> Printf.printf "simulation MISMATCH: %s\n" msg);
+        let sim_ok =
+          match Plaid_sim.Cycle_sim.verify m spm with
+          | Ok _ ->
+            Printf.printf "simulation: bit-exact vs reference\n";
+            true
+          | Error msg ->
+            Printf.eprintf "simulation MISMATCH: %s\n" msg;
+            false
+        in
         (if show_config then
            match Plaid_mapping.Bitstream.generate m with
            | Ok bs -> Format.printf "%a@." Plaid_mapping.Bitstream.pp_listing bs
            | Error e -> Printf.printf "bitstream error: %s\n" e);
-        0)
+        if sim_ok then 0 else 1)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a kernel source file end to end")
-    Term.(const run $ file_arg $ arch_arg $ seed_arg $ config_arg $ param_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ arch_arg $ seed_arg $ config_arg $ param_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 let rtl_cmd =
   let out_arg =
@@ -378,7 +450,8 @@ let exp_cmd =
             "Which experiment to run: table2, fig2, fig12, fig13, fig14, fig15, fig16, fig17, \
              fig18, fig19, utilization, ablations, verify.  Default: all.")
   in
-  let run name seed jobs =
+  let run name seed jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     with_jobs jobs @@ fun pool ->
     let ctx = Plaid_exp.Ctx.create ~seed ~pool () in
     match name with
@@ -396,7 +469,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ exp_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ exp_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let () =
   let info =

@@ -315,9 +315,9 @@ let fig18 ctx =
   let t_hier = ref 0.0 and t_generic = ref 0.0 in
   List.iter
     (fun e ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Plaid_obs.Trace.Clock.now_ns () in
       let hier = (Ctx.map_plaid ctx e).Plaid_core.Hier_mapper.mapping in
-      t_hier := !t_hier +. (Unix.gettimeofday () -. t0);
+      t_hier := !t_hier +. Plaid_obs.Trace.Clock.seconds_since t0;
       match hier with
       | None -> ()
       | Some hm ->
@@ -327,10 +327,10 @@ let fig18 ctx =
             Some (float_of_int (Ctx.cycles ctx m) /. float_of_int hc)
           | None -> None
         in
-        let t1 = Unix.gettimeofday () in
+        let t1 = Plaid_obs.Trace.Clock.now_ns () in
         let pf = ratio (Ctx.map_plaid_generic ctx `Pf e) in
         let sa = ratio (Ctx.map_plaid_generic ctx `Sa e) in
-        t_generic := !t_generic +. (Unix.gettimeofday () -. t1);
+        t_generic := !t_generic +. Plaid_obs.Trace.Clock.seconds_since t1;
         (match pf with Some r -> vs_pf := r :: !vs_pf | None -> ());
         (match sa with Some r -> vs_sa := r :: !vs_sa | None -> ());
         rows :=
@@ -643,7 +643,10 @@ let runners =
 let run ?pool ctx selection =
   let tasks =
     List.map
-      (fun (name, f) () -> (name, Ascii.with_capture (fun () -> f ctx)))
+      (fun (name, f) () ->
+        ( name,
+          Plaid_obs.Trace.with_span ~cat:"exp" ("exp." ^ name) (fun () ->
+              Ascii.with_capture (fun () -> f ctx)) ))
       selection
   in
   let results =

@@ -1,4 +1,10 @@
 open Plaid_ir
+module Obs = Plaid_obs
+
+let m_moves = Obs.Metrics.counter "sa/moves"
+let m_accepts = Obs.Metrics.counter "sa/accepts"
+let m_restarts = Obs.Metrics.counter "sa/restarts"
+let g_final_temp = Obs.Metrics.gauge "sa/final_temp"
 
 type params = {
   iterations : int;
@@ -72,6 +78,7 @@ let attempt_swap st ~rng ~temp =
           new_cost <= old_cost
           || Plaid_util.Rng.float rng 1.0 < exp ((old_cost -. new_cost) /. max 1e-6 temp)
         in
+        if accept then Obs.Metrics.incr m_accepts;
         if not accept then begin
           List.iter (Route_table.release_edge st.table) incident;
           Mrrg.unplace_node st.mrrg ~node:v ~fu:fu_w ~slot:sl_v;
@@ -139,6 +146,7 @@ let attempt_move st ~rng ~temp =
       new_cost <= old_cost
       || Plaid_util.Rng.float rng 1.0 < exp ((old_cost -. new_cost) /. max 1e-6 temp)
     in
+    if accept then Obs.Metrics.incr m_accepts;
     if not accept then begin
       List.iter (fun i -> Route_table.release_edge st.table i) incident;
       Mrrg.unplace_node st.mrrg ~node:v ~fu:new_fu ~slot:new_slot;
@@ -158,6 +166,10 @@ let dbg fmt =
   if Lazy.force debug_enabled then Printf.eprintf fmt else Printf.ifprintf stderr fmt
 
 let run_once arch g ~ii ~times ~params ~rng =
+  Obs.Trace.with_span ~cat:"sa" "sa.run_once"
+    ~args:[ ("kernel", g.Dfg.name); ("ii", string_of_int ii) ]
+    ~result:(function Some _ -> [ ("mapped", "true") ] | None -> [ ("mapped", "false") ])
+  @@ fun () ->
   match init_state arch g ~ii ~times ~rng with
   | None -> None
   | Some st ->
@@ -173,6 +185,7 @@ let run_once arch g ~ii ~times ~params ~rng =
       && !since_best < plateau
     do
       incr iter;
+      Obs.Metrics.incr m_moves;
       if Plaid_util.Rng.int rng 4 = 0 then attempt_swap st ~rng ~temp:!temp
       else attempt_move st ~rng ~temp:!temp;
       temp := !temp *. params.t_decay;
@@ -183,6 +196,7 @@ let run_once arch g ~ii ~times ~params ~rng =
       end
       else incr since_best
     done;
+    Obs.Metrics.set g_final_temp !temp;
     if Route_table.unrouted st.table = 0 then Some (to_mapping st)
     else begin
       dbg "[sa] %s ii=%d: %d unrouted after %d moves\n%!" g.Dfg.name ii
@@ -214,6 +228,8 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
         match Mapping.validate m with
         | Ok () -> Some m
         | Error msg -> invalid_arg ("Anneal: produced invalid mapping: " ^ msg))
-      | None -> try_restart (r + 1)
+      | None ->
+        Obs.Metrics.incr m_restarts;
+        try_restart (r + 1)
   in
   try_restart 0

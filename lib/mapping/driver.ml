@@ -1,14 +1,30 @@
 open Plaid_ir
+module Obs = Plaid_obs
 
 type algo = Sa of Anneal.params | Pf of Pathfinder.params
 
 type outcome = { mapping : Mapping.t option; mii : int; attempts : int }
+
+let algo_name = function Sa _ -> "sa" | Pf _ -> "pf"
+
+let m_ii_attempts = Obs.Metrics.counter "driver/ii_attempts"
+let m_wasted = Obs.Metrics.counter "driver/wasted_ii_attempts"
+let m_mapped = Obs.Metrics.counter "driver/mapped"
+
+let mapped_arg = function
+  | Some _ -> [ ("mapped", "true") ]
+  | None -> [ ("mapped", "false") ]
 
 (* One II attempt is a pure function of (algo, arch, dfg, seed, ii): the
    RNG stream for II [ii] is derived by index from the seed rather than
    threaded through the search loop, so speculative parallel attempts at
    several IIs produce exactly the values the sequential loop would. *)
 let attempt_at ~algo ~arch ~dfg ~cap ~base ii =
+  Obs.Trace.with_span ~cat:"driver" "driver.ii_attempt"
+    ~args:[ ("algo", algo_name algo); ("ii", string_of_int ii) ]
+    ~result:mapped_arg
+  @@ fun () ->
+  Obs.Metrics.incr m_ii_attempts;
   let rng = Plaid_util.Rng.derive base ii in
   (* PathFinder cannot retime, so prefer a schedule with a two-cycle
      routing budget per edge; fall back to the tight schedule when
@@ -24,14 +40,27 @@ let attempt_at ~algo ~arch ~dfg ~cap ~base ii =
     | Pf params ->
       Pathfinder.map_at_ii arch dfg ~ii ~times ~params ~rng:(Plaid_util.Rng.split rng)
   in
-  List.fold_left
-    (fun acc sched ->
-      match (acc, sched) with
-      | Some _, _ | _, None -> acc
-      | None, Some times -> run times)
-    None schedules
+  let result =
+    List.fold_left
+      (fun acc sched ->
+        match (acc, sched) with
+        | Some _, _ | _, None -> acc
+        | None, Some times -> run times)
+      None schedules
+  in
+  if Option.is_some result then Obs.Metrics.incr m_mapped;
+  result
 
 let map ?pool ~algo ~arch ~dfg ~seed () =
+  Obs.Trace.with_span ~cat:"driver" "driver.map"
+    ~args:[ ("algo", algo_name algo); ("seed", string_of_int seed) ]
+    ~result:(fun o ->
+      ("attempts", string_of_int o.attempts)
+      ::
+      (match o.mapping with
+      | Some m -> [ ("ii", string_of_int m.Mapping.ii) ]
+      | None -> [ ("mapped", "false") ]))
+  @@ fun () ->
   let cap = Plaid_arch.Arch.capacity arch in
   let mii = Analysis.mii dfg cap in
   let max_ii = arch.Plaid_arch.Arch.config.entries in
@@ -40,7 +69,11 @@ let map ?pool ~algo ~arch ~dfg ~seed () =
   let width = match pool with Some p -> Plaid_util.Pool.size p | None -> 1 in
   if width <= 1 then begin
     let rec search ii tried =
-      if ii > max_ii then { mapping = None; mii; attempts = tried }
+      if ii > max_ii then begin
+        Obs.Log.warn ~sub:"driver" "%s: no mapping up to II %d (%s, %d attempts)" dfg.Dfg.name
+          max_ii (algo_name algo) tried;
+        { mapping = None; mii; attempts = tried }
+      end
       else
         match attempt ii with
         | Some mapping -> { mapping = Some mapping; mii; attempts = tried + 1 }
@@ -54,7 +87,11 @@ let map ?pool ~algo ~arch ~dfg ~seed () =
        The attempt count matches the sequential loop: every II up to and
        including the winner counts, speculative overshoot does not. *)
     let rec search lo tried =
-      if lo > max_ii then { mapping = None; mii; attempts = tried }
+      if lo > max_ii then begin
+        Obs.Log.warn ~sub:"driver" "%s: no mapping up to II %d (%s, %d attempts)" dfg.Dfg.name
+          max_ii (algo_name algo) tried;
+        { mapping = None; mii; attempts = tried }
+      end
       else begin
         let hi = min max_ii (lo + width - 1) in
         let iis = List.init (hi - lo + 1) (fun k -> lo + k) in
@@ -67,8 +104,23 @@ let map ?pool ~algo ~arch ~dfg ~seed () =
         in
         match first iis results with
         | Some (ii, mapping) ->
+          (* Speculative attempts above the winning II were wasted work the
+             sequential loop would never have run. *)
+          Obs.Metrics.add m_wasted (hi - ii);
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~cat:"driver" "driver.search_round"
+              ~args:
+                [
+                  ("window", Printf.sprintf "%d..%d" lo hi);
+                  ("winner", string_of_int ii);
+                  ("wasted", string_of_int (hi - ii));
+                ];
           { mapping = Some mapping; mii; attempts = tried + (ii - lo) + 1 }
-        | None -> search (hi + 1) (tried + List.length iis)
+        | None ->
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~cat:"driver" "driver.search_round"
+              ~args:[ ("window", Printf.sprintf "%d..%d" lo hi); ("winner", "none") ];
+          search (hi + 1) (tried + List.length iis)
       end
     in
     search mii 0
@@ -77,6 +129,17 @@ let map ?pool ~algo ~arch ~dfg ~seed () =
 let best_of ?pool ?(restarts = 1) ~algos ~arch ~dfg ~seed () =
   if algos = [] then invalid_arg "Driver.best_of: no algorithms";
   if restarts < 1 then invalid_arg "Driver.best_of: restarts must be >= 1";
+  Obs.Trace.with_span ~cat:"driver" "driver.best_of"
+    ~args:
+      [
+        ("algos", String.concat "," (List.map algo_name algos));
+        ("restarts", string_of_int restarts);
+      ]
+    ~result:(fun o ->
+      match o.mapping with
+      | Some m -> [ ("ii", string_of_int m.Mapping.ii) ]
+      | None -> [ ("mapped", "false") ])
+  @@ fun () ->
   (* Fixed algo-major, restart-minor order; the reduction below keeps the
      earliest entry on II ties, so the winner is independent of execution
      interleaving. *)

@@ -81,7 +81,7 @@ let op_of_string s =
     (fun op -> Op.to_string op = s)
     (Op.all_compute @ [ Op.Load; Op.Store; Op.Input ])
 
-let of_string ~resolve text =
+let of_string ?(validate = true) ~resolve text =
   let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
   match lines with
   | v :: rest when v = version -> (
@@ -197,17 +197,18 @@ let of_string ~resolve text =
           in
           let* routes = build_routes [] (List.rev !routes) in
           let m = { Mapping.arch; dfg; ii; times = times_arr; place = place_arr; routes } in
-          let* () = Mapping.validate m in
+          let* () = if validate then Mapping.validate m else Ok () in
           Ok m))
     | _ -> err "missing arch/dfg/ii header"
   )
   | _ -> err "not a %s file" version
 
-let load ~resolve ~path =
+(* all following arguments are labeled, so [?validate] can never be erased *)
+let[@warning "-16"] load ?validate ~resolve ~path =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | ic ->
     let n = in_channel_length ic in
     let text = really_input_string ic n in
     close_in ic;
-    of_string ~resolve text
+    of_string ?validate ~resolve text

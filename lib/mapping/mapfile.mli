@@ -17,11 +17,17 @@ val save : Mapping.t -> path:string -> unit
 val to_string : Mapping.t -> string
 
 val load :
+  ?validate:bool ->
   resolve:(string -> Plaid_arch.Arch.t option) ->
   path:string ->
   (Mapping.t, string) result
 (** [resolve] maps the stored architecture name to the fabric; the result
-    has passed {!Mapping.validate}. *)
+    has passed {!Mapping.validate} unless [~validate:false] (a
+    failure-injection aid: it lets a deliberately corrupted mapping reach
+    the simulator so the mismatch path can be exercised). *)
 
 val of_string :
-  resolve:(string -> Plaid_arch.Arch.t option) -> string -> (Mapping.t, string) result
+  ?validate:bool ->
+  resolve:(string -> Plaid_arch.Arch.t option) ->
+  string ->
+  (Mapping.t, string) result

@@ -30,7 +30,9 @@ let ii t = t.m_ii
 
 let exclusive t = t.exclusive
 
-let cell t res slot = t.cells.(res).(if t.exclusive then 0 else slot mod t.m_ii)
+let slot_mod t slot = ((slot mod t.m_ii) + t.m_ii) mod t.m_ii
+
+let cell t res slot = t.cells.(res).(if t.exclusive then 0 else slot_mod t slot)
 
 let fu_free t ~fu ~slot =
   let c = cell t fu slot in
@@ -41,7 +43,7 @@ let place_node t ~node ~fu ~slot =
   if c.exec <> None || c.signals <> [] then
     invalid_arg
       (Printf.sprintf "Mrrg.place_node: %s slot %d busy"
-         (Plaid_arch.Arch.resource t.m_arch fu).rname (slot mod t.m_ii));
+         (Plaid_arch.Arch.resource t.m_arch fu).rname (slot_mod t slot));
   c.exec <- Some node
 
 let unplace_node t ~node ~fu ~slot =

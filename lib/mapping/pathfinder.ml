@@ -1,4 +1,9 @@
 open Plaid_ir
+module Obs = Plaid_obs
+
+let m_iterations = Obs.Metrics.counter "pf/iterations"
+let m_ripups = Obs.Metrics.counter "pf/ripups"
+let h_overuse = Obs.Metrics.histogram "pf/overuse"
 
 type params = {
   max_iters : int;
@@ -138,6 +143,7 @@ let repair_unrouted mrrg g ~times ~place ~paths ~rng =
   Array.iteri
     (fun i p ->
       if p = None then begin
+        Obs.Metrics.incr m_ripups;
         let e = g.Dfg.edges.(i) in
         let budget = times.(e.dst) - times.(e.src) + (e.dist * ii) in
         let src_tile = (Plaid_arch.Arch.resource arch place.(e.src)).tile in
@@ -154,6 +160,10 @@ let repair_unrouted mrrg g ~times ~place ~paths ~rng =
     paths
 
 let map_at_ii arch g ~ii ~times ~params ~rng =
+  Obs.Trace.with_span ~cat:"pf" "pf.map_at_ii"
+    ~args:[ ("ii", string_of_int ii) ]
+    ~result:(function Some _ -> [ ("mapped", "true") ] | None -> [ ("mapped", "false") ])
+  @@ fun () ->
   let mrrg = Mrrg.create arch ~ii in
   let times = Array.copy times in
   match Greedy.initial_place mrrg g ~times ~rng with
@@ -182,6 +192,10 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
       let paths = route_all mrrg g ~times ~place ~mode in
       let unrouted = Array.to_list paths |> List.filter (( = ) None) |> List.length in
       let ou = Mrrg.overuse mrrg in
+      (* One observation per negotiation round traces how congestion decays
+         as history costs accumulate. *)
+      Obs.Metrics.incr m_iterations;
+      Obs.Metrics.observe h_overuse (float_of_int ou);
       if unrouted = 0 && ou = 0 then begin
         let routes =
           Array.to_list (Array.mapi (fun i p -> (i, p)) paths)
@@ -225,6 +239,7 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
             match victims with
             | [] -> ()
             | _ ->
+              Obs.Metrics.incr m_ripups;
               let v, old_fu = List.nth victims (Plaid_util.Rng.int rng (List.length victims)) in
               let slot = slot_mod ii times.(v) in
               Mrrg.unplace_node mrrg ~node:v ~fu:old_fu ~slot;

@@ -6,7 +6,12 @@ type path = (int * int) list
 
 let max_detour = 64
 
-let slot_of mrrg t_src elapsed = (t_src + elapsed) mod Mrrg.ii mrrg
+(* Annealing retimes nodes within their slack, which may place a node at a
+   negative absolute time; normalize like every other slot computation so
+   the modulo slot stays in [0, ii). *)
+let slot_of mrrg t_src elapsed =
+  let ii = Mrrg.ii mrrg in
+  (((t_src + elapsed) mod ii) + ii) mod ii
 
 let usable mrrg ~mode ~res ~slot signal =
   match mode with

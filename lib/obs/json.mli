@@ -1,0 +1,31 @@
+(** Minimal JSON: just enough to emit Chrome trace-event files and to parse
+    them back in tests and CI gates.  No dependency beyond the stdlib. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization with full string escaping. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset this library emits (objects, arrays,
+    strings with escapes including [\uXXXX], numbers, booleans, null).
+    The error message carries the offending byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to the first occurrence of [k];
+    [None] for a missing key or a non-object. *)
+
+val to_list : t -> t list
+(** The elements of an [Arr]; [[]] for anything else. *)
+
+val str : t -> string option
+(** The payload of a [Str]; [None] otherwise. *)
+
+val num : t -> float option
+(** The payload of a [Num]; [None] otherwise. *)

@@ -1,0 +1,57 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_name = function Error -> "error" | Warn -> "warn" | Info -> "info" | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" | "err" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+(* -1 encodes "off" so the hot-path check is one integer compare. *)
+let threshold =
+  Atomic.make
+    (match Sys.getenv_opt "PLAID_LOG" with
+    | None -> -1
+    | Some s -> ( match level_of_string s with Some l -> severity l | None -> -1))
+
+let set_level = function
+  | None -> Atomic.set threshold (-1)
+  | Some l -> Atomic.set threshold (severity l)
+
+let current_level () =
+  match Atomic.get threshold with
+  | 0 -> Some Error
+  | 1 -> Some Warn
+  | 2 -> Some Info
+  | 3 -> Some Debug
+  | _ -> None
+
+let lock = Mutex.create ()
+
+let emit lvl ~sub ~fields msg =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "[plaid:%s][%s] %s" (level_name lvl) sub msg);
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v)) fields;
+  Buffer.add_char b '\n';
+  Mutex.lock lock;
+  output_string stderr (Buffer.contents b);
+  flush stderr;
+  Mutex.unlock lock
+
+let log lvl ~sub ?(fields = []) msg =
+  if severity lvl <= Atomic.get threshold then emit lvl ~sub ~fields msg
+
+let logf lvl ~sub ?(fields = []) fmt =
+  if severity lvl <= Atomic.get threshold then
+    Printf.ksprintf (fun msg -> emit lvl ~sub ~fields msg) fmt
+  else Printf.ikfprintf (fun _ -> ()) () fmt
+
+let err ~sub ?fields fmt = logf Error ~sub ?fields fmt
+let warn ~sub ?fields fmt = logf Warn ~sub ?fields fmt
+let info ~sub ?fields fmt = logf Info ~sub ?fields fmt
+let debug ~sub ?fields fmt = logf Debug ~sub ?fields fmt

@@ -1,0 +1,32 @@
+(** Leveled structured logging to stderr, gated by the [PLAID_LOG]
+    environment variable ("error", "warn", "info", "debug"; unset or "off"
+    disables everything).  Strictly out-of-band: lines go to stderr only,
+    so deterministic stdout reports are unaffected.  A disabled level costs
+    one branch; enabled lines are serialized under a mutex so domains never
+    interleave bytes. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level option -> unit
+(** Override the [PLAID_LOG]-derived threshold; [None] disables logging. *)
+
+val current_level : unit -> level option
+(** The active threshold (initially parsed from [PLAID_LOG]). *)
+
+val level_of_string : string -> level option
+(** ["error"] .. ["debug"] (case-insensitive); [None] otherwise. *)
+
+val log : level -> sub:string -> ?fields:(string * string) list -> string -> unit
+(** [log lvl ~sub msg] writes ["[plaid:lvl][sub] msg k=v ..."] to stderr
+    when [lvl] is at or above the threshold.  [sub] names the emitting
+    subsystem ("driver", "pool", "exp", ...). *)
+
+val logf :
+  level -> sub:string -> ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a
+(** Printf-style {!log}.  The format arguments are only rendered when the
+    level is enabled. *)
+
+val err : sub:string -> ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a
+val warn : sub:string -> ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a
+val info : sub:string -> ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a
+val debug : sub:string -> ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,235 @@
+type counter = int
+type gauge = int
+type histogram = int
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* ------------------------------------------------------------ registry *)
+
+let lock = Mutex.create ()
+
+type reg = { tbl : (string, int) Hashtbl.t; mutable names : string array; mutable n : int }
+
+let new_reg () = { tbl = Hashtbl.create 16; names = [||]; n = 0 }
+
+let creg = new_reg ()
+let greg = new_reg ()
+let hreg = new_reg ()
+
+let register reg name =
+  Mutex.lock lock;
+  let id =
+    match Hashtbl.find_opt reg.tbl name with
+    | Some id -> id
+    | None ->
+      let id = reg.n in
+      if id >= Array.length reg.names then begin
+        let grown = Array.make (max 8 (2 * (id + 1))) "" in
+        Array.blit reg.names 0 grown 0 reg.n;
+        reg.names <- grown
+      end;
+      reg.names.(id) <- name;
+      reg.n <- id + 1;
+      Hashtbl.replace reg.tbl name id;
+      id
+  in
+  Mutex.unlock lock;
+  id
+
+let counter name = register creg name
+let gauge name = register greg name
+let histogram name = register hreg name
+
+(* ------------------------------------------------------------- shards *)
+
+(* One shard per domain; the owning domain writes without synchronization
+   (see the .mli for the resulting snapshot contract).  Shards outlive
+   their domain so a joined worker's counts still merge. *)
+
+type fbuf = { mutable data : float array; mutable len : int }
+
+type shard = {
+  mutable counters : int array;
+  mutable gauges : float array;
+  mutable gseq : int array;  (* global arming order of the last set; 0 = never *)
+  mutable hists : fbuf array;
+}
+
+let shards : shard list ref = ref []
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { counters = [||]; gauges = [||]; gseq = [||]; hists = [||] } in
+      Mutex.lock lock;
+      shards := s :: !shards;
+      Mutex.unlock lock;
+      s)
+
+let grow_int a id =
+  let grown = Array.make (max 8 (2 * (id + 1))) 0 in
+  Array.blit a 0 grown 0 (Array.length a);
+  grown
+
+let grow_float a id =
+  let grown = Array.make (max 8 (2 * (id + 1))) 0.0 in
+  Array.blit a 0 grown 0 (Array.length a);
+  grown
+
+(* ------------------------------------------------------------ recording *)
+
+let add c n =
+  if Atomic.get on then begin
+    let s = Domain.DLS.get shard_key in
+    if c >= Array.length s.counters then s.counters <- grow_int s.counters c;
+    s.counters.(c) <- s.counters.(c) + n
+  end
+
+let incr c = add c 1
+
+let gauge_clock = Atomic.make 0
+
+let set g v =
+  if Atomic.get on then begin
+    let s = Domain.DLS.get shard_key in
+    if g >= Array.length s.gauges then begin
+      s.gauges <- grow_float s.gauges g;
+      s.gseq <- grow_int s.gseq g
+    end;
+    s.gauges.(g) <- v;
+    s.gseq.(g) <- 1 + Atomic.fetch_and_add gauge_clock 1
+  end
+
+let observe h v =
+  if Atomic.get on then begin
+    let s = Domain.DLS.get shard_key in
+    if h >= Array.length s.hists then begin
+      let grown = Array.init (max 8 (2 * (h + 1))) (fun _ -> { data = [||]; len = 0 }) in
+      Array.blit s.hists 0 grown 0 (Array.length s.hists);
+      s.hists <- grown
+    end;
+    let b = s.hists.(h) in
+    if b.len >= Array.length b.data then begin
+      let grown = Array.make (max 16 (2 * (b.len + 1))) 0.0 in
+      Array.blit b.data 0 grown 0 b.len;
+      b.data <- grown
+    end;
+    b.data.(b.len) <- v;
+    b.len <- b.len + 1
+  end
+
+(* ------------------------------------------------------------ snapshot *)
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  values : float array;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_stats) list;
+}
+
+let snapshot () =
+  Mutex.lock lock;
+  let shards = !shards in
+  let cn = creg.n and gn = greg.n and hn = hreg.n in
+  let c_names = Array.sub creg.names 0 cn in
+  let g_names = Array.sub greg.names 0 gn in
+  let h_names = Array.sub hreg.names 0 hn in
+  Mutex.unlock lock;
+  let counters =
+    List.init cn (fun id ->
+        let total =
+          List.fold_left
+            (fun acc (s : shard) ->
+              if id < Array.length s.counters then acc + s.counters.(id) else acc)
+            0 shards
+        in
+        (c_names.(id), total))
+  in
+  let gauges =
+    List.init gn (fun id ->
+        let _, v =
+          List.fold_left
+            (fun ((best_seq, _) as acc) (s : shard) ->
+              if id < Array.length s.gseq && s.gseq.(id) > best_seq then
+                (s.gseq.(id), s.gauges.(id))
+              else acc)
+            (0, 0.0) shards
+        in
+        (g_names.(id), v))
+  in
+  let histograms =
+    List.init hn (fun id ->
+        let parts =
+          List.filter_map
+            (fun (s : shard) ->
+              if id < Array.length s.hists && s.hists.(id).len > 0 then
+                Some (Array.sub s.hists.(id).data 0 s.hists.(id).len)
+              else None)
+            shards
+        in
+        let values = Array.concat parts in
+        Array.sort compare values;
+        let count = Array.length values in
+        let sum = Array.fold_left ( +. ) 0.0 values in
+        let stats =
+          if count = 0 then { count; sum; min = 0.0; max = 0.0; values }
+          else { count; sum; min = values.(0); max = values.(count - 1); values }
+        in
+        (h_names.(id), stats))
+  in
+  let by_name (a, _) (b, _) = compare a b in
+  {
+    counters = List.sort by_name counters;
+    gauges = List.sort by_name gauges;
+    histograms = List.sort by_name histograms;
+  }
+
+let percentile h p =
+  if h.count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.count)) in
+    let rank = Stdlib.max 1 (Stdlib.min h.count rank) in
+    h.values.(rank - 1)
+  end
+
+let reset () =
+  Mutex.lock lock;
+  List.iter
+    (fun (s : shard) ->
+      Array.fill s.counters 0 (Array.length s.counters) 0;
+      Array.fill s.gauges 0 (Array.length s.gauges) 0.0;
+      Array.fill s.gseq 0 (Array.length s.gseq) 0;
+      Array.iter (fun b -> b.len <- 0) s.hists)
+    !shards;
+  Mutex.unlock lock
+
+(* ------------------------------------------------------------- summary *)
+
+let pp_summary fmt snap =
+  let name_width =
+    List.fold_left
+      (fun acc (n, _) -> Stdlib.max acc (String.length n))
+      0
+      (snap.counters
+      @ List.map (fun (n, _) -> (n, 0)) snap.gauges
+      @ List.map (fun (n, _) -> (n, 0)) snap.histograms)
+  in
+  let w = Stdlib.max 8 name_width in
+  List.iter
+    (fun (n, v) -> Format.fprintf fmt "%-*s %d@." w n v)
+    snap.counters;
+  List.iter (fun (n, v) -> Format.fprintf fmt "%-*s %g@." w n v) snap.gauges;
+  List.iter
+    (fun (n, h) ->
+      Format.fprintf fmt "%-*s count=%d sum=%g p50=%g p90=%g max=%g@." w n h.count h.sum
+        (percentile h 50.0) (percentile h 90.0) h.max)
+    snap.histograms

@@ -1,0 +1,78 @@
+(** Domain-safe metrics registry: named counters, gauges, and histograms.
+
+    The hot path is an unsynchronized bump of a per-domain shard — no lock,
+    no atomic, no allocation — behind a single branch on the global enabled
+    flag, so instrumented code costs one predictable-false conditional when
+    observability is off.  Shards are merged only at {!snapshot} time.
+
+    Concurrency contract: a snapshot taken after the instrumented parallel
+    work has quiesced through a synchronization point (e.g. [Pool.run]
+    returning, or [Domain.join]) is exact.  A snapshot taken while other
+    domains are actively bumping may miss their latest increments, but never
+    tears or crashes.  Metrics are strictly out-of-band: recording consumes
+    no RNG and changes no control flow, so instrumented computations are
+    bit-identical with metrics on or off. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Globally arm or disarm recording.  Disabled (the default), every
+    recording call is a single branch and records nothing. *)
+
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Register (or look up) the counter named [name].  Registration is
+    idempotent: equal names return the same metric.  Typically called once
+    at module initialization. *)
+
+val gauge : string -> gauge
+
+val histogram : string -> histogram
+
+val incr : counter -> unit
+(** Add 1.  No-op when disabled. *)
+
+val add : counter -> int -> unit
+(** Add [n].  No-op when disabled. *)
+
+val set : gauge -> float -> unit
+(** Record the gauge's current value.  Across domains, the most recent
+    [set] (in global arming order) wins at merge time. *)
+
+val observe : histogram -> float -> unit
+(** Append one observation.  Histograms store every observation, so
+    percentiles are exact; intended for bounded-cardinality series
+    (iterations per mapping attempt, queue depths), not unbounded firehoses. *)
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** 0 when [count = 0] *)
+  max : float;  (** 0 when [count = 0] *)
+  values : float array;  (** all observations, sorted ascending *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** name-sorted; per-domain values summed *)
+  gauges : (string * float) list;  (** name-sorted; latest [set] wins *)
+  histograms : (string * hist_stats) list;  (** name-sorted; observations concatenated *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge every domain's shard.  Metrics that were registered but never
+    recorded report 0 / empty. *)
+
+val percentile : hist_stats -> float -> float
+(** Exact nearest-rank percentile: [percentile h p] for [p] in [0, 100] is
+    the smallest recorded value v such that at least [ceil (p/100 * count)]
+    observations are [<= v]; [p = 0] gives the minimum.  0 when empty. *)
+
+val reset : unit -> unit
+(** Zero every shard (registrations survive). *)
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** Aligned human-readable table: counters as integers, gauges as %g,
+    histograms as count/sum/p50/p90/max. *)

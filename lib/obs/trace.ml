@@ -1,0 +1,177 @@
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+
+  let seconds_since t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+end
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : int64;  (* absolute monotonic ns *)
+  ev_dur : int64;  (* ns; -1 marks an instant *)
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+(* One ring per domain: the owning domain appends without synchronization;
+   rings are registered globally (like metric shards) and outlive their
+   domain so export after a pool shutdown still sees worker spans. *)
+type ring = {
+  r_tid : int;
+  buf : event option array;
+  mutable head : int;  (* next write slot *)
+  mutable count : int;  (* total appended, monotone *)
+}
+
+let on = Atomic.make false
+let origin = Atomic.make 0L
+let capacity = Atomic.make 65536
+let drop_count = Atomic.make 0
+
+let lock = Mutex.create ()
+let rings : ring list ref = ref []
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          r_tid = (Domain.self () :> int);
+          buf = Array.make (Atomic.get capacity) None;
+          head = 0;
+          count = 0;
+        }
+      in
+      Mutex.lock lock;
+      rings := r :: !rings;
+      Mutex.unlock lock;
+      r)
+
+let set_enabled b =
+  if b && Atomic.get origin = 0L then Atomic.set origin (Clock.now_ns ());
+  Atomic.set on b
+
+let enabled () = Atomic.get on
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Atomic.set capacity n
+
+let record ev =
+  let r = Domain.DLS.get ring_key in
+  let cap = Array.length r.buf in
+  if r.count >= cap then Atomic.incr drop_count;
+  r.buf.(r.head) <- Some ev;
+  r.head <- (r.head + 1) mod cap;
+  r.count <- r.count + 1
+
+let complete ?(cat = "") ?(args = []) ~start name =
+  if Atomic.get on then
+    record
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts = start;
+        ev_dur = Int64.sub (Clock.now_ns ()) start;
+        ev_tid = (Domain.self () :> int);
+        ev_args = args;
+      }
+
+let instant ?(cat = "") ?(args = []) name =
+  if Atomic.get on then
+    record
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts = Clock.now_ns ();
+        ev_dur = -1L;
+        ev_tid = (Domain.self () :> int);
+        ev_args = args;
+      }
+
+let with_span ?(cat = "") ?(args = []) ?result name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let start = Clock.now_ns () in
+    match f () with
+    | v ->
+      let args = match result with None -> args | Some g -> args @ g v in
+      complete ~cat ~args ~start name;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      complete ~cat ~args:(args @ [ ("exn", Printexc.to_string e) ]) ~start name;
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* -------------------------------------------------------------- export *)
+
+let events () =
+  Mutex.lock lock;
+  let rings = !rings in
+  Mutex.unlock lock;
+  List.concat_map
+    (fun r -> List.filter_map (fun x -> x) (Array.to_list r.buf))
+    rings
+
+let span_count () = List.length (events ())
+
+let dropped () = Atomic.get drop_count
+
+let us_of_ns ns = Int64.to_float ns /. 1000.0
+
+let export () =
+  let t0 = Atomic.get origin in
+  let json_of_event ev =
+    let base =
+      [
+        ("name", Json.Str ev.ev_name);
+        ("cat", Json.Str (if ev.ev_cat = "" then "plaid" else ev.ev_cat));
+        ("ph", Json.Str (if ev.ev_dur < 0L then "i" else "X"));
+        ("ts", Json.Num (us_of_ns (Int64.sub ev.ev_ts t0)));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num (float_of_int ev.ev_tid));
+      ]
+    in
+    let dur = if ev.ev_dur < 0L then [] else [ ("dur", Json.Num (us_of_ns ev.ev_dur)) ] in
+    let args =
+      match ev.ev_args with
+      | [] -> []
+      | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+    in
+    Json.Obj (base @ dur @ args)
+  in
+  (* Sort by (ts, dur descending) so parents precede their children — the
+     layout Perfetto's importer expects for "X" events. *)
+  let evs =
+    List.sort
+      (fun a b ->
+        match Int64.compare a.ev_ts b.ev_ts with
+        | 0 -> Int64.compare b.ev_dur a.ev_dur
+        | c -> c)
+      (events ())
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map json_of_event evs));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+let export_string () = Json.to_string (export ())
+
+let write ~path =
+  let oc = open_out path in
+  output_string oc (export_string ());
+  output_char oc '\n';
+  close_out oc
+
+let reset () =
+  Mutex.lock lock;
+  List.iter
+    (fun r ->
+      Array.fill r.buf 0 (Array.length r.buf) None;
+      r.head <- 0;
+      r.count <- 0)
+    !rings;
+  Mutex.unlock lock;
+  Atomic.set drop_count 0;
+  Atomic.set origin 0L

@@ -1,0 +1,75 @@
+(** Span-based tracing on a monotonic clock, exported as Chrome trace-event
+    JSON (load the file at https://ui.perfetto.dev or chrome://tracing).
+
+    Each domain records completed spans into its own fixed-capacity ring
+    buffer, so the hot path is lock-free and allocation stays local; when a
+    ring overflows, the oldest spans are dropped (see {!dropped}).  Tracing
+    is strictly out-of-band: it consumes no RNG, changes no control flow,
+    and writes nothing to stdout, so traced computations produce
+    bit-identical results with tracing on or off.  Disabled (the default),
+    {!with_span} is a single branch around the traced function. *)
+
+module Clock : sig
+  (** Monotonic wall clock (CLOCK_MONOTONIC), immune to NTP steps — the
+      replacement for ad-hoc [Unix.gettimeofday] deltas. *)
+
+  val now_ns : unit -> int64
+  (** Nanoseconds from an arbitrary fixed origin; strictly non-decreasing. *)
+
+  val seconds_since : int64 -> float
+  (** [seconds_since t0] is the elapsed time since [t0 = now_ns ()]. *)
+end
+
+val set_enabled : bool -> unit
+(** Arm or disarm recording.  The first arming fixes the trace's time
+    origin (timestamp 0 in the exported JSON). *)
+
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Ring capacity (spans per domain) for rings created afterwards.
+    Default 65536.  @raise Invalid_argument if not positive. *)
+
+val with_span :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?result:('a -> (string * string) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] runs [f] and records a complete span around it on
+    the current domain.  [cat] groups spans in the viewer (one category per
+    subsystem: "driver", "pf", "sa", "pool", "sim", "exp").  [args] are
+    static key/value annotations; [result] derives additional args from
+    [f]'s return value (only evaluated when tracing is on).  If [f] raises,
+    the span is recorded with an ["exn"] arg and the exception is re-raised
+    with its original backtrace. *)
+
+val complete : ?cat:string -> ?args:(string * string) list -> start:int64 -> string -> unit
+(** Record a span that began at [start = Clock.now_ns ()] and ends now —
+    the manual-timing escape hatch for call sites that cannot nest a
+    closure.  No-op when disabled. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a zero-duration marker event. *)
+
+val export : unit -> Json.t
+(** The whole trace as a Chrome trace-event JSON object:
+    [{"traceEvents": [...], "displayTimeUnit": "ns"}], with one ["X"]
+    (complete) event per span, timestamps in microseconds relative to the
+    first arming, and the recording domain as [tid]. *)
+
+val export_string : unit -> string
+
+val write : path:string -> unit
+(** Serialize {!export} to [path]. *)
+
+val span_count : unit -> int
+(** Spans currently held across all rings. *)
+
+val dropped : unit -> int
+(** Spans discarded to ring overflow since the last {!reset}. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans and the drop counter; the time origin re-arms
+    on the next {!set_enabled}[ true]. *)

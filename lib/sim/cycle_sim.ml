@@ -1,7 +1,13 @@
 open Plaid_ir
 open Plaid_mapping
+module Obs = Plaid_obs
 
-type stats = { cycles : int; fu_firings : int; wire_hops : int }
+type stats = { cycles : int; fu_firings : int; wire_hops : int; stall_cycles : int }
+
+let m_firings = Obs.Metrics.counter "sim/firings"
+let m_wire_hops = Obs.Metrics.counter "sim/wire_hops"
+let m_cycles = Obs.Metrics.counter "sim/cycles"
+let m_stalls = Obs.Metrics.counter "sim/stall_cycles"
 
 let address (a : Dfg.access) iter = a.offset + (a.stride * iter)
 
@@ -83,14 +89,38 @@ let run_exn (m : Mapping.t) spm =
     (match !conflict with
     | Some msg -> Error msg
     | None ->
-      Ok
-        { cycles = Mapping.perf_cycles m; fu_firings = !fu_firings;
-          wire_hops = Hashtbl.length wires })
+      let total = Mapping.perf_cycles m in
+      (* A cycle stalls when nothing fires and no wire carries a value —
+         the fill/drain bubbles of the modulo schedule. *)
+      let active : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+      List.iter (fun (t, _, _, _) -> Hashtbl.replace active t ()) events;
+      Hashtbl.iter (fun (_res, cycle) _ -> Hashtbl.replace active cycle ()) wires;
+      let busy = ref 0 in
+      Hashtbl.iter (fun c () -> if c >= 0 && c < total then incr busy) active;
+      let stats =
+        { cycles = total; fu_firings = !fu_firings; wire_hops = Hashtbl.length wires;
+          stall_cycles = total - !busy }
+      in
+      Obs.Metrics.add m_firings stats.fu_firings;
+      Obs.Metrics.add m_wire_hops stats.wire_hops;
+      Obs.Metrics.add m_cycles stats.cycles;
+      Obs.Metrics.add m_stalls stats.stall_cycles;
+      Ok stats)
 
 let run m spm =
+  Obs.Trace.with_span ~cat:"sim" "sim.run"
+    ~args:[ ("kernel", m.Mapping.dfg.Dfg.name); ("ii", string_of_int m.Mapping.ii) ]
+    ~result:(function
+      | Ok (s : stats) -> [ ("cycles", string_of_int s.cycles) ]
+      | Error _ -> [ ("error", "true") ])
+  @@ fun () ->
   try run_exn m spm with Invalid_argument msg -> Error ("simulation fault: " ^ msg)
 
 let verify m spm =
+  Obs.Trace.with_span ~cat:"sim" "sim.verify"
+    ~args:[ ("kernel", m.Mapping.dfg.Dfg.name) ]
+    ~result:(function Ok _ -> [ ("ok", "true") ] | Error _ -> [ ("ok", "false") ])
+  @@ fun () ->
   let mapped = Spm.copy spm in
   let golden = Spm.copy spm in
   match run m mapped with

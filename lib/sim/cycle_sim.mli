@@ -13,6 +13,8 @@ type stats = {
   cycles : int;             (** total execution cycles, fill/drain included *)
   fu_firings : int;         (** node executions across all iterations *)
   wire_hops : int;          (** (resource, cycle) wire occupancies replayed *)
+  stall_cycles : int;       (** cycles in which no node fired and no wire
+                                carried a value (fill/drain bubbles) *)
 }
 
 val run : Plaid_mapping.Mapping.t -> Spm.t -> (stats, string) result

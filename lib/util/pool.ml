@@ -1,3 +1,12 @@
+module Obs = Plaid_obs
+
+(* Pool telemetry (all no-ops unless Plaid_obs is enabled). *)
+let m_tasks = Obs.Metrics.counter "pool/tasks"
+let m_steals = Obs.Metrics.counter "pool/steals"
+let m_busy_ns = Obs.Metrics.counter "pool/busy_ns"
+let g_queue_depth = Obs.Metrics.gauge "pool/queue_depth"
+let h_batch = Obs.Metrics.histogram "pool/batch_size"
+
 type t = {
   width : int;
   mutex : Mutex.t;
@@ -41,6 +50,7 @@ let create ?size () =
     }
   in
   t.workers <- List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Obs.Log.debug ~sub:"pool" "created pool: %d domain(s)" width;
   t
 
 let size t = t.width
@@ -79,11 +89,16 @@ let run t tasks =
     let remaining = ref n in
     (* [results] and [remaining] are only touched under [t.mutex]. *)
     let wrap i f () =
+      Obs.Metrics.incr m_tasks;
+      let t0 = if Obs.Metrics.enabled () then Obs.Trace.Clock.now_ns () else 0L in
       let r =
-        match f () with
+        match Obs.Trace.with_span ~cat:"pool" "pool.task" f with
         | v -> Value v
         | exception e -> Raised (e, Printexc.get_raw_backtrace ())
       in
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.add m_busy_ns
+          (Int64.to_int (Int64.sub (Obs.Trace.Clock.now_ns ()) t0));
       Mutex.lock t.mutex;
       results.(i) <- r;
       decr remaining;
@@ -96,6 +111,8 @@ let run t tasks =
       invalid_arg "Pool.run: pool is shut down"
     end;
     List.iteri (fun i f -> Queue.add (wrap i f) t.queue) tasks;
+    Obs.Metrics.observe h_batch (float_of_int n);
+    Obs.Metrics.set g_queue_depth (float_of_int (Queue.length t.queue));
     Condition.broadcast t.work;
     (* Drain: execute any queued task (ours or a nested batch's) while the
        batch is unfinished; block only when the queue is momentarily empty. *)
@@ -103,6 +120,9 @@ let run t tasks =
       match Queue.take_opt t.queue with
       | Some task ->
         Mutex.unlock t.mutex;
+        (* The submitter helps drain its own batch's queue: each task taken
+           here ran on the submitting domain instead of a worker. *)
+        Obs.Metrics.incr m_steals;
         task ();
         Mutex.lock t.mutex
       | None -> if !remaining > 0 then Condition.wait t.settled t.mutex

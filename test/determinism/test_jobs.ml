@@ -74,9 +74,50 @@ let check_experiments pool =
     fail "experiment report bytes differ between sequential and -j %d (%d vs %d bytes)"
       jobs (String.length seq_bytes) (String.length par_bytes)
 
+(* ------------------------------------------- tracing stays out-of-band *)
+
+(* Arming tracing + metrics must not change a single mapper decision or
+   report byte: instrumentation consumes no RNG and alters no control
+   flow, so fingerprints and report bytes stay bit-identical. *)
+let with_obs_on f =
+  Plaid_obs.Trace.set_enabled true;
+  Plaid_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Plaid_obs.Trace.set_enabled false;
+      Plaid_obs.Metrics.set_enabled false)
+    f
+
+let check_obs_invariance pool =
+  let arch = Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4" in
+  let algos =
+    [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.quick;
+      Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick ]
+  in
+  List.iter
+    (fun kernel ->
+      let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find kernel) in
+      let plain = Plaid_mapping.Driver.best_of ~pool ~algos ~arch ~dfg ~seed:17 () in
+      let traced =
+        with_obs_on (fun () -> Plaid_mapping.Driver.best_of ~pool ~algos ~arch ~dfg ~seed:17 ())
+      in
+      if fingerprint plain <> fingerprint traced then
+        fail "best_of(%s) differs with tracing enabled (-j %d)" kernel jobs)
+    [ "dwconv"; "atax_u2" ];
+  if Plaid_obs.Trace.span_count () = 0 then
+    fail "tracing was enabled but recorded no spans";
+  let plain_summaries, plain_bytes = report ~pool () in
+  let traced_summaries, traced_bytes = with_obs_on (fun () -> report ~pool ()) in
+  if plain_summaries <> traced_summaries then
+    fail "experiment summaries differ with tracing enabled (-j %d)" jobs;
+  if plain_bytes <> traced_bytes then
+    fail "experiment report bytes differ with tracing enabled (-j %d, %d vs %d bytes)" jobs
+      (String.length plain_bytes) (String.length traced_bytes)
+
 let () =
   Plaid_util.Pool.with_pool ~size:jobs (fun pool ->
       check_mapper pool;
-      check_experiments pool);
+      check_experiments pool;
+      check_obs_invariance pool);
   if !failures > 0 then exit 1;
-  Printf.printf "determinism: sequential and -j %d agree\n" jobs
+  Printf.printf "determinism: sequential and -j %d agree (tracing on and off)\n" jobs

@@ -200,6 +200,31 @@ let test_route_padding () =
   | None -> Alcotest.fail "padding route not found"
   | Some (path, _) -> check Alcotest.bool "path uses >= 4 steps" true (List.length path >= 4)
 
+let test_route_negative_t_src () =
+  (* Annealing may retime a node into negative absolute time (its slack
+     window is unbounded below for cross-iteration edges); the router must
+     normalize the modulo slot instead of indexing a negative cell. *)
+  let arch = Lazy.force st4 in
+  let p = Plaid_arch.Mesh.spatio_temporal_4x4 in
+  let mrrg = Mrrg.create arch ~ii:4 in
+  let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
+  let dst = Plaid_arch.Mesh.fu_of_pe p ~row:3 ~col:3 in
+  match Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:(-5) ~dst_fu:dst ~length:6 ~mode:Route.Hard with
+  | None -> Alcotest.fail "route from negative time not found"
+  | Some (path, _) ->
+    (* occupy/release at the same negative origin must hit the same cells *)
+    Route.occupy_path mrrg ~src_node:0 ~t_src:(-5) path;
+    check Alcotest.bool "occupied" true (Mrrg.overuse mrrg = 0);
+    Route.release_path mrrg ~src_node:0 ~t_src:(-5) path;
+    check Alcotest.int "released cleanly" 0
+      (let total = ref 0 in
+       for r = 0 to Plaid_arch.Arch.n_resources arch - 1 do
+         for s = 0 to 3 do
+           total := !total + Mrrg.presence mrrg ~res:r ~slot:s
+         done
+       done;
+       !total)
+
 let test_route_self_loop () =
   (* Accumulator feedback at II=1: value circulates every cycle. *)
   let arch = Lazy.force st4 in
@@ -413,6 +438,7 @@ let suites =
         Alcotest.test_case "adjacent" `Quick test_route_adjacent;
         Alcotest.test_case "distance needs cycles" `Quick test_route_distance_needs_cycles;
         Alcotest.test_case "padding" `Quick test_route_padding;
+        Alcotest.test_case "negative t_src" `Quick test_route_negative_t_src;
         Alcotest.test_case "self loop" `Quick test_route_self_loop;
         Alcotest.test_case "respects occupancy" `Quick test_route_respects_occupancy;
       ] );

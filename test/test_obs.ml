@@ -1,0 +1,181 @@
+(* Tests for the observability layer: domain-sharded counters merging to
+   the sequential total, exact nearest-rank percentiles, Chrome trace JSON
+   round-tripping through the bundled parser with correct span nesting, and
+   the disabled mode recording nothing while call sites still execute. *)
+
+module Metrics = Plaid_obs.Metrics
+module Trace = Plaid_obs.Trace
+module Json = Plaid_obs.Json
+
+let check = Alcotest.check
+
+(* Every test runs against the same process-global registries, so reset and
+   re-arm explicitly; [finally] disarms so later suites see the default. *)
+let with_fresh_obs f =
+  Metrics.reset ();
+  Trace.reset ();
+  Metrics.set_enabled true;
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Trace.set_enabled false;
+      Metrics.reset ();
+      Trace.reset ())
+    f
+
+let counter_value snap name =
+  match List.assoc_opt name snap.Metrics.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %s missing from snapshot" name
+
+let test_counters_merge_across_domains () =
+  with_fresh_obs @@ fun () ->
+  let c = Metrics.counter "test/merge" in
+  let n_tasks = 32 and bumps = 1000 in
+  Plaid_util.Pool.with_pool ~size:4 (fun pool ->
+      ignore
+        (Plaid_util.Pool.run pool
+           (List.init n_tasks (fun _ () ->
+                for _ = 1 to bumps do
+                  Metrics.incr c
+                done))));
+  (* Pool.run's join happens-before this snapshot, so the merged total is
+     exact: the same number a sequential loop would produce. *)
+  check Alcotest.int "sum over shards" (n_tasks * bumps)
+    (counter_value (Metrics.snapshot ()) "test/merge")
+
+let test_gauge_last_set_wins () =
+  with_fresh_obs @@ fun () ->
+  let g = Metrics.gauge "test/gauge" in
+  Metrics.set g 1.0;
+  Metrics.set g 42.5;
+  check (Alcotest.float 0.0) "last set wins" 42.5
+    (List.assoc "test/gauge" (Metrics.snapshot ()).Metrics.gauges)
+
+let test_histogram_percentiles_exact () =
+  with_fresh_obs @@ fun () ->
+  let h = Metrics.histogram "test/hist" in
+  (* observe 1..100 spread over several domains; the merged distribution
+     must have exact nearest-rank percentiles *)
+  Plaid_util.Pool.with_pool ~size:4 (fun pool ->
+      ignore
+        (Plaid_util.Pool.run pool
+           (List.init 4 (fun part () ->
+                for i = 1 to 25 do
+                  Metrics.observe h (float_of_int ((part * 25) + i))
+                done))));
+  let stats = List.assoc "test/hist" (Metrics.snapshot ()).Metrics.histograms in
+  check Alcotest.int "count" 100 stats.Metrics.count;
+  check (Alcotest.float 0.0) "sum" 5050.0 stats.Metrics.sum;
+  check (Alcotest.float 0.0) "p0 = min" 1.0 (Metrics.percentile stats 0.0);
+  check (Alcotest.float 0.0) "p50" 50.0 (Metrics.percentile stats 50.0);
+  check (Alcotest.float 0.0) "p90" 90.0 (Metrics.percentile stats 90.0);
+  check (Alcotest.float 0.0) "p100 = max" 100.0 (Metrics.percentile stats 100.0)
+
+let test_disabled_records_nothing () =
+  Metrics.reset ();
+  Trace.reset ();
+  Metrics.set_enabled false;
+  Trace.set_enabled false;
+  let c = Metrics.counter "test/disabled" in
+  let h = Metrics.histogram "test/disabled_hist" in
+  let ran = ref 0 in
+  let v =
+    Trace.with_span ~cat:"test" "test.disabled" (fun () ->
+        Metrics.incr c;
+        Metrics.observe h 7.0;
+        incr ran;
+        123)
+  in
+  check Alcotest.int "call site still runs" 123 v;
+  check Alcotest.int "body executed once" 1 !ran;
+  check Alcotest.int "no spans" 0 (Trace.span_count ());
+  check Alcotest.int "counter untouched" 0 (counter_value (Metrics.snapshot ()) "test/disabled")
+
+(* --- trace export ------------------------------------------------------ *)
+
+let span_of_json ev =
+  let str k = Option.bind (Json.member k ev) Json.str in
+  let num k = Option.bind (Json.member k ev) Json.num in
+  (Option.get (str "name"), Option.get (num "ts"), Option.value ~default:0.0 (num "dur"))
+
+let test_trace_json_roundtrip_and_nesting () =
+  with_fresh_obs @@ fun () ->
+  let out =
+    Trace.with_span ~cat:"test" ~args:[ ("k", "v") ] "outer" (fun () ->
+        let a = Trace.with_span ~cat:"test" "inner" (fun () -> 40) in
+        Trace.instant ~cat:"test" "marker";
+        a + 2)
+  in
+  check Alcotest.int "traced result" 42 out;
+  let text = Trace.export_string () in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "exported trace is not valid JSON: %s" e
+  | Ok doc ->
+    let events = Json.to_list (Option.get (Json.member "traceEvents" doc)) in
+    check Alcotest.int "three events" 3 (List.length events);
+    let find name =
+      List.find
+        (fun ev -> Option.bind (Json.member "name" ev) Json.str = Some name)
+        events
+    in
+    let _, t_outer, d_outer = span_of_json (find "outer") in
+    let _, t_inner, d_inner = span_of_json (find "inner") in
+    if not (t_outer <= t_inner) then Alcotest.fail "inner span starts before its parent";
+    if not (t_inner +. d_inner <= t_outer +. d_outer) then
+      Alcotest.fail "inner span ends after its parent";
+    (* parents sort before children so viewers reconstruct the nesting *)
+    (match List.map (fun ev -> Option.bind (Json.member "name" ev) Json.str) events with
+    | Some "outer" :: _ -> ()
+    | _ -> Alcotest.fail "export is not sorted parent-first");
+    let marker = find "marker" in
+    check
+      Alcotest.(option string)
+      "instants use ph=i" (Some "i")
+      (Option.bind (Json.member "ph" marker) Json.str);
+    check
+      Alcotest.(option string)
+      "span args survive the round trip" (Some "v")
+      (Option.bind (Json.member "args" (find "outer")) (fun a ->
+           Option.bind (Json.member "k" a) Json.str))
+
+let test_span_records_exceptions () =
+  with_fresh_obs @@ fun () ->
+  (try Trace.with_span ~cat:"test" "boom" (fun () -> failwith "kaboom") with Failure _ -> ());
+  check Alcotest.int "failed span still recorded" 1 (Trace.span_count ())
+
+let test_json_value_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("i", Json.Num 123456789.0);
+        ("f", Json.Num 1.5);
+        ("neg", Json.Num (-7.0));
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.Arr [ Json.Num 1.0; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> if v <> v' then Alcotest.fail "JSON value changed across print/parse"
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counters merge across domains" `Quick
+          test_counters_merge_across_domains;
+        Alcotest.test_case "gauge last set wins" `Quick test_gauge_last_set_wins;
+        Alcotest.test_case "histogram percentiles exact" `Quick
+          test_histogram_percentiles_exact;
+        Alcotest.test_case "disabled mode records nothing" `Quick
+          test_disabled_records_nothing;
+        Alcotest.test_case "trace JSON round-trips with nesting" `Quick
+          test_trace_json_roundtrip_and_nesting;
+        Alcotest.test_case "raising span is recorded" `Quick test_span_records_exceptions;
+        Alcotest.test_case "json print/parse round-trip" `Quick test_json_value_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+(* End-to-end gate for the plaidc observability surface, run from
+   `dune runtest`:
+
+   - `plaidc map --trace --metrics` must exit 0 and write a trace that is
+     valid Chrome trace-event JSON with at least one span from every
+     instrumented subsystem (driver, pf, sa, pool, sim);
+   - a mapping corrupted on disk must be rejected by the loader (exit 1),
+     and with --no-validate must reach the simulator and take the
+     simulation-MISMATCH path: message on stderr, nothing on stdout,
+     exit 1. *)
+
+let plaidc = Sys.argv.(1)
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.eprintf "FAIL: %s\n%!" s)
+    fmt
+
+let sh fmt = Printf.ksprintf (fun cmd -> Sys.command cmd) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- traced map run ---------------------------------------------------- *)
+
+let () =
+  let rc =
+    sh "%s map -k gemm_u2 -a st -j 2 --trace trace.json --metrics -o gemm.map > map.out 2> map.err"
+      plaidc
+  in
+  if rc <> 0 then fail "traced map exited %d" rc;
+  if not (contains ~needle:"bit-exact" (read_file "map.out")) then
+    fail "traced map did not report a verified simulation";
+  let err = read_file "map.err" in
+  if not (contains ~needle:"-- metrics --" err) then fail "--metrics printed no summary";
+  if not (contains ~needle:"trace:" err) then fail "--trace printed no confirmation";
+  match Plaid_obs.Json.of_string (String.trim (read_file "trace.json")) with
+  | Error e -> fail "trace.json is not valid JSON: %s" e
+  | Ok doc ->
+    let events =
+      match Plaid_obs.Json.member "traceEvents" doc with
+      | Some evs -> Plaid_obs.Json.to_list evs
+      | None -> []
+    in
+    if events = [] then fail "trace.json has no traceEvents";
+    let cat_of ev =
+      Option.bind (Plaid_obs.Json.member "cat" ev) Plaid_obs.Json.str
+    in
+    List.iter
+      (fun subsystem ->
+        let n = List.length (List.filter (fun ev -> cat_of ev = Some subsystem) events) in
+        if n = 0 then fail "no spans from subsystem %S in trace.json" subsystem)
+      [ "driver"; "pf"; "sa"; "pool"; "sim" ]
+
+(* --- corrupted mapping ------------------------------------------------- *)
+
+let () =
+  (* break node 0's schedule time so the replayed event order is wrong *)
+  let corrupted =
+    String.split_on_char '\n' (read_file "gemm.map")
+    |> List.map (fun line ->
+           if String.length line >= 7 && String.sub line 0 7 = "time 0 " then "time 0 9999"
+           else line)
+    |> String.concat "\n"
+  in
+  let oc = open_out "gemm_bad.map" in
+  output_string oc corrupted;
+  close_out oc;
+  (* the validating loader must reject it *)
+  let rc = sh "%s run -f gemm_bad.map > bad.out 2> bad.err" plaidc in
+  if rc <> 1 then fail "corrupted mapfile: expected load failure (exit 1), got %d" rc;
+  (* with validation skipped it must reach the simulator and mismatch *)
+  let rc = sh "%s run -f gemm_bad.map --no-validate > bad2.out 2> bad2.err" plaidc in
+  if rc <> 1 then fail "--no-validate on corrupted mapfile: expected exit 1, got %d" rc;
+  if not (contains ~needle:"simulation MISMATCH" (read_file "bad2.err")) then
+    fail "mismatch message missing from stderr";
+  if contains ~needle:"MISMATCH" (read_file "bad2.out") then
+    fail "mismatch message leaked to stdout";
+  (* and the pristine file still verifies cleanly *)
+  let rc = sh "%s run -f gemm.map > good.out 2> good.err" plaidc in
+  if rc <> 0 then fail "pristine mapfile: expected exit 0, got %d" rc
+
+let () =
+  if !failures > 0 then exit 1;
+  print_endline "cli gate: trace/metrics surface and mismatch handling OK"
