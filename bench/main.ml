@@ -149,6 +149,47 @@ let run_speedup () =
 "
     t_seq jobs t_par (t_seq /. t_par)
 
+(* --- fault repair cost ------------------------------------------------- *)
+
+(* The deterministic reports count repair effort in displaced nodes and II
+   attempts; this section puts wall-clock behind those proxies.  The same
+   fault sets are repaired via Driver.repair (incremental first, fallback
+   allowed) and via an unconditional full remap. *)
+let run_fault_repair () =
+  Plaid_exp.Ascii.heading "Fault repair cost (gemm_u2 on st_4x4, 2 faults/set)";
+  let arch = Lazy.force st_arch in
+  let dfg = Lazy.force gemm_dfg in
+  let algo = Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default in
+  let healthy =
+    match (Plaid_mapping.Driver.map ~algo ~arch ~dfg ~seed:7 ()).Plaid_mapping.Driver.mapping with
+    | Some m -> m
+    | None -> failwith "fault bench: healthy mapping failed"
+  in
+  let base = Plaid_util.Rng.create 2025 in
+  let sets =
+    List.init 10 (fun i ->
+        Plaid_fault.Inject.sample arch ~rng:(Plaid_util.Rng.derive base i) ~n:2)
+  in
+  let archs = List.map (Plaid_arch.Arch.set_faults arch) sets in
+  let repairs, t_repair =
+    time (fun () ->
+        List.map
+          (fun farch ->
+            Plaid_mapping.Driver.repair ~algo ~arch:farch ~mapping:healthy ~seed:7 ())
+          archs)
+  in
+  let _, t_remap =
+    time (fun () ->
+        List.iter
+          (fun farch -> ignore (Plaid_mapping.Driver.map ~algo ~arch:farch ~dfg ~seed:7 ()))
+          archs)
+  in
+  let ok = List.filter (fun r -> r.Plaid_mapping.Driver.repaired <> None) repairs in
+  let inc = List.filter (fun r -> r.Plaid_mapping.Driver.incremental) repairs in
+  Printf.printf
+    "  %d fault sets: %d repaired (%d incremental)\n  repair loop  %.2fs\n  full remaps  %.2fs\n"
+    (List.length sets) (List.length ok) (List.length inc) t_repair t_remap
+
 (* --- observability overhead -------------------------------------------- *)
 
 (* Same portfolio, tracing + metrics off vs on.  Off is the shipping
@@ -179,6 +220,7 @@ let run_obs_overhead () =
 let () =
   Plaid_util.Pool.with_pool ~size:jobs run_experiments;
   run_speedup ();
+  run_fault_repair ();
   run_obs_overhead ();
   run_microbenches ();
   print_endline "\nbench: done"

@@ -10,6 +10,23 @@ open Cmdliner
 
 let arch_names = [ "st"; "st6"; "stml"; "plaid"; "plaid3"; "plaidml"; "spatial" ]
 
+(* Uniform bad-name handling: every unknown subcommand, architecture, mapper
+   or experiment name prints the valid choices to stderr and exits 2. *)
+let die_unknown ~what name choices : 'a =
+  Printf.eprintf "plaidc: unknown %s '%s' (choose from %s)\n" what name
+    (String.concat ", " choices);
+  exit 2
+
+let fabric_of_name ctx = function
+  | "st" -> Some (Plaid_exp.Ctx.st ctx)
+  | "st6" -> Some (Plaid_exp.Ctx.st6 ctx)
+  | "stml" -> Some (Plaid_exp.Ctx.st_ml ctx)
+  | "plaid" -> Some (Plaid_exp.Ctx.plaid2 ctx).Plaid_core.Pcu.arch
+  | "plaid3" -> Some (Plaid_exp.Ctx.plaid3 ctx).Plaid_core.Pcu.arch
+  | "plaidml" -> Some (Plaid_exp.Ctx.plaid_ml ctx).Plaid_core.Pcu.arch
+  | "spatial" -> Some (Plaid_spatial.Spatial.arch ())
+  | _ -> None
+
 let list_cmd =
   let run () : int =
     let () =
@@ -184,10 +201,7 @@ let map_cmd =
           | "plaid" -> (Plaid_exp.Ctx.map_plaid ctx entry).Plaid_core.Hier_mapper.mapping
           | "plaid3" -> (Plaid_exp.Ctx.map_plaid3 ctx entry).Plaid_core.Hier_mapper.mapping
           | "plaidml" -> (Plaid_exp.Ctx.map_plaid_ml ctx entry).Plaid_core.Hier_mapper.mapping
-          | other ->
-            Printf.eprintf "unknown arch %s (choose from %s)\n" other
-              (String.concat ", " arch_names);
-            exit 2
+          | other -> die_unknown ~what:"architecture" other arch_names
         in
         match mapping with
         | None ->
@@ -370,9 +384,7 @@ let compile_cmd =
                  Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
              ~arch:(Plaid_exp.Ctx.st ctx) ~dfg ~seed ())
             .Plaid_mapping.Driver.mapping
-        | other ->
-          Printf.eprintf "compile supports -a plaid or -a st, not %s\n" other;
-          exit 2
+        | other -> die_unknown ~what:"mapper" other [ "plaid"; "st" ]
       in
       match mapping with
       | None ->
@@ -416,17 +428,9 @@ let rtl_cmd =
   let run arch out =
     let ctx = Plaid_exp.Ctx.create () in
     let a =
-      match arch with
-      | "st" -> Plaid_exp.Ctx.st ctx
-      | "st6" -> Plaid_exp.Ctx.st6 ctx
-      | "stml" -> Plaid_exp.Ctx.st_ml ctx
-      | "plaid" -> (Plaid_exp.Ctx.plaid2 ctx).Plaid_core.Pcu.arch
-      | "plaid3" -> (Plaid_exp.Ctx.plaid3 ctx).Plaid_core.Pcu.arch
-      | "plaidml" -> (Plaid_exp.Ctx.plaid_ml ctx).Plaid_core.Pcu.arch
-      | "spatial" -> Plaid_spatial.Spatial.arch ()
-      | other ->
-        Printf.eprintf "unknown arch %s\n" other;
-        exit 2
+      match fabric_of_name ctx arch with
+      | Some a -> a
+      | None -> die_unknown ~what:"architecture" arch arch_names
     in
     (match out with
     | Some path ->
@@ -440,6 +444,90 @@ let rtl_cmd =
     (Cmd.info "rtl" ~doc:"Emit a structural Verilog netlist of an architecture")
     Term.(const run $ arch_arg $ out_arg)
 
+let faults_cmd =
+  let faults_arg =
+    Arg.(value & opt int 2 & info [ "faults" ] ~docv:"N" ~doc:"Faults injected per trial.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc:"Independent fault trials.")
+  in
+  let repair_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "repair" ]
+          ~doc:
+            "Repair each faulty fabric: incrementally re-place displaced nodes at the same \
+             II, falling back to a full remap.  Without this flag the campaign measures \
+             detection: every fault set that intersects the healthy mapping must be caught \
+             by validation or simulation (exit 1 when any is).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the JSON campaign report to $(docv) ('-' for stdout).")
+  in
+  let run kernel arch seed nfaults trials repair json jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    match Plaid_workloads.Suite.find kernel with
+    | exception Not_found ->
+      Printf.eprintf "unknown kernel %s; try 'plaidc list'\n" kernel;
+      1
+    | entry ->
+      with_jobs jobs @@ fun pool ->
+      let ctx = Plaid_exp.Ctx.create ~seed ~pool () in
+      let a =
+        match fabric_of_name ctx arch with
+        | Some a -> a
+        | None -> die_unknown ~what:"architecture" arch arch_names
+      in
+      let dfg = Plaid_workloads.Suite.dfg entry in
+      let k =
+        Plaid_ir.Unroll.apply entry.Plaid_workloads.Suite.base
+          entry.Plaid_workloads.Suite.unroll
+      in
+      let spm =
+        Plaid_sim.Spm.of_kernel k ~params:(Plaid_workloads.Suite.params entry) ~seed:77
+      in
+      let c =
+        Plaid_fault.Campaign.run ~pool ~arch:a ~dfg ~spm ~seed ~faults:nfaults ~trials
+          ~repair ()
+      in
+      (match json with
+      | Some "-" -> print_endline (Plaid_fault.Campaign.to_json_string c)
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Plaid_fault.Campaign.to_json_string c);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | None -> Format.printf "%a@." Plaid_fault.Campaign.pp c);
+      (* Failures land on stderr so the report bytes stay clean. *)
+      let failures =
+        List.filter
+          (fun (t : Plaid_fault.Campaign.trial) ->
+            if repair then not t.t_survives && t.t_detail <> "" else t.t_affected)
+          c.Plaid_fault.Campaign.c_results
+      in
+      List.iter
+        (fun (t : Plaid_fault.Campaign.trial) ->
+          Printf.eprintf "trial %d: %s MISMATCH: %s\n" t.t_index
+            (if repair then "repaired mapping" else "unrepaired mapping")
+            (if t.t_detail = "" then "fault set intersects mapping" else t.t_detail))
+        failures;
+      if failures = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a fault-injection campaign: map on the healthy fabric, break it, and measure \
+          detection or repair")
+    Term.(
+      const run $ kernel_arg $ arch_arg $ seed_arg $ faults_arg $ trials_arg $ repair_arg
+      $ json_arg $ jobs_arg $ trace_arg $ metrics_arg)
+
 let exp_cmd =
   let exp_arg =
     Arg.(
@@ -448,7 +536,7 @@ let exp_cmd =
       & info [ "e"; "experiment" ] ~docv:"NAME"
           ~doc:
             "Which experiment to run: table2, fig2, fig12, fig13, fig14, fig15, fig16, fig17, \
-             fig18, fig19, utilization, ablations, verify.  Default: all.")
+             fig18, fig19, utilization, ablations, dse, resilience, verify.  Default: all.")
   in
   let run name seed jobs trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
@@ -464,8 +552,7 @@ let exp_cmd =
         ignore (Plaid_exp.Experiments.run ~pool ctx [ (n, f) ]);
         0
       | None ->
-        Printf.eprintf "unknown experiment %s\n" n;
-        1)
+        die_unknown ~what:"experiment" n (List.map fst Plaid_exp.Experiments.runners))
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures")
@@ -476,4 +563,12 @@ let () =
     Cmd.info "plaidc" ~version:"1.0"
       ~doc:"Plaid CGRA toolchain: motif-based hierarchical mapping, baselines, evaluation"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; map_cmd; run_cmd; motifs_cmd; compile_cmd; rtl_cmd; exp_cmd ]))
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [ list_cmd; map_cmd; run_cmd; motifs_cmd; compile_cmd; rtl_cmd; faults_cmd; exp_cmd ])
+  in
+  (* Cmdliner reports unknown subcommands and malformed flags with its own
+     CLI-error code; fold that into the uniform "bad name -> exit 2"
+     contract the rest of the tool follows. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -19,6 +19,13 @@ type config_profile = {
   clock_gated : bool;
 }
 
+type fault =
+  | Dead_fu of int
+  | Broken_port of int
+  | Broken_link of int * int
+  | Stuck_config of int * int
+  | Faulty_spm of string
+
 type t = {
   name : string;
   resources : resource array;
@@ -29,6 +36,9 @@ type t = {
   mem_fus : int array;
   config : config_profile;
   allow_fu_routethrough : bool;
+  faults : fault list;
+  f_res : bool array;           (* resource entirely unusable *)
+  f_stuck : int list array;     (* stuck configuration entries per resource *)
 }
 
 type builder = {
@@ -116,22 +126,109 @@ let freeze b =
     |> Array.of_list
   in
   { name = b.bname; resources; links; out_links; in_links; fus; mem_fus;
-    config = b.bconfig; allow_fu_routethrough = b.broutethrough }
+    config = b.bconfig; allow_fu_routethrough = b.broutethrough;
+    faults = []; f_res = Array.make n false; f_stuck = Array.make n [] }
 
 let resource t id = t.resources.(id)
 
 let n_resources t = Array.length t.resources
 
+(* ------------------------------------------------------------- faults *)
+
+let fault_to_string t = function
+  | Dead_fu id -> Printf.sprintf "dead FU %s" t.resources.(id).rname
+  | Broken_port id -> Printf.sprintf "broken port %s" t.resources.(id).rname
+  | Broken_link (s, d) ->
+    Printf.sprintf "broken link %s -> %s" t.resources.(s).rname t.resources.(d).rname
+  | Stuck_config (res, entry) ->
+    Printf.sprintf "stuck config entry %d of %s" entry t.resources.(res).rname
+  | Faulty_spm name -> Printf.sprintf "faulty SPM bank %S" name
+
+let faults t = t.faults
+
+let res_faulty t id = t.f_res.(id)
+
+let stuck_entries t id = t.f_stuck.(id)
+
+(* Stuck entry [e] corrupts whatever uses the resource in modulo slot [e];
+   callers pass the normalized slot.  A clock-gated fabric only ever loads
+   entry 0, so a stuck entry 0 kills the resource outright and higher
+   entries are harmless. *)
+let cell_faulty t ~res ~slot =
+  t.f_res.(res)
+  || List.mem (if t.config.clock_gated then 0 else slot) t.f_stuck.(res)
+
+let link_broken t ~src ~dst =
+  List.exists (function Broken_link (s, d) -> s = src && d = dst | _ -> false) t.faults
+
+let spm_faulty t name =
+  List.exists (function Faulty_spm n -> n = name | _ -> false) t.faults
+
+let set_faults t fault_list =
+  let n = Array.length t.resources in
+  let in_range id = id >= 0 && id < n in
+  let f_res = Array.make n false and f_stuck = Array.make n [] in
+  List.iter
+    (fun f ->
+      match f with
+      | Dead_fu id ->
+        if not (in_range id) then invalid_arg "Arch.set_faults: FU id out of range";
+        (match t.resources.(id).kind with
+        | Fu _ -> ()
+        | Port | Reg -> invalid_arg "Arch.set_faults: Dead_fu names a non-FU resource");
+        f_res.(id) <- true
+      | Broken_port id ->
+        if not (in_range id) then invalid_arg "Arch.set_faults: port id out of range";
+        (match t.resources.(id).kind with
+        | Port | Reg -> ()
+        | Fu _ -> invalid_arg "Arch.set_faults: Broken_port names an FU");
+        f_res.(id) <- true
+      | Broken_link (s, d) ->
+        if not (Array.exists (fun l -> l.lsrc = s && l.ldst = d) t.links) then
+          invalid_arg "Arch.set_faults: Broken_link names no architecture link"
+      | Stuck_config (res, entry) ->
+        if not (in_range res) then invalid_arg "Arch.set_faults: resource id out of range";
+        if entry < 0 || entry >= t.config.entries then
+          invalid_arg "Arch.set_faults: config entry out of range";
+        if not (List.mem entry f_stuck.(res)) then f_stuck.(res) <- entry :: f_stuck.(res)
+      | Faulty_spm name ->
+        if name = "" then invalid_arg "Arch.set_faults: empty SPM bank name")
+    fault_list;
+  Array.iteri (fun i l -> f_stuck.(i) <- List.sort compare l) f_stuck;
+  (* Broken links disappear from the adjacency (always derived from the
+     pristine [links] array, so repeated [set_faults] calls don't compound);
+     the link itself stays in [links] for area/netlist purposes — broken
+     silicon still occupies silicon. *)
+  let broken (s, d) =
+    List.exists (function Broken_link (s', d') -> s' = s && d' = d | _ -> false) fault_list
+  in
+  let out_links = Array.make n [] and in_links = Array.make n [] in
+  Array.iter
+    (fun l ->
+      if not (broken (l.lsrc, l.ldst)) then begin
+        out_links.(l.lsrc) <- (l.ldst, l.latency) :: out_links.(l.lsrc);
+        in_links.(l.ldst) <- (l.lsrc, l.latency) :: in_links.(l.ldst)
+      end)
+    t.links;
+  Array.iteri (fun i l -> out_links.(i) <- List.rev l) out_links;
+  Array.iteri (fun i l -> in_links.(i) <- List.rev l) in_links;
+  { t with faults = fault_list; f_res; f_stuck; out_links; in_links }
+
 let fu_supports t id op =
+  (not t.f_res.(id))
+  &&
   match t.resources.(id).kind with
   | Fu c ->
     List.exists (Plaid_ir.Op.equal op) c.fu_ops
     && ((not (Plaid_ir.Op.is_memory op || op = Plaid_ir.Op.Input)) || c.fu_memory)
   | Port | Reg -> false
 
+(* Dead FUs contribute no issue slots; ResMII must see the degraded fabric
+   or the II search would start below what the masked MRRG can hold. *)
 let capacity t =
-  { Plaid_ir.Analysis.total_slots = max 1 (Array.length t.fus);
-    memory_slots = max 1 (Array.length t.mem_fus) }
+  let live ids = Array.to_list ids |> List.filter (fun id -> not t.f_res.(id)) |> List.length in
+  { Plaid_ir.Analysis.total_slots = max 1 (live t.fus);
+    memory_slots = max 1 (live t.mem_fus) }
 
 let alu_compute_class = { fu_ops = Plaid_ir.Op.all_compute; fu_memory = false }
 
@@ -153,4 +250,5 @@ let pp_summary fmt t =
   let count k = Array.to_list t.resources |> List.filter (fun r -> r.kind = k) |> List.length in
   Format.fprintf fmt "%s: %d FUs (%d memory-capable), %d ports, %d regs, %d links, %d cfg bits/entry"
     t.name (Array.length t.fus) (Array.length t.mem_fus) (count Port) (count Reg)
-    (Array.length t.links) (config_bits_per_entry t)
+    (Array.length t.links) (config_bits_per_entry t);
+  if t.faults <> [] then Format.fprintf fmt " [%d faults]" (List.length t.faults)

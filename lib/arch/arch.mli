@@ -42,6 +42,22 @@ type resource = {
 
 type link = { lsrc : int; ldst : int; latency : int }
 
+(** A hardware fault over fabric resources.  Faults are attached to an
+    architecture with {!set_faults}; the mappers then mask the broken
+    silicon out of the MRRG and route around it, while the cycle-level
+    simulator corrupts every value that still touches it (so unrepaired
+    mappings are caught against the golden reference). *)
+type fault =
+  | Dead_fu of int            (** the FU with this resource id executes nothing *)
+  | Broken_port of int        (** a Port or Reg resource carries nothing *)
+  | Broken_link of int * int  (** the (src, dst) wire is severed *)
+  | Stuck_config of int * int (** configuration entry [e] of resource [r] is
+                                  stuck: the (r, slot e) MRRG cell is unusable
+                                  (entry 0 on a clock-gated fabric kills the
+                                  whole resource; entries >= II are unused
+                                  and therefore harmless) *)
+  | Faulty_spm of string      (** reads from this scratchpad bank corrupt *)
+
 type config_profile = {
   compute_bits : int;  (** per configuration entry: FU op + immediates *)
   comm_bits : int;     (** per entry: router / mux select fields *)
@@ -52,13 +68,17 @@ type config_profile = {
 type t = private {
   name : string;
   resources : resource array;
-  links : link array;
-  out_links : (int * int) list array;  (** per resource: (dst, latency) *)
+  links : link array;                  (** pristine structure, faults included *)
+  out_links : (int * int) list array;  (** per resource: (dst, latency); broken
+                                           links are filtered out *)
   in_links : (int * int) list array;   (** per resource: (src, latency) *)
   fus : int array;                     (** resource ids of all FUs *)
   mem_fus : int array;                 (** FUs with [fu_memory = true] *)
   config : config_profile;
   allow_fu_routethrough : bool;
+  faults : fault list;
+  f_res : bool array;                  (** resource entirely unusable *)
+  f_stuck : int list array;            (** stuck config entries per resource *)
 }
 
 (** {1 Building} *)
@@ -106,5 +126,34 @@ val config_bits_per_entry : t -> int
 val set_config : t -> config_profile -> t
 (** Replace the configuration profile (builders compute bit counts from the
     frozen structure, then attach them). *)
+
+(** {1 Faults} *)
+
+val set_faults : t -> fault list -> t
+(** Attach a fault set (replacing any previous one).  Broken links vanish
+    from [out_links]/[in_links]; dead resources are flagged in [f_res];
+    {!fu_supports} turns false for dead FUs and {!capacity} counts only
+    live issue slots, so every mapper sees the degraded fabric without
+    further plumbing.  @raise Invalid_argument for out-of-range ids, kind
+    mismatches, or links that do not exist. *)
+
+val faults : t -> fault list
+
+val res_faulty : t -> int -> bool
+(** Dead FU or broken port. *)
+
+val stuck_entries : t -> int -> int list
+(** Sorted stuck configuration entries of a resource. *)
+
+val cell_faulty : t -> res:int -> slot:int -> bool
+(** Whether the (resource, modulo-slot) cell is unusable: the resource is
+    dead, or its configuration entry for [slot] is stuck (entry 0 covers
+    every slot on a clock-gated fabric). *)
+
+val link_broken : t -> src:int -> dst:int -> bool
+
+val spm_faulty : t -> string -> bool
+
+val fault_to_string : t -> fault -> string
 
 val pp_summary : Format.formatter -> t -> unit

@@ -52,6 +52,11 @@ val dse : Ctx.t -> summary
     how the hierarchical fabric scales on chains, trees, stencils,
     reductions, and random DAGs. *)
 
+val resilience : Ctx.t -> summary
+(** Beyond the paper: fault-injection campaigns ({!Plaid_fault.Campaign})
+    with repair on plaid_2x2 vs st_4x4 — yield, II degradation and repair
+    effort as the injected fault count grows. *)
+
 val verify_all : Ctx.t -> summary
 (** Cycle-level simulation of every cached mapping against the golden
     reference (and sequential-segment verification for the spatial

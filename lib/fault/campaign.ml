@@ -1,0 +1,220 @@
+open Plaid_mapping
+module Obs = Plaid_obs
+
+type trial = {
+  t_index : int;
+  t_faults : Plaid_arch.Arch.fault list;
+  t_affected : bool;
+  t_survives : bool;
+  t_incremental : bool;
+  t_ii : int;
+  t_displaced : int;
+  t_rerouted : int;
+  t_attempts : int;
+  t_verified : bool;
+  t_detail : string;
+}
+
+type t = {
+  c_fabric : Plaid_arch.Arch.t;
+  c_arch : string;
+  c_kernel : string;
+  c_seed : int;
+  c_faults : int;
+  c_trials : int;
+  c_repair : bool;
+  c_healthy_ii : int;
+  c_results : trial list;
+}
+
+let m_trials = Obs.Metrics.counter "fault/trials"
+let m_affected = Obs.Metrics.counter "fault/affected"
+let m_survived = Obs.Metrics.counter "fault/survived"
+let m_detected = Obs.Metrics.counter "fault/detected"
+
+let yield c =
+  if c.c_trials = 0 then 0.0
+  else
+    float_of_int (List.length (List.filter (fun t -> t.t_survives) c.c_results))
+    /. float_of_int c.c_trials
+
+let ii_degradation c =
+  let mapped = List.filter (fun t -> t.t_survives && t.t_ii > 0) c.c_results in
+  if mapped = [] || c.c_healthy_ii = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc t -> acc +. (float_of_int t.t_ii /. float_of_int c.c_healthy_ii))
+      0.0 mapped
+    /. float_of_int (List.length mapped)
+
+let incremental_repairs c =
+  List.length (List.filter (fun t -> t.t_survives && t.t_incremental) c.c_results)
+
+let full_remaps c =
+  List.length
+    (List.filter (fun t -> t.t_survives && t.t_affected && not t.t_incremental) c.c_results)
+
+let detected c =
+  List.length (List.filter (fun t -> t.t_affected && t.t_detail <> "") c.c_results)
+
+let repair_effort c =
+  List.fold_left (fun acc t -> acc + t.t_displaced + t.t_rerouted + t.t_attempts) 0 c.c_results
+
+(* One fault-injection trial.  Pure function of (arch, dfg, healthy mapping,
+   seed, index): the fault set comes from a derived stream and the repair
+   fallback inherits Driver.map's seed discipline, so trials can run on any
+   pool without changing a byte of the report. *)
+let trial ~arch ~spm ~arrays ~healthy ~base ~seed ~n_faults ~repair i =
+  Obs.Trace.with_span ~cat:"fault" "fault.trial"
+    ~args:[ ("index", string_of_int i) ]
+    ~result:(fun t ->
+      [ ("affected", string_of_bool t.t_affected);
+        ("survives", string_of_bool t.t_survives) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_trials;
+  let rng = Plaid_util.Rng.derive base i in
+  let faults = Inject.sample ~arrays arch ~rng ~n:n_faults in
+  let farch = Plaid_arch.Arch.set_faults arch faults in
+  match healthy with
+  | None ->
+    { t_index = i; t_faults = faults; t_affected = false; t_survives = false;
+      t_incremental = false; t_ii = 0; t_displaced = 0; t_rerouted = 0; t_attempts = 0;
+      t_verified = false; t_detail = "healthy fabric did not map" }
+  | Some (hm : Mapping.t) ->
+    let moved = { hm with Mapping.arch = farch } in
+    let affected =
+      match Mapping.validate moved with Ok () -> false | Error _ -> true
+    in
+    if not repair then begin
+      (* Detection mode: does the toolchain notice that the pre-fault
+         mapping is now wrong?  Static validation catches every structural
+         intersection; the cycle simulator is the dynamic second line (and
+         the only one that can see faulty SPM banks, which no placement
+         avoids).  A trial is "affected" when either line trips. *)
+      let detail =
+        match Mapping.validate moved with
+        | Error msg -> "validate: " ^ msg
+        | Ok () -> (
+          match Plaid_sim.Cycle_sim.verify moved spm with
+          | Ok _ -> ""
+          | Error msg -> "simulation: " ^ msg)
+      in
+      let affected = affected || detail <> "" in
+      if affected then Obs.Metrics.incr m_affected;
+      let survives = detail = "" in
+      if survives then Obs.Metrics.incr m_survived;
+      if affected && detail <> "" then Obs.Metrics.incr m_detected;
+      { t_index = i; t_faults = faults; t_affected = affected; t_survives = survives;
+        t_incremental = false; t_ii = (if survives then hm.Mapping.ii else 0);
+        t_displaced = 0; t_rerouted = 0; t_attempts = 0;
+        t_verified = survives; t_detail = detail }
+    end
+    else begin
+      if affected then Obs.Metrics.incr m_affected;
+      let r =
+        Driver.repair ~algo:(Driver.Pf Pathfinder.default) ~arch:farch ~mapping:hm
+          ~seed:(seed + ((i + 1) * 7919)) ()
+      in
+      match r.Driver.repaired with
+      | None ->
+        { t_index = i; t_faults = faults; t_affected = affected; t_survives = false;
+          t_incremental = false; t_ii = 0; t_displaced = r.Driver.displaced;
+          t_rerouted = r.Driver.rerouted; t_attempts = r.Driver.rattempts;
+          t_verified = false; t_detail = "unmappable on faulty fabric" }
+      | Some m ->
+        let verified, detail =
+          match Plaid_sim.Cycle_sim.verify m spm with
+          | Ok _ -> (true, "")
+          | Error msg -> (false, "repaired simulation: " ^ msg)
+        in
+        if verified then Obs.Metrics.incr m_survived;
+        { t_index = i; t_faults = faults; t_affected = affected; t_survives = verified;
+          t_incremental = r.Driver.incremental; t_ii = m.Mapping.ii;
+          t_displaced = r.Driver.displaced; t_rerouted = r.Driver.rerouted;
+          t_attempts = r.Driver.rattempts; t_verified = verified; t_detail = detail }
+    end
+
+let run ?pool ~arch ~dfg ~spm ~seed ~faults ~trials ~repair () =
+  Obs.Trace.with_span ~cat:"fault" "fault.campaign"
+    ~args:
+      [ ("arch", arch.Plaid_arch.Arch.name); ("kernel", dfg.Plaid_ir.Dfg.name);
+        ("faults", string_of_int faults); ("trials", string_of_int trials);
+        ("repair", string_of_bool repair) ]
+  @@ fun () ->
+  if faults < 0 then invalid_arg "Campaign.run: negative fault count";
+  if trials < 0 then invalid_arg "Campaign.run: negative trial count";
+  let algos = [ Driver.Pf Pathfinder.default; Driver.Sa Anneal.default ] in
+  let healthy = (Driver.best_of ?pool ~algos ~arch ~dfg ~seed ()).Driver.mapping in
+  (* A faulty SPM bank cannot be mapped around — no placement avoids the
+     kernel's own arrays — so repair campaigns draw only fabric faults;
+     detection campaigns include SPM banks to exercise the dynamic check. *)
+  let arrays = if repair then [] else List.map fst (Plaid_ir.Dfg.arrays dfg) in
+  let base = Plaid_util.Rng.create seed in
+  let one = trial ~arch ~spm ~arrays ~healthy ~base ~seed ~n_faults:faults ~repair in
+  let tasks = List.init trials (fun i () -> one i) in
+  let results =
+    match pool with
+    | Some p when Plaid_util.Pool.size p > 1 -> Plaid_util.Pool.run p tasks
+    | _ -> List.map (fun f -> f ()) tasks
+  in
+  { c_fabric = arch; c_arch = arch.Plaid_arch.Arch.name; c_kernel = dfg.Plaid_ir.Dfg.name;
+    c_seed = seed;
+    c_faults = faults; c_trials = trials; c_repair = repair;
+    c_healthy_ii = (match healthy with Some m -> m.Mapping.ii | None -> 0);
+    c_results = results }
+
+(* ---------------------------------------------------------- reporting *)
+
+let json c =
+  let open Obs.Json in
+  let trial_json t =
+    Obj
+      [ ("index", Num (float_of_int t.t_index));
+        ("faults",
+         Arr
+           (List.map
+              (fun f -> Str (Plaid_arch.Arch.fault_to_string c.c_fabric f))
+              t.t_faults));
+        ("affected", Bool t.t_affected);
+        ("survives", Bool t.t_survives);
+        ("incremental", Bool t.t_incremental);
+        ("ii", Num (float_of_int t.t_ii));
+        ("displaced", Num (float_of_int t.t_displaced));
+        ("rerouted", Num (float_of_int t.t_rerouted));
+        ("remap_attempts", Num (float_of_int t.t_attempts));
+        ("verified", Bool t.t_verified);
+        ("detail", Str t.t_detail) ]
+  in
+  Obj
+    [ ("arch", Str c.c_arch);
+      ("kernel", Str c.c_kernel);
+      ("seed", Num (float_of_int c.c_seed));
+      ("faults_per_trial", Num (float_of_int c.c_faults));
+      ("trials", Num (float_of_int c.c_trials));
+      ("repair", Bool c.c_repair);
+      ("healthy_ii", Num (float_of_int c.c_healthy_ii));
+      ("yield", Num (yield c));
+      ("ii_degradation", Num (ii_degradation c));
+      ("incremental_repairs", Num (float_of_int (incremental_repairs c)));
+      ("full_remaps", Num (float_of_int (full_remaps c)));
+      ("detected", Num (float_of_int (detected c)));
+      ("repair_effort", Num (float_of_int (repair_effort c)));
+      ("trial_results", Arr (List.map trial_json c.c_results)) ]
+
+let to_json_string c = Obs.Json.to_string (json c)
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>campaign: %s on %s (seed %d, %d faults x %d trials%s)@,"
+    c.c_kernel c.c_arch c.c_seed c.c_faults c.c_trials
+    (if c.c_repair then ", repair on" else "");
+  Format.fprintf fmt "healthy II %d@," c.c_healthy_ii;
+  Format.fprintf fmt "%-8s %-10s %-10s %-6s %-10s %-9s %s@," "trial" "affected" "survives"
+    "II" "displaced" "rerouted" "detail";
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "%-8d %-10b %-10b %-6d %-10d %-9d %s@," t.t_index t.t_affected
+        t.t_survives t.t_ii t.t_displaced t.t_rerouted
+        (if t.t_detail = "" then "-" else t.t_detail))
+    c.c_results;
+  Format.fprintf fmt "yield %.1f%%, II degradation %.3fx, %d incremental / %d full remaps, %d detected@]"
+    (100.0 *. yield c) (ii_degradation c) (incremental_repairs c) (full_remaps c) (detected c)

@@ -1,0 +1,60 @@
+open Plaid_arch
+
+(* Fault sampling is balanced across fault kinds rather than uniform over
+   the raw universe: stuck config bits outnumber everything else by an
+   order of magnitude, and a campaign that is 95% stuck bits says little
+   about dead ALUs or severed links.  Each draw picks a kind uniformly
+   among the kinds this fabric (and kernel) can exhibit, then an instance
+   within the kind. *)
+
+type kind_gen = Plaid_util.Rng.t -> Arch.fault
+
+let kind_gens ?(arrays = []) (arch : Arch.t) : kind_gen list =
+  let ports =
+    Array.to_list arch.resources
+    |> List.filter_map (fun (r : Arch.resource) ->
+           match r.kind with Arch.Fu _ -> None | Arch.Port | Arch.Reg -> Some r.id)
+    |> Array.of_list
+  in
+  let dead_fu rng = Arch.Dead_fu (Plaid_util.Rng.pick rng arch.fus) in
+  let broken_port rng = Arch.Broken_port (Plaid_util.Rng.pick rng ports) in
+  let broken_link rng =
+    let l = Plaid_util.Rng.pick rng arch.links in
+    Arch.Broken_link (l.lsrc, l.ldst)
+  in
+  let stuck rng =
+    let res = Plaid_util.Rng.int rng (Arch.n_resources arch) in
+    let entry = Plaid_util.Rng.int rng arch.config.entries in
+    Arch.Stuck_config (res, entry)
+  in
+  let faulty_spm names rng = Arch.Faulty_spm (Plaid_util.Rng.pick rng names) in
+  List.concat
+    [
+      (if Array.length arch.fus > 0 then [ dead_fu ] else []);
+      (if Array.length ports > 0 then [ broken_port ] else []);
+      (if Array.length arch.links > 0 then [ broken_link ] else []);
+      [ stuck ];
+      (match arrays with [] -> [] | _ -> [ faulty_spm (Array.of_list arrays) ]);
+    ]
+
+let sample ?arrays arch ~rng ~n =
+  if n < 0 then invalid_arg "Inject.sample: negative fault count";
+  let gens = Array.of_list (kind_gens ?arrays arch) in
+  if Array.length gens = 0 || n = 0 then []
+  else begin
+    let chosen = ref [] in
+    let count = ref 0 in
+    (* Rejection-sample distinct faults; the attempt cap keeps termination
+       guaranteed on tiny fabrics where the universe runs out. *)
+    let attempts = ref 0 in
+    let max_attempts = (n * 32) + 32 in
+    while !count < n && !attempts < max_attempts do
+      incr attempts;
+      let f = (Plaid_util.Rng.pick rng gens) rng in
+      if not (List.mem f !chosen) then begin
+        chosen := f :: !chosen;
+        incr count
+      end
+    done;
+    List.rev !chosen
+  end

@@ -1,0 +1,20 @@
+(** Deterministic fault sampling.
+
+    Draws typed fault sets ({!Plaid_arch.Arch.fault}) for a given fabric
+    from an explicit {!Plaid_util.Rng.t} stream, so a campaign seed
+    reproduces the exact same fault sets on any machine and at any worker
+    count. *)
+
+val sample :
+  ?arrays:string list ->
+  Plaid_arch.Arch.t ->
+  rng:Plaid_util.Rng.t ->
+  n:int ->
+  Plaid_arch.Arch.fault list
+(** [sample arch ~rng ~n] draws [n] distinct faults.  Draws are balanced
+    across the fault kinds the fabric can exhibit — dead FU, broken
+    port/register, severed link, stuck configuration entry, and (when
+    [~arrays] names the kernel's scratchpad arrays) faulty SPM banks —
+    rather than uniform over the raw universe, which stuck bits would
+    dominate.  May return fewer than [n] faults on a fabric too small to
+    supply [n] distinct ones.  @raise Invalid_argument on negative [n]. *)

@@ -42,6 +42,10 @@ val arity : t -> int
     [Store] consumes 1 (the value), [Select] consumes 3, [Not] 1, [Input] 0,
     and every other ALU operation 2. *)
 
+val wrap16 : int -> int
+(** Wrap to the signed 16-bit datapath range; every value in the machine,
+    including fault-corrupted ones, lives in [-32768, 32767]. *)
+
 val eval : t -> int array -> int
 (** [eval op args] evaluates a compute operation on 16-bit two's-complement
     values (results are wrapped to 16 bits).  @raise Invalid_argument for

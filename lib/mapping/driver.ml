@@ -126,6 +126,205 @@ let map ?pool ~algo ~arch ~dfg ~seed () =
     search mii 0
   end
 
+(* ------------------------------------------------------ fault repair *)
+
+type repair_outcome = {
+  repaired : Mapping.t option;
+  incremental : bool;
+  displaced : int;
+  rerouted : int;
+  rattempts : int;
+}
+
+let m_repairs = Obs.Metrics.counter "driver/repairs"
+let m_repair_incremental = Obs.Metrics.counter "driver/repair_incremental"
+let m_repair_full = Obs.Metrics.counter "driver/repair_full_remap"
+
+let slot_of ~ii t = ((t mod ii) + ii) mod ii
+
+let edge_key (e : Dfg.edge) = (e.src, e.dst, e.operand, e.dist)
+
+(* Does this route survive the fault set of [arch]?  Every hop cell must be
+   healthy and every crossed link must still exist (broken links vanish
+   from [out_links]). *)
+let route_survives arch (m : Mapping.t) (r : Mapping.route_entry) =
+  let e = r.re_edge in
+  let ii = m.Mapping.ii in
+  let t_src = m.times.(e.src) in
+  let link_exists src dst lat =
+    List.exists (fun (d, l) -> d = dst && l = lat) arch.Plaid_arch.Arch.out_links.(src)
+  in
+  let need = m.times.(e.dst) - t_src + (e.dist * ii) in
+  let rec links prev prev_e = function
+    | [] -> link_exists prev m.place.(e.dst) (need - prev_e)
+    | (res, el) :: rest -> link_exists prev res (el - prev_e) && links res el rest
+  in
+  List.for_all
+    (fun (res, elapsed) ->
+      not (Plaid_arch.Arch.cell_faulty arch ~res ~slot:(slot_of ~ii (t_src + elapsed))))
+    r.re_path
+  && links m.place.(e.src) 0 r.re_path
+
+(* Incremental fault repair: keep everything the fault spared, re-place only
+   the displaced nodes and re-route only the broken or displaced edges, at
+   the same II and schedule.  Falls back to a full remap (fresh II search on
+   the degraded fabric) when the local fix cannot close. *)
+let repair ?pool ~algo ~arch ~mapping:(m : Mapping.t) ~seed () =
+  Obs.Trace.with_span ~cat:"driver" "driver.repair"
+    ~args:[ ("algo", algo_name algo); ("kernel", m.dfg.Dfg.name) ]
+    ~result:(fun r ->
+      [ ("incremental", string_of_bool r.incremental);
+        ("repaired", string_of_bool (Option.is_some r.repaired)) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_repairs;
+  let g = m.dfg in
+  let ii = m.ii in
+  let n = Dfg.n_nodes g in
+  let displaced =
+    Array.init n (fun v ->
+        Plaid_arch.Arch.cell_faulty arch ~res:m.place.(v) ~slot:(slot_of ~ii m.times.(v)))
+  in
+  let n_displaced = Array.fold_left (fun a b -> if b then a + 1 else a) 0 displaced in
+  let full_remap () =
+    Obs.Metrics.incr m_repair_full;
+    let o = map ?pool ~algo ~arch ~dfg:g ~seed () in
+    { repaired = o.mapping; incremental = false; displaced = n_displaced; rerouted = 0;
+      rattempts = o.attempts }
+  in
+  let incremental () =
+    let place = Array.copy m.place in
+    let mrrg = Mrrg.create arch ~ii in
+    (* surviving routes, keyed by edge; broken or displaced ones re-route *)
+    let kept : (int * int * int * int, Route.path) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (r : Mapping.route_entry) ->
+        let e = r.re_edge in
+        if
+          (not displaced.(e.src)) && (not displaced.(e.dst))
+          && route_survives arch m r
+        then Hashtbl.replace kept (edge_key e) r.re_path)
+      m.routes;
+    let placed = Array.make n false in
+    (try
+       for v = 0 to n - 1 do
+         if not displaced.(v) then begin
+           Mrrg.place_node mrrg ~node:v ~fu:place.(v) ~slot:(slot_of ~ii m.times.(v));
+           placed.(v) <- true
+         end
+       done
+     with Invalid_argument _ -> raise Exit);
+    Hashtbl.iter
+      (fun (src, _, _, _) path ->
+        Route.occupy_path mrrg ~src_node:src ~t_src:m.times.(src) path)
+      kept;
+    let route_edge (e : Dfg.edge) =
+      let length = m.times.(e.dst) - m.times.(e.src) + (e.dist * ii) in
+      match
+        Route.find mrrg ~src_fu:place.(e.src) ~src_node:e.src ~t_src:m.times.(e.src)
+          ~dst_fu:place.(e.dst) ~length ~mode:Route.Hard
+      with
+      | None -> None
+      | Some (path, _) ->
+        Route.occupy_path mrrg ~src_node:e.src ~t_src:m.times.(e.src) path;
+        Hashtbl.replace kept (edge_key e) path;
+        Some path
+    in
+    let release_edge (e : Dfg.edge) path =
+      Route.release_path mrrg ~src_node:e.src ~t_src:m.times.(e.src) path;
+      Hashtbl.remove kept (edge_key e)
+    in
+    (* Re-place each displaced node in id order.  Candidates are ranked by
+       total Manhattan distance to already-placed neighbours (ties on the
+       lower resource id), and a candidate is accepted only if every
+       incident edge whose other endpoint is placed routes exactly. *)
+    let manhattan (r1, c1) (r2, c2) = abs (r1 - r2) + abs (c1 - c2) in
+    let rerouted = ref 0 in
+    for v = 0 to n - 1 do
+      if displaced.(v) then begin
+        let slot = slot_of ~ii m.times.(v) in
+        let incident =
+          List.filter (fun (e : Dfg.edge) -> not (Dfg.is_ordering e)) (Dfg.preds g v)
+          @ List.filter (fun (e : Dfg.edge) -> not (Dfg.is_ordering e)) (Dfg.succs g v)
+        in
+        let score fu =
+          let tile = (Plaid_arch.Arch.resource arch fu).tile in
+          List.fold_left
+            (fun acc (e : Dfg.edge) ->
+              let other = if e.dst = v then e.src else e.dst in
+              if other <> v && placed.(other) then
+                acc + manhattan tile (Plaid_arch.Arch.resource arch place.(other)).tile
+              else acc)
+            0 incident
+        in
+        let cands =
+          Greedy.compatible_fus mrrg g ~node:v ~slot
+          |> List.map (fun fu -> (score fu, fu))
+          |> List.sort compare |> List.map snd
+        in
+        let try_candidate fu =
+          Mrrg.place_node mrrg ~node:v ~fu ~slot;
+          place.(v) <- fu;
+          placed.(v) <- true;
+          let ready =
+            List.filter
+              (fun (e : Dfg.edge) -> placed.(e.src) && placed.(e.dst))
+              incident
+          in
+          let rec route_all done_ = function
+            | [] -> true
+            | e :: rest -> (
+              match route_edge e with
+              | Some path -> route_all ((e, path) :: done_) rest
+              | None ->
+                List.iter (fun (e, p) -> release_edge e p) done_;
+                false)
+          in
+          if route_all [] ready then begin
+            rerouted := !rerouted + List.length ready;
+            true
+          end
+          else begin
+            Mrrg.unplace_node mrrg ~node:v ~fu ~slot;
+            placed.(v) <- false;
+            false
+          end
+        in
+        if not (List.exists try_candidate cands) then raise Exit
+      end
+    done;
+    (* broken edges between two surviving nodes *)
+    Array.iter
+      (fun (e : Dfg.edge) ->
+        if (not (Dfg.is_ordering e)) && not (Hashtbl.mem kept (edge_key e)) then begin
+          match route_edge e with
+          | Some _ -> incr rerouted
+          | None -> raise Exit
+        end)
+      g.Dfg.edges;
+    let routes =
+      Array.to_list g.Dfg.edges
+      |> List.filter_map (fun (e : Dfg.edge) ->
+             if Dfg.is_ordering e then None
+             else
+               Option.map
+                 (fun path -> { Mapping.re_edge = e; re_path = path })
+                 (Hashtbl.find_opt kept (edge_key e)))
+    in
+    let repaired =
+      { Mapping.arch; dfg = g; ii; times = Array.copy m.times; place; routes }
+    in
+    match Mapping.validate repaired with
+    | Ok () ->
+      Obs.Metrics.incr m_repair_incremental;
+      { repaired = Some repaired; incremental = true; displaced = n_displaced;
+        rerouted = !rerouted; rattempts = 0 }
+    | Error msg ->
+      Obs.Log.warn ~sub:"driver" "incremental repair produced invalid mapping (%s); remapping"
+        msg;
+      raise Exit
+  in
+  try incremental () with Exit -> full_remap ()
+
 let best_of ?pool ?(restarts = 1) ~algos ~arch ~dfg ~seed () =
   if algos = [] then invalid_arg "Driver.best_of: no algorithms";
   if restarts < 1 then invalid_arg "Driver.best_of: restarts must be >= 1";

@@ -24,6 +24,34 @@ val map :
     the outcome — mapping, MII, and attempt count — is bit-identical to the
     sequential search for every pool size. *)
 
+(** {1 Fault repair} *)
+
+type repair_outcome = {
+  repaired : Mapping.t option;  (** [None] when even a full remap fails *)
+  incremental : bool;  (** repaired at the same II without a full remap *)
+  displaced : int;  (** nodes the faults forced off their resources *)
+  rerouted : int;  (** data edges rerouted by the incremental pass *)
+  rattempts : int;  (** II attempts of the full-remap fallback; 0 when incremental *)
+}
+
+val repair :
+  ?pool:Plaid_util.Pool.t ->
+  algo:algo ->
+  arch:Plaid_arch.Arch.t ->
+  mapping:Mapping.t ->
+  seed:int ->
+  unit ->
+  repair_outcome
+(** Repairs [mapping] (made on a healthy fabric) against [arch], which must
+    be the same architecture with faults attached
+    ({!Plaid_arch.Arch.set_faults}).  First attempts an incremental repair at
+    the same II and schedule: nodes and routes untouched by the faults stay
+    put, displaced nodes are greedily re-placed near their neighbours, and
+    only broken edges are rerouted.  When the local fix cannot close, falls
+    back to a full {!map} on the degraded fabric (fresh II search, so the II
+    may rise).  Fully deterministic: no randomness in the incremental pass,
+    and the fallback inherits {!map}'s seed discipline. *)
+
 val best_of :
   ?pool:Plaid_util.Pool.t ->
   ?restarts:int ->

@@ -28,6 +28,9 @@ let check_placement m =
         let nd = Dfg.node m.dfg i in
         if fu < 0 || fu >= Plaid_arch.Arch.n_resources m.arch then
           err "node %s: fu out of range" nd.label
+        else if Plaid_arch.Arch.res_faulty m.arch fu then
+          err "node %s: placed on faulted resource %s" nd.label
+            (Plaid_arch.Arch.resource m.arch fu).rname
         else if not (Plaid_arch.Arch.fu_supports m.arch fu nd.op) then
           err "node %s: fu %s does not support %s" nd.label
             (Plaid_arch.Arch.resource m.arch fu).rname (Op.to_string nd.op)
@@ -116,6 +119,42 @@ let rebuild m =
   in
   routes m.routes
 
+(* A mapping made before (or without knowledge of) a fault may claim broken
+   silicon; report that in fault terms rather than as an occupancy puzzle.
+   Broken links are caught by [check_route] (they vanish from [out_links]). *)
+let check_faults m =
+  if Plaid_arch.Arch.faults m.arch = [] then Ok ()
+  else begin
+    let n = Dfg.n_nodes m.dfg in
+    let slot_of t = ((t mod m.ii) + m.ii) mod m.ii in
+    let rec nodes i =
+      if i = n then Ok ()
+      else if Plaid_arch.Arch.cell_faulty m.arch ~res:m.place.(i) ~slot:(slot_of m.times.(i))
+      then
+        err "node %s: placed on faulted resource %s" (Dfg.node m.dfg i).label
+          (Plaid_arch.Arch.resource m.arch m.place.(i)).rname
+      else nodes (i + 1)
+    in
+    let* () = nodes 0 in
+    let rec routes = function
+      | [] -> Ok ()
+      | r :: rest ->
+        let t_src = m.times.(r.re_edge.src) in
+        let bad =
+          List.find_opt
+            (fun (res, elapsed) ->
+              Plaid_arch.Arch.cell_faulty m.arch ~res ~slot:(slot_of (t_src + elapsed)))
+            r.re_path
+        in
+        (match bad with
+        | Some (res, _) ->
+          err "edge %d->%d: route crosses faulted resource %s" r.re_edge.src r.re_edge.dst
+            (Plaid_arch.Arch.resource m.arch res).rname
+        | None -> routes rest)
+    in
+    routes m.routes
+  end
+
 let check_all_edges_routed m =
   let needed = Dfg.data_edges m.dfg in
   let have = List.length m.routes in
@@ -124,6 +163,7 @@ let check_all_edges_routed m =
 let validate m =
   let* () = check_placement m in
   let* () = check_schedule m in
+  let* () = check_faults m in
   let* () = check_all_edges_routed m in
   let rec all_routes = function
     | [] -> Ok ()

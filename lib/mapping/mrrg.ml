@@ -9,7 +9,8 @@ type t = {
   m_arch : Plaid_arch.Arch.t;
   m_ii : int;
   exclusive : bool;
-  cells : cell array array;  (* [resource].[slot]; one slot when exclusive *)
+  cells : cell array array;    (* [resource].[slot]; one slot when exclusive *)
+  blocked : bool array array;  (* faulted cells: never free, never usable *)
 }
 
 (* A clock-gated (spatial) fabric freezes its configuration for the whole
@@ -21,7 +22,17 @@ let create arch ~ii =
   let exclusive = arch.Plaid_arch.Arch.config.clock_gated in
   let slots = if exclusive then 1 else ii in
   let n = Plaid_arch.Arch.n_resources arch in
-  { m_arch = arch; m_ii = ii; exclusive;
+  (* Faulted silicon is masked at creation: a dead resource blocks every
+     slot, a stuck configuration entry blocks exactly the modulo slot that
+     would read it (entry 0 under a frozen configuration). *)
+  let blocked =
+    if Plaid_arch.Arch.faults arch = [] then
+      Array.init n (fun _ -> Array.make slots false)
+    else
+      Array.init n (fun res ->
+          Array.init slots (fun slot -> Plaid_arch.Arch.cell_faulty arch ~res ~slot))
+  in
+  { m_arch = arch; m_ii = ii; exclusive; blocked;
     cells = Array.init n (fun _ -> Array.init slots (fun _ -> { exec = None; signals = [] })) }
 
 let arch t = t.m_arch
@@ -34,11 +45,17 @@ let slot_mod t slot = ((slot mod t.m_ii) + t.m_ii) mod t.m_ii
 
 let cell t res slot = t.cells.(res).(if t.exclusive then 0 else slot_mod t slot)
 
+let blocked t ~res ~slot = t.blocked.(res).(if t.exclusive then 0 else slot_mod t slot)
+
 let fu_free t ~fu ~slot =
   let c = cell t fu slot in
-  c.exec = None && c.signals = []
+  (not (blocked t ~res:fu ~slot)) && c.exec = None && c.signals = []
 
 let place_node t ~node ~fu ~slot =
+  if blocked t ~res:fu ~slot then
+    invalid_arg
+      (Printf.sprintf "Mrrg.place_node: %s slot %d is faulted"
+         (Plaid_arch.Arch.resource t.m_arch fu).rname (slot_mod t slot));
   let c = cell t fu slot in
   if c.exec <> None || c.signals <> [] then
     invalid_arg
@@ -56,7 +73,8 @@ let node_at t ~fu ~slot = (cell t fu slot).exec
 
 let can_use t ~res ~slot signal =
   let c = cell t res slot in
-  c.exec = None
+  (not (blocked t ~res ~slot))
+  && c.exec = None
   && (match c.signals with
      | [] -> true
      | [ (s, _) ] -> s = signal

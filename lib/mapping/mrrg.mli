@@ -20,7 +20,12 @@ type t
 val create : Plaid_arch.Arch.t -> ii:int -> t
 (** On a clock-gated architecture (spatial baseline) the MRRG is
     *exclusive*: configuration is frozen for the whole segment, so each
-    resource holds one signal / one node across all slots. *)
+    resource holds one signal / one node across all slots.
+
+    Faults attached to the architecture ({!Plaid_arch.Arch.set_faults}) are
+    masked at creation: every faulted (resource, slot) cell is permanently
+    {!blocked} — never free, never usable — so placement and routing route
+    around broken silicon with no mapper-side changes. *)
 
 val arch : t -> Plaid_arch.Arch.t
 
@@ -30,6 +35,9 @@ val exclusive : t -> bool
 
 val slots : t -> int
 (** 1 when exclusive, II otherwise (for congestion iteration). *)
+
+val blocked : t -> res:int -> slot:int -> bool
+(** Whether the cell is masked out by a fault on the architecture. *)
 
 (** {1 Functional-unit placement} *)
 

@@ -17,10 +17,12 @@ let usable mrrg ~mode ~res ~slot signal =
   match mode with
   | Hard -> Mrrg.can_use mrrg ~res ~slot signal
   | Soft _ ->
-    (* Nodes pin FUs exclusively even under negotiation; wires are open. *)
-    (match Mrrg.node_at mrrg ~fu:res ~slot with
-    | Some _ -> false
-    | None -> true)
+    (* Nodes pin FUs exclusively even under negotiation, and faulted cells
+       are never negotiable; other wires are open at a price. *)
+    (not (Mrrg.blocked mrrg ~res ~slot))
+    && (match Mrrg.node_at mrrg ~fu:res ~slot with
+       | Some _ -> false
+       | None -> true)
 
 let step_cost mrrg ~mode ~res ~slot =
   let base = Plaid_arch.Arch.base_route_cost (Mrrg.arch mrrg) res in

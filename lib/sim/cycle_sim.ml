@@ -11,10 +11,60 @@ let m_stalls = Obs.Metrics.counter "sim/stall_cycles"
 
 let address (a : Dfg.access) iter = a.offset + (a.stride * iter)
 
+(* Faulty silicon corrupts, it does not zero: adding an odd constant on the
+   16-bit datapath is bijective and never equal to the healthy value.  The
+   odd constant matters — a value can cross several fault sites (a faulted
+   producer whose route also holds in the broken cell), and an involution
+   like XOR would cancel on the second crossing and let the garbled value
+   masquerade as healthy.  k applications shift by k*0x2b5d, which is never
+   0 mod 2^16 for any 0 < k < 2^16. *)
+let corrupt v = Op.wrap16 (v + 0x2b5d)
+
+let slot_norm ~ii t = ((t mod ii) + ii) mod ii
+
+(* Which data edges cross broken silicon: a hop cell that is faulted at its
+   modulo slot, or a link (including the implicit first and final hops) that
+   is broken.  Keyed by (src, dst, operand, dist) since edges are plain
+   records. *)
+let corrupted_edges (m : Mapping.t) =
+  let arch = m.Mapping.arch in
+  let ii = m.ii in
+  let tbl : (int * int * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Mapping.route_entry) ->
+      let e = r.re_edge in
+      let t_src = m.times.(e.src) in
+      let hop_bad =
+        List.exists
+          (fun (res, elapsed) ->
+            Plaid_arch.Arch.cell_faulty arch ~res ~slot:(slot_norm ~ii (t_src + elapsed)))
+          r.re_path
+      in
+      let chain = (m.place.(e.src) :: List.map fst r.re_path) @ [ m.place.(e.dst) ] in
+      let rec link_bad = function
+        | a :: (b :: _ as rest) ->
+          Plaid_arch.Arch.link_broken arch ~src:a ~dst:b || link_bad rest
+        | _ -> false
+      in
+      if hop_bad || link_bad chain then
+        Hashtbl.replace tbl (e.src, e.dst, e.operand, e.dist) ())
+    m.routes;
+  tbl
+
 let run_exn (m : Mapping.t) spm =
   let g = m.dfg in
   let trip = g.Dfg.trip in
   let n = Dfg.n_nodes g in
+  let arch = m.Mapping.arch in
+  let faulty = Plaid_arch.Arch.faults arch <> [] in
+  let bad_edges = if faulty then corrupted_edges m else Hashtbl.create 0 in
+  let edge_bad (e : Dfg.edge) = Hashtbl.mem bad_edges (e.src, e.dst, e.operand, e.dist) in
+  let fu_bad =
+    Array.init n (fun v ->
+        faulty
+        && Plaid_arch.Arch.cell_faulty arch ~res:m.place.(v)
+             ~slot:(slot_norm ~ii:m.ii m.times.(v)))
+  in
   (* Fire nodes in (cycle, topo) order.  The schedule already satisfies all
      dependency constraints, so sorting by absolute fire time (stable on
      topological rank for simultaneous memory ops) is a legal replay. *)
@@ -40,7 +90,9 @@ let run_exn (m : Mapping.t) spm =
           (fun (e : Dfg.edge) ->
             if not (Dfg.is_ordering e) then begin
               let src_iter = iter - e.dist in
-              args.(e.operand) <- (if src_iter < 0 then e.init else values.(src_iter).(e.src))
+              let v = if src_iter < 0 then e.init else values.(src_iter).(e.src) in
+              (* A value crossing faulted wires arrives corrupted. *)
+              args.(e.operand) <- (if faulty && edge_bad e then corrupt v else v)
             end)
           (Dfg.preds g v);
         incr fu_firings;
@@ -48,14 +100,26 @@ let run_exn (m : Mapping.t) spm =
           match nd.op with
           | Op.Load | Op.Input ->
             let a = Option.get nd.access in
-            Spm.read spm a.array (address a iter)
+            let r = Spm.read spm a.array (address a iter) in
+            if faulty && Plaid_arch.Arch.spm_faulty arch a.array then corrupt r else r
           | Op.Store ->
             let a = Option.get nd.access in
-            Spm.write spm a.array (address a iter) args.(0);
+            (* A faulted ALSU garbles the word on its way to the bank, as
+               does a faulty bank itself — one fault site, one corruption. *)
+            let w =
+              if fu_bad.(v) || (faulty && Plaid_arch.Arch.spm_faulty arch a.array) then
+                corrupt args.(0)
+              else args.(0)
+            in
+            Spm.write spm a.array (address a iter) w;
             args.(0)
-          | op -> Op.eval op args
+          | ( Op.Add | Op.Sub | Op.Mul | Op.Shl | Op.Shr | Op.Asr | Op.And
+            | Op.Or | Op.Xor | Op.Not | Op.Min | Op.Max | Op.Eq | Op.Lt
+            | Op.Select ) as op ->
+            Op.eval op args
         in
-        values.(iter).(v) <- result
+        (* A faulted FU garbles whatever it produces. *)
+        values.(iter).(v) <- (if fu_bad.(v) then corrupt result else result)
       end)
     events;
   match !error with

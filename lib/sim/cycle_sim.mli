@@ -7,7 +7,16 @@
     ever occupy the same wire in the same absolute cycle.  Finally the SPM
     is compared word-for-word with the {!Reference} interpreter — the same
     role Morpher's cycle-accurate simulator plays for the paper (verifying
-    mapping and hardware design, Section 6.2). *)
+    mapping and hardware design, Section 6.2).
+
+    {b Faulty-fabric mode.}  When the mapping's architecture carries faults
+    ({!Plaid_arch.Arch.set_faults}), the simulator models the broken
+    silicon: a value produced on a faulted FU cell, carried over a faulted
+    wire cell or broken link, or read from / written to a faulty SPM bank is
+    corrupted (XOR with an alternating bit pattern — bijective and never
+    equal to the healthy value).  A mapping that avoids every fault
+    simulates exactly as on the pristine fabric; a mapping that touches one
+    produces wrong memory and is caught by {!verify}. *)
 
 type stats = {
   cycles : int;             (** total execution cycles, fill/drain included *)

@@ -30,7 +30,12 @@ let run_collect g spm =
             let a = Option.get nd.access in
             Spm.write spm a.array (address a iter) args.(0);
             args.(0)
-          | op -> Op.eval op args
+          (* Exhaustive on purpose: a new [Op.t] constructor must fail to
+             compile here rather than silently fall through a wildcard. *)
+          | ( Op.Add | Op.Sub | Op.Mul | Op.Shl | Op.Shr | Op.Asr | Op.And
+            | Op.Or | Op.Xor | Op.Not | Op.Min | Op.Max | Op.Eq | Op.Lt
+            | Op.Select ) as op ->
+            Op.eval op args
         in
         values.(iter).(v) <- result)
       order

@@ -1,0 +1,358 @@
+(* Fault subsystem: MRRG masking, fault-aware mapping, incremental repair,
+   faulty-fabric simulation, and campaign determinism. *)
+
+open Plaid_ir
+open Plaid_mapping
+module Arch = Plaid_arch.Arch
+
+let check = Alcotest.check
+
+let st4 = lazy (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4")
+
+let entry name = Plaid_workloads.Suite.find name
+
+let dfg_of name = Plaid_workloads.Suite.dfg (entry name)
+
+let spm_of name =
+  let e = entry name in
+  let k = Plaid_ir.Unroll.apply e.Plaid_workloads.Suite.base e.Plaid_workloads.Suite.unroll in
+  Plaid_sim.Spm.of_kernel k ~params:(Plaid_workloads.Suite.params e) ~seed:77
+
+let pf = Driver.Pf Pathfinder.default
+
+let map_on arch name ~seed = (Driver.map ~algo:pf ~arch ~dfg:(dfg_of name) ~seed ()).Driver.mapping
+
+(* ---------------------------------------------------------- fault model *)
+
+let test_set_faults () =
+  let arch = Lazy.force st4 in
+  let dead = arch.Arch.fus.(0) in
+  let some_link = arch.Arch.links.(0) in
+  let farch =
+    Arch.set_faults arch
+      [ Arch.Dead_fu dead; Arch.Broken_link (some_link.Arch.lsrc, some_link.Arch.ldst) ]
+  in
+  check Alcotest.bool "dead FU is faulty" true (Arch.res_faulty farch dead);
+  check Alcotest.bool "dead FU supports nothing" false (Arch.fu_supports farch dead Op.Add);
+  check Alcotest.bool "link gone from adjacency" false
+    (List.exists
+       (fun (d, _) -> d = some_link.Arch.ldst)
+       farch.Arch.out_links.(some_link.Arch.lsrc));
+  check Alcotest.bool "link_broken sees it" true
+    (Arch.link_broken farch ~src:some_link.Arch.lsrc ~dst:some_link.Arch.ldst);
+  (* capacity shrinks by exactly the dead FU *)
+  let cap = Arch.capacity arch and fcap = Arch.capacity farch in
+  check Alcotest.int "one FU slot lost" (cap.Analysis.total_slots - 1) fcap.Analysis.total_slots;
+  (* clearing faults restores the pristine adjacency (no compounding) *)
+  let restored = Arch.set_faults farch [] in
+  check Alcotest.int "adjacency restored"
+    (List.length arch.Arch.out_links.(some_link.Arch.lsrc))
+    (List.length restored.Arch.out_links.(some_link.Arch.lsrc));
+  (* pristine arch is untouched *)
+  check Alcotest.bool "original arch unfaulted" false (Arch.res_faulty arch dead)
+
+let test_mrrg_masking () =
+  let arch = Lazy.force st4 in
+  let fu = arch.Arch.fus.(3) in
+  let farch = Arch.set_faults arch [ Arch.Stuck_config (fu, 1) ] in
+  let mrrg = Mrrg.create farch ~ii:3 in
+  check Alcotest.bool "slot 1 blocked" true (Mrrg.blocked mrrg ~res:fu ~slot:1);
+  check Alcotest.bool "slot 0 free" false (Mrrg.blocked mrrg ~res:fu ~slot:0);
+  check Alcotest.bool "slot 2 free" false (Mrrg.blocked mrrg ~res:fu ~slot:2);
+  check Alcotest.bool "fu_free false on stuck slot" false (Mrrg.fu_free mrrg ~fu ~slot:1);
+  check Alcotest.bool "fu_free true elsewhere" true (Mrrg.fu_free mrrg ~fu ~slot:0);
+  (match Mrrg.place_node mrrg ~node:0 ~fu ~slot:1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "place_node on a faulted slot must raise");
+  (* stuck entries at or beyond II never block a modulo slot *)
+  let harmless = Arch.set_faults arch [ Arch.Stuck_config (fu, 3) ] in
+  let mrrg3 = Mrrg.create harmless ~ii:3 in
+  for slot = 0 to 2 do
+    check Alcotest.bool
+      (Printf.sprintf "entry 3 harmless at slot %d (ii 3)" slot)
+      false
+      (Mrrg.blocked mrrg3 ~res:fu ~slot)
+  done;
+  (* a dead FU blocks every slot *)
+  let dead = Arch.set_faults arch [ Arch.Dead_fu fu ] in
+  let mrrgd = Mrrg.create dead ~ii:2 in
+  check Alcotest.bool "dead fu blocked everywhere" true
+    (Mrrg.blocked mrrgd ~res:fu ~slot:0 && Mrrg.blocked mrrgd ~res:fu ~slot:1)
+
+(* Random fault sets: whenever the mapper still finds a mapping on a broken
+   fabric, that mapping must validate (which proves no faulted cell or
+   severed link is used) and simulate bit-exactly. *)
+let test_maps_around_faults () =
+  let arch = Lazy.force st4 in
+  let spm = spm_of "doitgen_u2" in
+  let base = Plaid_util.Rng.create 42 in
+  let mapped = ref 0 in
+  for i = 0 to 5 do
+    let faults = Plaid_fault.Inject.sample arch ~rng:(Plaid_util.Rng.derive base i) ~n:3 in
+    let farch = Arch.set_faults arch faults in
+    match map_on farch "doitgen_u2" ~seed:7 with
+    | None -> ()
+    | Some m ->
+      incr mapped;
+      (match Mapping.validate m with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "trial %d: mapping on faulty fabric invalid: %s" i e);
+      (match Plaid_sim.Cycle_sim.verify m spm with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "trial %d: fault-avoiding mapping mis-simulates: %s" i e)
+  done;
+  check Alcotest.bool "at least one fault set was mappable" true (!mapped > 0)
+
+(* ---------------------------------------------------------------- repair *)
+
+let test_repair_vs_remap () =
+  let arch = Lazy.force st4 in
+  let spm = spm_of "gemm_u2" in
+  let healthy =
+    match map_on arch "gemm_u2" ~seed:7 with
+    | Some m -> m
+    | None -> Alcotest.fail "healthy fabric did not map"
+  in
+  let base = Plaid_util.Rng.create 2025 in
+  let repaired_any = ref false in
+  for i = 0 to 4 do
+    let faults = Plaid_fault.Inject.sample arch ~rng:(Plaid_util.Rng.derive base i) ~n:2 in
+    let farch = Arch.set_faults arch faults in
+    (* the repair loop must produce a valid, bit-exact mapping ... *)
+    let r = Driver.repair ~algo:pf ~arch:farch ~mapping:healthy ~seed:7 () in
+    (match r.Driver.repaired with
+    | None -> ()
+    | Some m ->
+      repaired_any := true;
+      check Alcotest.bool "repaired at II >= healthy II" true (m.Mapping.ii >= healthy.Mapping.ii);
+      if r.Driver.incremental then
+        check Alcotest.int "incremental repair keeps the II" healthy.Mapping.ii m.Mapping.ii;
+      (match Mapping.validate m with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "trial %d: repaired mapping invalid: %s" i e);
+      (match Plaid_sim.Cycle_sim.verify m spm with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "trial %d: repaired mapping mis-simulates: %s" i e));
+    (* ... semantically equivalent to remapping from scratch: both roads
+       end at the same reference memory image. *)
+    match (Driver.map ~algo:pf ~arch:farch ~dfg:healthy.Mapping.dfg ~seed:7 ()).Driver.mapping with
+    | None -> ()
+    | Some m2 -> (
+      match Plaid_sim.Cycle_sim.verify m2 spm with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "trial %d: full remap mis-simulates: %s" i e)
+  done;
+  check Alcotest.bool "at least one fault set was repaired" true !repaired_any
+
+let test_repair_untouched_is_incremental () =
+  let arch = Lazy.force st4 in
+  let healthy =
+    match map_on arch "doitgen_u2" ~seed:7 with
+    | Some m -> m
+    | None -> Alcotest.fail "healthy fabric did not map"
+  in
+  (* fault a FU the mapping does not use: repair must be a no-op *)
+  let used = Array.to_list healthy.Mapping.place in
+  let unused =
+    Array.to_list arch.Arch.fus |> List.find (fun fu -> not (List.mem fu used))
+  in
+  let farch = Arch.set_faults arch [ Arch.Dead_fu unused ] in
+  let r = Driver.repair ~algo:pf ~arch:farch ~mapping:healthy ~seed:7 () in
+  check Alcotest.bool "repaired" true (r.Driver.repaired <> None);
+  check Alcotest.bool "incremental" true r.Driver.incremental;
+  check Alcotest.int "nothing displaced" 0 r.Driver.displaced;
+  match r.Driver.repaired with
+  | Some m -> check Alcotest.int "same II" healthy.Mapping.ii m.Mapping.ii
+  | None -> ()
+
+(* ------------------------------------------------------- faulty-fabric sim *)
+
+(* Stick the config entry under a value-producing node: the corrupted value
+   must reach memory and be caught against the reference interpreter. *)
+let test_stuck_config_corrupts_sim () =
+  let arch = Lazy.force st4 in
+  let spm = spm_of "gemm_u2" in
+  let m =
+    match map_on arch "gemm_u2" ~seed:7 with
+    | Some m -> m
+    | None -> Alcotest.fail "mapping failed"
+  in
+  let g = m.Mapping.dfg in
+  (* The data producer feeding the last-firing store: gemm's unrolled
+     accumulator chains all store to C[0], so only the final write is
+     observable in memory — corrupt the value behind that one. *)
+  let store =
+    List.fold_left
+      (fun best v ->
+        if (Dfg.node g v).op <> Op.Store then best
+        else if best < 0 || m.Mapping.times.(v) > m.Mapping.times.(best) then v
+        else best)
+      (-1) (Dfg.topo_order g)
+  in
+  if store < 0 then Alcotest.fail "kernel has no store";
+  let feeder =
+    match List.find_opt (fun (e : Dfg.edge) -> not (Dfg.is_ordering e)) (Dfg.preds g store) with
+    | Some e -> e.src
+    | None -> Alcotest.fail "store has no data pred"
+  in
+  let fu = m.Mapping.place.(feeder) in
+  let slot = ((m.Mapping.times.(feeder) mod m.Mapping.ii) + m.Mapping.ii) mod m.Mapping.ii in
+  let farch = Arch.set_faults arch [ Arch.Stuck_config (fu, slot) ] in
+  let moved = { m with Mapping.arch = farch } in
+  (* statically detected ... *)
+  (match Mapping.validate moved with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "validate must reject a mapping over a stuck config entry");
+  (* ... and dynamically: the corrupted value reaches memory *)
+  (match Plaid_sim.Cycle_sim.verify moved spm with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stuck config bit under a live producer must mis-simulate");
+  (* an entry the schedule never reads is harmless *)
+  let harmless = Arch.set_faults arch [ Arch.Stuck_config (fu, m.Mapping.ii) ] in
+  let moved_ok = { m with Mapping.arch = harmless } in
+  (match Mapping.validate moved_ok with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "entry >= II must be harmless: %s" e);
+  match Plaid_sim.Cycle_sim.verify moved_ok spm with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "entry >= II must simulate bit-exact: %s" e
+
+let test_faulty_spm_detected_dynamically () =
+  let arch = Lazy.force st4 in
+  let spm = spm_of "gemm_u2" in
+  let m =
+    match map_on arch "gemm_u2" ~seed:7 with
+    | Some m -> m
+    | None -> Alcotest.fail "mapping failed"
+  in
+  let arrays = List.map fst (Dfg.arrays m.Mapping.dfg) in
+  check Alcotest.bool "kernel has arrays" true (arrays <> []);
+  let farch = Arch.set_faults arch [ Arch.Faulty_spm (List.hd arrays) ] in
+  let moved = { m with Mapping.arch = farch } in
+  (* invisible to static validation (no placement avoids the kernel's own
+     arrays) but the simulator corrupts the bank traffic *)
+  (match Mapping.validate moved with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "SPM fault should pass static validation: %s" e);
+  match Plaid_sim.Cycle_sim.verify moved spm with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "faulty SPM bank must mis-simulate"
+
+(* ------------------------------------------------------------- campaigns *)
+
+let test_campaign_deterministic () =
+  let arch = Lazy.force st4 in
+  let dfg = dfg_of "doitgen_u2" in
+  let spm = spm_of "doitgen_u2" in
+  let run ?pool () =
+    Plaid_fault.Campaign.run ?pool ~arch ~dfg ~spm ~seed:11 ~faults:2 ~trials:4
+      ~repair:false ()
+  in
+  let seq = Plaid_fault.Campaign.to_json_string (run ()) in
+  let par =
+    Plaid_util.Pool.with_pool ~size:3 (fun pool ->
+        Plaid_fault.Campaign.to_json_string (run ~pool ()))
+  in
+  check Alcotest.string "byte-identical report at any pool size" seq par
+
+let test_campaign_detects_every_affected_trial () =
+  let arch = Lazy.force st4 in
+  let dfg = dfg_of "doitgen_u2" in
+  let spm = spm_of "doitgen_u2" in
+  let c =
+    Plaid_fault.Campaign.run ~arch ~dfg ~spm ~seed:3 ~faults:2 ~trials:6 ~repair:false ()
+  in
+  List.iter
+    (fun (t : Plaid_fault.Campaign.trial) ->
+      if t.t_affected then
+        check Alcotest.bool
+          (Printf.sprintf "trial %d carries a detection detail" t.t_index)
+          true (t.t_detail <> ""))
+    c.Plaid_fault.Campaign.c_results;
+  check Alcotest.int "detected = affected" (Plaid_fault.Campaign.detected c)
+    (List.length
+       (List.filter
+          (fun (t : Plaid_fault.Campaign.trial) -> t.t_affected)
+          c.Plaid_fault.Campaign.c_results))
+
+let test_campaign_repair_verifies () =
+  let arch = Lazy.force st4 in
+  let dfg = dfg_of "doitgen_u2" in
+  let spm = spm_of "doitgen_u2" in
+  let c =
+    Plaid_fault.Campaign.run ~arch ~dfg ~spm ~seed:11 ~faults:2 ~trials:4 ~repair:true ()
+  in
+  List.iter
+    (fun (t : Plaid_fault.Campaign.trial) ->
+      if t.t_survives then
+        check Alcotest.bool
+          (Printf.sprintf "surviving trial %d verified bit-exact" t.t_index)
+          true t.t_verified)
+    c.Plaid_fault.Campaign.c_results
+
+let test_inject_sample_distinct_and_seeded () =
+  let arch = Lazy.force st4 in
+  let sample seed =
+    Plaid_fault.Inject.sample arch ~rng:(Plaid_util.Rng.create seed) ~n:6
+      ~arrays:[ "A"; "B" ]
+  in
+  let a = sample 5 and a' = sample 5 and b = sample 6 in
+  check Alcotest.bool "same seed, same faults" true (a = a');
+  check Alcotest.bool "different seed, different faults" true (a <> b);
+  check Alcotest.int "requested count" 6 (List.length a);
+  check Alcotest.int "distinct" 6 (List.length (List.sort_uniq compare a))
+
+(* -------------------------------------------------------- op coverage *)
+
+(* Every operation any suite kernel lowers to must be executable: compute
+   ops through Op.eval, memory ops through the interpreter's access path.
+   Guards the exhaustive matches in Reference / Cycle_sim. *)
+let test_workload_op_coverage () =
+  let used = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let g = Plaid_workloads.Suite.dfg e in
+      for v = 0 to Dfg.n_nodes g - 1 do
+        Hashtbl.replace used (Dfg.node g v).op ()
+      done)
+    Plaid_workloads.Suite.table2;
+  check Alcotest.bool "suite uses a nontrivial op mix" true (Hashtbl.length used >= 5);
+  Hashtbl.iter
+    (fun op () ->
+      if Op.is_compute op then begin
+        let r = Op.eval op (Array.make (Op.arity op) 1) in
+        check Alcotest.bool (Op.to_string op ^ " evaluates in range") true
+          (r >= -32768 && r <= 32767)
+      end
+      else
+        check Alcotest.bool
+          (Op.to_string op ^ " is a known memory/live-in op")
+          true
+          (List.mem op [ Op.Load; Op.Store; Op.Input ]))
+    used
+
+let suites =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "set_faults masks resources and links" `Quick test_set_faults;
+        Alcotest.test_case "mrrg masks faulted cells" `Quick test_mrrg_masking;
+        Alcotest.test_case "mapper routes around random fault sets" `Slow
+          test_maps_around_faults;
+        Alcotest.test_case "incremental repair vs full remap" `Slow test_repair_vs_remap;
+        Alcotest.test_case "repair of untouched mapping is a no-op" `Quick
+          test_repair_untouched_is_incremental;
+        Alcotest.test_case "stuck config bit corrupts cycle_sim" `Quick
+          test_stuck_config_corrupts_sim;
+        Alcotest.test_case "faulty SPM bank detected dynamically" `Quick
+          test_faulty_spm_detected_dynamically;
+        Alcotest.test_case "campaign deterministic across pools" `Slow
+          test_campaign_deterministic;
+        Alcotest.test_case "campaign detects every affected trial" `Quick
+          test_campaign_detects_every_affected_trial;
+        Alcotest.test_case "campaign repair trials verify" `Slow test_campaign_repair_verifies;
+        Alcotest.test_case "fault sampling is seeded and distinct" `Quick
+          test_inject_sample_distinct_and_seeded;
+        Alcotest.test_case "workload op coverage" `Quick test_workload_op_coverage;
+      ] );
+  ]

@@ -143,6 +143,64 @@ let test_example_kernels_compile () =
       files
   end
 
+(* ----------------------------------------------------------- optimizer *)
+
+let spm_of_dfg g seed =
+  let spm = Plaid_sim.Spm.create () in
+  List.iter
+    (fun (name, extent) ->
+      let rng = Plaid_util.Rng.create (seed + Hashtbl.hash name) in
+      Plaid_sim.Spm.ensure spm name extent;
+      for i = 0 to extent - 1 do
+        Plaid_sim.Spm.write spm name i (Plaid_util.Rng.int rng 256 - 128)
+      done)
+    (Dfg.arrays g);
+  spm
+
+(* Opt must be a semantics-preserving rewrite on arbitrary programs, not
+   just the suite: every generated family, before and after optimization,
+   leaves the reference interpreter's memory image unchanged. *)
+let prop_opt_preserves_semantics =
+  QCheck.Test.make ~name:"Ir.Opt preserves reference semantics on random DFGs" ~count:40
+    QCheck.(
+      make
+        ~print:(fun (seed, size) -> Printf.sprintf "seed=%d size=%d" seed size)
+        Gen.(pair (int_range 1 100_000) (int_range 4 14)))
+    (fun (seed, size) ->
+      let spec = { Generate.seed; size; trip = 6 } in
+      List.for_all
+        (fun (_, g) ->
+          let g', _stats = Opt.optimize g in
+          let a = spm_of_dfg g seed in
+          let b = Plaid_sim.Spm.copy a in
+          Plaid_sim.Reference.run g a;
+          Plaid_sim.Reference.run g' b;
+          Plaid_sim.Spm.dump a = Plaid_sim.Spm.dump b)
+        (Generate.all_families spec))
+
+(* ------------------------------------------------------------- faults *)
+
+(* Same generator, now feeding the fault subsystem: for random DFGs and
+   random fault sets, any mapping the driver produces on the broken fabric
+   must validate — which proves it placed nothing on a faulted cell and
+   routed nothing over a severed link. *)
+let prop_mapper_avoids_random_faults =
+  QCheck.Test.make ~name:"mappings on randomly faulted fabrics validate" ~count:8
+    QCheck.(make ~print:string_of_int Gen.(int_range 1 100_000))
+    (fun seed ->
+      let arch = Lazy.force st4 in
+      let faults =
+        Plaid_fault.Inject.sample arch ~rng:(Plaid_util.Rng.create seed) ~n:3
+      in
+      let farch = Plaid_arch.Arch.set_faults arch faults in
+      let g = Generate.random_dag { Generate.seed; size = 6; trip = 6 } in
+      match
+        (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:farch ~dfg:g ~seed ())
+          .Driver.mapping
+      with
+      | None -> true (* refusing to map a broken fabric is always sound *)
+      | Some m -> Mapping.validate m = Ok ())
+
 (* ------------------------------------------------------- rng splitting *)
 
 (* Parallel tasks rely on [Rng.derive]/[Rng.split] to hand each task its
@@ -198,6 +256,7 @@ let suites =
     ( "properties",
       List.map (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) t)
         [ prop_route_exact_length; prop_route_release_restores; prop_schedule_sound;
+          prop_opt_preserves_semantics; prop_mapper_avoids_random_faults;
           prop_rng_streams_disjoint; prop_rng_derive_pure ]
       @ [
           Alcotest.test_case "motif exhaustiveness" `Quick test_motif_exhaustiveness;

@@ -7,7 +7,13 @@
    - a mapping corrupted on disk must be rejected by the loader (exit 1),
      and with --no-validate must reach the simulator and take the
      simulation-MISMATCH path: message on stderr, nothing on stdout,
-     exit 1. *)
+     exit 1;
+   - `plaidc faults` must emit a valid JSON campaign report that is
+     byte-identical for -j 1 and -j 4, exit 1 with MISMATCH lines on
+     stderr when unrepaired faulty mappings mis-simulate, and exit 0 in
+     repair mode once every surviving mapping verifies;
+   - unknown subcommands and argument values must exit 2 with the valid
+     choices on stderr. *)
 
 let plaidc = Sys.argv.(1)
 
@@ -93,6 +99,43 @@ let () =
   let rc = sh "%s run -f gemm.map > good.out 2> good.err" plaidc in
   if rc <> 0 then fail "pristine mapfile: expected exit 0, got %d" rc
 
+(* --- fault campaigns --------------------------------------------------- *)
+
+let () =
+  (* detection campaign: the report is machine-readable, deterministic in
+     the worker count, and mismatches are signalled out-of-band *)
+  let campaign = "faults -k doitgen_u2 -a st --seed 3 --faults 2 --trials 6" in
+  let rc = sh "%s %s --json - -j 1 > faults1.json 2> faults1.err" plaidc campaign in
+  if rc <> 1 then fail "detection campaign with affected trials: expected exit 1, got %d" rc;
+  if not (contains ~needle:"MISMATCH" (read_file "faults1.err")) then
+    fail "detection campaign printed no MISMATCH line on stderr";
+  if contains ~needle:"MISMATCH" (read_file "faults1.json") then
+    fail "MISMATCH diagnostics leaked into the JSON report";
+  (match Plaid_obs.Json.of_string (String.trim (read_file "faults1.json")) with
+  | Error e -> fail "campaign report is not valid JSON: %s" e
+  | Ok doc ->
+    List.iter
+      (fun key ->
+        if Plaid_obs.Json.member key doc = None then
+          fail "campaign report is missing %S" key)
+      [ "arch"; "kernel"; "yield"; "ii_degradation"; "detected"; "trial_results" ]);
+  let _ = sh "%s %s --json - -j 4 > faults4.json 2> /dev/null" plaidc campaign in
+  if read_file "faults1.json" <> read_file "faults4.json" then
+    fail "campaign report differs between -j 1 and -j 4";
+  (* repair campaign: every surviving mapping verifies, so the exit is clean *)
+  let rc = sh "%s %s --repair --json - -j 2 > repair.json 2> repair.err" plaidc campaign in
+  if rc <> 0 then fail "repair campaign: expected exit 0, got %d" rc
+
+(* --- uniform bad-name handling ----------------------------------------- *)
+
+let () =
+  let rc = sh "%s frobnicate > sub.out 2> sub.err" plaidc in
+  if rc <> 2 then fail "unknown subcommand: expected exit 2, got %d" rc;
+  let rc = sh "%s map -k gemm_u2 -a nosuch > arch.out 2> arch.err" plaidc in
+  if rc <> 2 then fail "unknown architecture: expected exit 2, got %d" rc;
+  if not (contains ~needle:"plaid" (read_file "arch.err")) then
+    fail "unknown-architecture error does not list the valid choices"
+
 let () =
   if !failures > 0 then exit 1;
-  print_endline "cli gate: trace/metrics surface and mismatch handling OK"
+  print_endline "cli gate: trace/metrics, fault campaigns, and error handling OK"
