@@ -66,10 +66,21 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+(* Bad numeric arguments follow the same contract as bad names: say what
+   was expected on stderr and exit 2. *)
+let die_bad_arg ~what n ~expected : 'a =
+  Printf.eprintf "plaidc: invalid %s %d (expected %s)\n" what n expected;
+  exit 2
+
 (* Every subcommand resolves -j the same way: explicit value, else the
    domain count the runtime recommends for this machine. *)
 let with_jobs jobs f =
-  let size = match jobs with Some n -> max 1 n | None -> Domain.recommended_domain_count () in
+  let size =
+    match jobs with
+    | Some n when n < 1 -> die_bad_arg ~what:"jobs count" n ~expected:"a positive integer"
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
   Plaid_util.Pool.with_pool ~size f
 
 let trace_arg =
@@ -470,6 +481,8 @@ let faults_cmd =
           ~doc:"Write the JSON campaign report to $(docv) ('-' for stdout).")
   in
   let run kernel arch seed nfaults trials repair json jobs trace metrics =
+    if nfaults < 0 then die_bad_arg ~what:"fault count" nfaults ~expected:"a non-negative integer";
+    if trials < 0 then die_bad_arg ~what:"trial count" trials ~expected:"a non-negative integer";
     with_obs ~trace ~metrics @@ fun () ->
     match Plaid_workloads.Suite.find kernel with
     | exception Not_found ->
@@ -528,6 +541,82 @@ let faults_cmd =
       const run $ kernel_arg $ arch_arg $ seed_arg $ faults_arg $ trials_arg $ repair_arg
       $ json_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
+let fuzz_cmd =
+  let trials_arg =
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Fuzz trials to run.")
+  in
+  let shrink_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize every failing case to a small repro before reporting it.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write each failing case (shrunk when --shrink is on) to $(docv) as a \
+             replayable .case file; check them into test/corpus/ to make the regression \
+             permanent.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-cases" ] ~docv:"DIR"
+          ~doc:"Write every generated case to $(docv) (corpus seeding, debugging).")
+  in
+  let run seed trials shrink corpus dump jobs trace metrics =
+    if trials < 0 then die_bad_arg ~what:"trial count" trials ~expected:"a non-negative integer";
+    with_obs ~trace ~metrics @@ fun () ->
+    with_jobs jobs @@ fun pool ->
+    let r = Plaid_check.Fuzz.run ~pool ~shrink ~seed ~trials () in
+    (* The whole report — failing cases included — goes to stdout and is
+       byte-identical for every -j; file-writing notices go to stderr. *)
+    print_string (Plaid_check.Fuzz.report_string r);
+    let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+    (match dump with
+    | None -> ()
+    | Some dir ->
+      ensure_dir dir;
+      List.iter
+        (fun (t : Plaid_check.Fuzz.trial) ->
+          Plaid_check.Case.save t.Plaid_check.Fuzz.t_case
+            ~path:(Filename.concat dir (Printf.sprintf "seed%d_trial%03d.case" seed t.t_index)))
+        r.Plaid_check.Fuzz.f_results;
+      Printf.eprintf "dumped %d cases to %s\n" trials dir);
+    let fails = Plaid_check.Fuzz.failures r in
+    (match corpus with
+    | Some dir when fails <> [] ->
+      ensure_dir dir;
+      List.iter
+        (fun (t : Plaid_check.Fuzz.trial) ->
+          let c = Option.value t.Plaid_check.Fuzz.t_shrunk ~default:t.t_case in
+          let kind =
+            match t.t_outcome.Plaid_check.Oracle.o_failure with
+            | Some f -> f.Plaid_check.Oracle.fail_kind
+            | None -> "fail"
+          in
+          Plaid_check.Case.save c
+            ~path:
+              (Filename.concat dir (Printf.sprintf "%s_seed%d_trial%03d.case" kind seed t.t_index)))
+        fails;
+      Printf.eprintf "saved %d failing cases to %s\n" (List.length fails) dir
+    | _ -> ());
+    if fails = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a differential fuzz campaign: random DFGs and fabrics through every mapper, \
+          cross-checked against the exact search and the golden reference simulator")
+    Term.(
+      const run $ seed_arg $ trials_arg $ shrink_arg $ corpus_arg $ dump_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
+
 let exp_cmd =
   let exp_arg =
     Arg.(
@@ -566,7 +655,8 @@ let () =
   let code =
     Cmd.eval'
       (Cmd.group info
-         [ list_cmd; map_cmd; run_cmd; motifs_cmd; compile_cmd; rtl_cmd; faults_cmd; exp_cmd ])
+         [ list_cmd; map_cmd; run_cmd; motifs_cmd; compile_cmd; rtl_cmd; faults_cmd;
+           fuzz_cmd; exp_cmd ])
   in
   (* Cmdliner reports unknown subcommands and malformed flags with its own
      CLI-error code; fold that into the uniform "bad name -> exit 2"

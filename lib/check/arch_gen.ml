@@ -1,0 +1,45 @@
+(* Random-architecture generation for the differential fuzzer.
+
+   A spec is a small, fully-serializable recipe: fabrics are deterministic
+   builders, so rebuilding from the spec reproduces the exact resource
+   graph on any machine (the same property Mapfile relies on for its
+   architecture names).  Faults are sampled separately so a fuzz case can
+   carry the pristine spec plus an explicit fault list. *)
+
+type spec =
+  | Mesh of { rows : int; cols : int; regs : int; entries : int; mem_cols : int }
+  | Plaid of { rows : int; cols : int }
+
+let name = function
+  | Mesh { rows; cols; regs; entries; mem_cols } ->
+    Printf.sprintf "fuzz_mesh_%dx%d_r%d_e%d_m%d" rows cols regs entries mem_cols
+  | Plaid { rows; cols } -> Printf.sprintf "fuzz_plaid_%dx%d" rows cols
+
+let build spec =
+  match spec with
+  | Mesh { rows; cols; regs; entries; mem_cols } ->
+    let params =
+      { Plaid_arch.Mesh.rows; cols; regs_per_pe = regs; config_entries = entries;
+        clock_gated = false; mem_cols; mem_stripes = false; pruned_ops = None }
+    in
+    (Plaid_arch.Mesh.build params ~name:(name spec), None)
+  | Plaid { rows; cols } ->
+    let pcu = Plaid_core.Pcu.build ~rows ~cols ~name:(name spec) () in
+    (pcu.Plaid_core.Pcu.arch, Some pcu)
+
+let sample ~rng =
+  let open Plaid_util in
+  if Rng.int rng 3 = 0 then
+    (* Plaid fabrics are PCU meshes: even 2x2 has 16 functional units. *)
+    Plaid { rows = 2 + Rng.int rng 2; cols = 2 + Rng.int rng 2 }
+  else
+    let cols = 2 + Rng.int rng 3 in
+    Mesh
+      { rows = 2 + Rng.int rng 3; cols; regs = 2 + Rng.int rng 3;
+        entries = (if Rng.bool rng then 16 else 8);
+        mem_cols = 1 + Rng.int rng (min 2 cols) }
+
+(* SPM-bank faults are excluded: no placement can route around the
+   kernel's own arrays, so they would make every oracle run vacuous
+   (the repair campaigns draw the same line). *)
+let sample_faults arch ~rng ~n = Plaid_fault.Inject.sample arch ~rng ~n

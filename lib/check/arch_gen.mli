@@ -1,0 +1,25 @@
+(** Random architectures for differential fuzzing.
+
+    Specs are tiny serializable recipes; {!build} is deterministic, so a
+    corpus case that stores a spec reproduces the exact fabric anywhere. *)
+
+type spec =
+  | Mesh of { rows : int; cols : int; regs : int; entries : int; mem_cols : int }
+  | Plaid of { rows : int; cols : int }
+
+val name : spec -> string
+(** Deterministic architecture name embedded in the built fabric. *)
+
+val build : spec -> Plaid_arch.Arch.t * Plaid_core.Pcu.t option
+(** Pristine fabric (no faults); the PCU view is present for Plaid specs
+    so the hierarchical mapper can run. *)
+
+val sample : rng:Plaid_util.Rng.t -> spec
+(** Draw a random spec: baseline meshes of 2-4 rows/cols with varying
+    register depth, configuration entries, and memory columns, or Plaid
+    PCU meshes of 2-3 rows/cols. *)
+
+val sample_faults :
+  Plaid_arch.Arch.t -> rng:Plaid_util.Rng.t -> n:int -> Plaid_arch.Arch.fault list
+(** Fabric faults only (dead FUs, broken ports/links, stuck entries) —
+    SPM-bank faults are unavoidable by placement and excluded. *)

@@ -1,0 +1,138 @@
+(* A fuzz case: everything needed to replay one differential-oracle run.
+
+   The on-disk format is Mapfile-compatible where it can be: the DFG
+   section reuses Mapfile's exact dfg/node/edge line syntax
+   (Plaid_mapping.Mapfile.dfg_to_lines), so a shrunk repro can be pasted
+   into a mapping object file or inspected with the same tools. *)
+
+let version = "plaidfuzz-1"
+
+type t = {
+  seed : int;  (** mapper / SPM-data seed for the oracle run *)
+  arch : Arch_gen.spec;
+  faults : Plaid_arch.Arch.fault list;
+  dfg : Plaid_ir.Dfg.t;
+}
+
+let build c =
+  let arch, pcu = Arch_gen.build c.arch in
+  let farch = Plaid_arch.Arch.set_faults arch c.faults in
+  (farch, Option.map (fun p -> { p with Plaid_core.Pcu.arch = farch }) pcu)
+
+(* ------------------------------------------------------------- printing *)
+
+let arch_line = function
+  | Arch_gen.Mesh { rows; cols; regs; entries; mem_cols } ->
+    Printf.sprintf "arch mesh %d %d %d %d %d" rows cols regs entries mem_cols
+  | Arch_gen.Plaid { rows; cols } -> Printf.sprintf "arch plaid %d %d" rows cols
+
+let fault_line = function
+  | Plaid_arch.Arch.Dead_fu id -> Printf.sprintf "fault deadfu %d" id
+  | Plaid_arch.Arch.Broken_port id -> Printf.sprintf "fault port %d" id
+  | Plaid_arch.Arch.Broken_link (s, d) -> Printf.sprintf "fault link %d %d" s d
+  | Plaid_arch.Arch.Stuck_config (r, e) -> Printf.sprintf "fault stuck %d %d" r e
+  | Plaid_arch.Arch.Faulty_spm a -> Printf.sprintf "fault spm %s" a
+
+let to_string c =
+  String.concat "\n"
+    ([ version; Printf.sprintf "seed %d" c.seed; arch_line c.arch ]
+    @ List.map fault_line c.faults
+    @ Plaid_mapping.Mapfile.dfg_to_lines c.dfg)
+  ^ "\n"
+
+let save c ~path =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc
+
+(* -------------------------------------------------------------- parsing *)
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_arch = function
+  | [ "mesh"; rows; cols; regs; entries; mem_cols ] ->
+    Ok
+      (Arch_gen.Mesh
+         { rows = int_of_string rows; cols = int_of_string cols;
+           regs = int_of_string regs; entries = int_of_string entries;
+           mem_cols = int_of_string mem_cols })
+  | [ "plaid"; rows; cols ] ->
+    Ok (Arch_gen.Plaid { rows = int_of_string rows; cols = int_of_string cols })
+  | parts -> err "bad arch spec: %s" (String.concat " " parts)
+
+let parse_fault = function
+  | [ "deadfu"; id ] -> Ok (Plaid_arch.Arch.Dead_fu (int_of_string id))
+  | [ "port"; id ] -> Ok (Plaid_arch.Arch.Broken_port (int_of_string id))
+  | [ "link"; s; d ] ->
+    Ok (Plaid_arch.Arch.Broken_link (int_of_string s, int_of_string d))
+  | [ "stuck"; r; e ] ->
+    Ok (Plaid_arch.Arch.Stuck_config (int_of_string r, int_of_string e))
+  | [ "spm"; a ] -> Ok (Plaid_arch.Arch.Faulty_spm a)
+  | parts -> err "bad fault spec: %s" (String.concat " " parts)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  match lines with
+  | v :: rest when v = version ->
+    let seed = ref None and arch = ref None in
+    let faults = ref [] and dfg_lines = ref [] in
+    let parse_line line =
+      match String.split_on_char ' ' line with
+      | "seed" :: [ n ] -> (
+        match int_of_string_opt n with
+        | Some n ->
+          seed := Some n;
+          Ok ()
+        | None -> err "bad seed: %s" n)
+      | "arch" :: parts ->
+        let* a = parse_arch parts in
+        arch := Some a;
+        Ok ()
+      | "fault" :: parts ->
+        let* f = parse_fault parts in
+        faults := f :: !faults;
+        Ok ()
+      | ("dfg" | "node" | "edge") :: _ ->
+        dfg_lines := line :: !dfg_lines;
+        Ok ()
+      | _ -> err "unrecognized case line: %s" line
+    in
+    let rec all = function
+      | [] -> Ok ()
+      | l :: rest -> (
+        match (try parse_line l with _ -> err "malformed line: %s" l) with
+        | Ok () -> all rest
+        | Error _ as e -> e)
+    in
+    let* () = all rest in
+    let* dfg = Plaid_mapping.Mapfile.dfg_of_lines (List.rev !dfg_lines) in
+    let* () =
+      match (!seed, !arch) with
+      | None, _ -> err "missing seed line"
+      | _, None -> err "missing arch line"
+      | Some _, Some _ -> Ok ()
+    in
+    let c =
+      { seed = Option.get !seed; arch = Option.get !arch;
+        faults = List.rev !faults; dfg }
+    in
+    (* rebuild now so a stale fault list cannot crash the oracle later *)
+    (match build c with
+    | exception Invalid_argument msg -> err "faults do not fit the fabric: %s" msg
+    | _ -> Ok c)
+  | _ -> err "not a %s file" version
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    of_string text
+
+let summary c =
+  Printf.sprintf "%s on %s (%d nodes, %d faults, seed %d)" c.dfg.Plaid_ir.Dfg.name
+    (Arch_gen.name c.arch) (Plaid_ir.Dfg.n_nodes c.dfg) (List.length c.faults) c.seed

@@ -1,0 +1,30 @@
+(** A fuzz case: DFG, architecture spec, fault list, and seed.
+
+    Serialized in a Mapfile-compatible line format ([plaidfuzz-1] header;
+    the DFG section is byte-identical to the one {!Plaid_mapping.Mapfile}
+    writes), so shrunk repros under [test/corpus/] are both replayable and
+    readable with the mapping tools. *)
+
+type t = {
+  seed : int;
+  arch : Arch_gen.spec;
+  faults : Plaid_arch.Arch.fault list;
+  dfg : Plaid_ir.Dfg.t;
+}
+
+val build : t -> Plaid_arch.Arch.t * Plaid_core.Pcu.t option
+(** The faulted fabric the oracle maps onto.
+    @raise Invalid_argument if the fault list does not fit the fabric. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses and re-validates: the DFG goes back through the builder and the
+    fault list is checked against the rebuilt fabric. *)
+
+val save : t -> path:string -> unit
+
+val load : path:string -> (t, string) result
+
+val summary : t -> string
+(** One-line human description (name, sizes, seed). *)

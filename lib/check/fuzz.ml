@@ -1,0 +1,143 @@
+(* Differential fuzz campaigns.
+
+   Every trial is a pure function of (campaign seed, trial index): the
+   case comes from an Rng.derive stream and the oracle consumes only the
+   case, so trials can run on any Plaid_util.Pool without changing a byte
+   of the report — the same discipline the fault campaigns follow.  The
+   report carries no timing; throughput lives in Plaid_obs metrics. *)
+
+module Obs = Plaid_obs
+open Plaid_util
+
+type trial = {
+  t_index : int;
+  t_case : Case.t;
+  t_outcome : Oracle.outcome;
+  t_shrunk : Case.t option;  (** minimized repro, when shrinking was on *)
+}
+
+type t = {
+  f_seed : int;
+  f_trials : int;
+  f_shrink : bool;
+  f_results : trial list;
+}
+
+let m_trials = Obs.Metrics.counter "fuzz/trials"
+let m_failures = Obs.Metrics.counter "fuzz/failures"
+let m_shrink_steps = Obs.Metrics.counter "fuzz/shrink_predicate_runs"
+
+let families = Array.of_list Plaid_ir.Generate.family_names
+
+let gen_case ~seed i =
+  let rng = Rng.derive (Rng.create seed) i in
+  let family = families.(Rng.int rng (Array.length families)) in
+  let size = 3 + Rng.int rng 6 in
+  let trip = 2 + Rng.int rng 3 in
+  let gseed = Rng.int rng 1_000_000 in
+  let dfg =
+    match Plaid_ir.Generate.by_name family { Plaid_ir.Generate.seed = gseed; size; trip } with
+    | Some g -> g
+    | None -> assert false
+  in
+  let spec = Arch_gen.sample ~rng in
+  let faults =
+    if Rng.int rng 10 < 4 then
+      let pristine, _ = Arch_gen.build spec in
+      Arch_gen.sample_faults pristine ~rng ~n:(1 + Rng.int rng 2)
+    else []
+  in
+  { Case.seed = Rng.int rng 1_000_000; arch = spec; faults; dfg }
+
+let one ~seed ~shrink i =
+  Obs.Trace.with_span ~cat:"fuzz" "fuzz.trial" ~args:[ ("index", string_of_int i) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_trials;
+  let c = gen_case ~seed i in
+  let o = Oracle.run c in
+  let t_shrunk =
+    match o.Oracle.o_failure with
+    | Some f when shrink ->
+      let predicate c' =
+        Obs.Metrics.incr m_shrink_steps;
+        Oracle.failure_kind c' = Some f.Oracle.fail_kind
+      in
+      Some (Shrink.minimize ~predicate c)
+    | Some _ -> Obs.Metrics.incr m_failures; None
+    | None -> None
+  in
+  if t_shrunk <> None then Obs.Metrics.incr m_failures;
+  { t_index = i; t_case = c; t_outcome = o; t_shrunk }
+
+let run ?pool ?(shrink = false) ~seed ~trials () =
+  Obs.Trace.with_span ~cat:"fuzz" "fuzz.campaign"
+    ~args:[ ("seed", string_of_int seed); ("trials", string_of_int trials) ]
+  @@ fun () ->
+  if trials < 0 then invalid_arg "Fuzz.run: negative trial count";
+  let tasks = List.init trials (fun i () -> one ~seed ~shrink i) in
+  let results =
+    match pool with
+    | Some p when Pool.size p > 1 -> Pool.run p tasks
+    | _ -> List.map (fun f -> f ()) tasks
+  in
+  { f_seed = seed; f_trials = trials; f_shrink = shrink; f_results = results }
+
+let failures r =
+  List.filter (fun t -> t.t_outcome.Oracle.o_failure <> None) r.f_results
+
+(* ---------------------------------------------------------- reporting *)
+
+let report_string r =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "plaid fuzz: seed %d, %d trials%s\n" r.f_seed r.f_trials
+    (if r.f_shrink then ", shrinking on" else "");
+  pf "%-6s %-14s %-24s %-5s %-6s %-4s %-3s %-3s %-4s %s\n" "trial" "dfg" "arch" "nodes"
+    "faults" "mii" "pf" "sa" "hier" "verdict";
+  List.iter
+    (fun t ->
+      let o = t.t_outcome in
+      let verdict =
+        if o.Oracle.o_skipped then "skip"
+        else match o.Oracle.o_failure with None -> "ok" | Some f -> f.Oracle.fail_kind
+      in
+      pf "%-6d %-14s %-24s %-5d %-6d %-4d %-3d %-3d %-4s %s\n" t.t_index
+        t.t_case.Case.dfg.Plaid_ir.Dfg.name
+        (Arch_gen.name t.t_case.Case.arch)
+        (Plaid_ir.Dfg.n_nodes t.t_case.Case.dfg)
+        (List.length t.t_case.Case.faults)
+        o.Oracle.o_mii o.Oracle.o_pf_ii o.Oracle.o_sa_ii
+        (if o.Oracle.o_hier_ii < 0 then "-" else string_of_int o.Oracle.o_hier_ii)
+        verdict)
+    r.f_results;
+  List.iter
+    (fun t ->
+      match t.t_outcome.Oracle.o_failure with
+      | None -> ()
+      | Some f ->
+        pf "\nfailure at trial %d [%s]: %s\n" t.t_index f.Oracle.fail_kind
+          f.Oracle.fail_detail;
+        pf "--- case %d (replay: seed %d, trial %d) ---\n%s" t.t_index r.f_seed t.t_index
+          (Case.to_string t.t_case);
+        (match t.t_shrunk with
+        | None -> ()
+        | Some s ->
+          pf "--- shrunk case %d (%d nodes) ---\n%s" t.t_index
+            (Plaid_ir.Dfg.n_nodes s.Case.dfg) (Case.to_string s)))
+    r.f_results;
+  let count p = List.length (List.filter p r.f_results) in
+  let n_skip = count (fun t -> t.t_outcome.Oracle.o_skipped) in
+  let n_fail = List.length (failures r) in
+  let plaid_cases =
+    count (fun t -> match t.t_case.Case.arch with Arch_gen.Plaid _ -> true | _ -> false)
+  in
+  pf "\nsummary: %d trials, %d ok, %d skipped, %d failures\n" r.f_trials
+    (r.f_trials - n_skip - n_fail) n_skip n_fail;
+  pf "feasibility: pf %d/%d, sa %d/%d, hier %d/%d plaid cases\n"
+    (count (fun t -> t.t_outcome.Oracle.o_pf_ii > 0))
+    r.f_trials
+    (count (fun t -> t.t_outcome.Oracle.o_sa_ii > 0))
+    r.f_trials
+    (count (fun t -> t.t_outcome.Oracle.o_hier_ii > 0))
+    plaid_cases;
+  Buffer.contents buf

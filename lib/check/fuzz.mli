@@ -1,0 +1,36 @@
+(** Differential fuzz campaigns over the {!Plaid_util.Pool}.
+
+    Each trial derives its own {!Plaid_util.Rng} stream by index, builds a
+    random case (DFG family × architecture × optional faults), runs the
+    {!Oracle}, and optionally shrinks failures — a pure function of
+    (campaign seed, index), so the report is byte-identical at every
+    worker count.  The report carries no timing; use {!Plaid_obs.Metrics}
+    for throughput. *)
+
+type trial = {
+  t_index : int;
+  t_case : Case.t;
+  t_outcome : Oracle.outcome;
+  t_shrunk : Case.t option;  (** minimized repro, when shrinking was on *)
+}
+
+type t = {
+  f_seed : int;
+  f_trials : int;
+  f_shrink : bool;
+  f_results : trial list;
+}
+
+val gen_case : seed:int -> int -> Case.t
+(** The case trial [i] of a campaign with this seed examines. *)
+
+val run :
+  ?pool:Plaid_util.Pool.t -> ?shrink:bool -> seed:int -> trials:int -> unit -> t
+(** @raise Invalid_argument on a negative trial count. *)
+
+val failures : t -> trial list
+
+val report_string : t -> string
+(** Deterministic campaign report: per-trial table, full text of every
+    failing case (with its replay seed) and its shrunk repro, and a
+    feasibility summary per mapper. *)

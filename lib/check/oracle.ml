@@ -1,0 +1,210 @@
+(* The differential oracle: every check here is sound, i.e. a reported
+   failure is a real toolchain bug, never a heuristic being weak.
+
+   - Any mapper success must validate, must respect II >= MII on the
+     (possibly degraded) fabric, and must simulate bit-exactly against the
+     golden reference interpreter.
+   - A heuristic *failing* proves nothing (the mappers are incomplete), so
+     feasibility is only cross-checked where completeness holds: the exact
+     branch-and-bound is complete per schedule, so if PathFinder mapped at
+     (ii, times) while the exact search — same ii, same times, budget not
+     exhausted — proves no placement routes, one of the two is wrong.
+   - Metamorphic: the optimizer must preserve reference semantics, and a
+     repaired mapping on a faulted fabric must re-validate and re-simulate.
+
+   Everything is a pure function of the case, so oracle runs parallelize
+   with byte-identical results. *)
+
+open Plaid_ir
+open Plaid_mapping
+module Obs = Plaid_obs
+
+type failure = { fail_kind : string; fail_detail : string }
+
+type outcome = {
+  o_mii : int;
+  o_pf_ii : int;    (** 0 when PathFinder found no mapping *)
+  o_sa_ii : int;
+  o_hier_ii : int;  (** -1 on non-Plaid fabrics, 0 when unmapped *)
+  o_skipped : bool; (** fabric too degraded for the II bound to exist *)
+  o_failure : failure option;
+}
+
+let m_oracle_runs = Obs.Metrics.counter "fuzz/oracle_runs"
+let m_mapper_success = Obs.Metrics.counter "fuzz/mapper_success"
+
+let fail fail_kind fmt = Printf.ksprintf (fun fail_detail -> Error { fail_kind; fail_detail }) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let exact_budget = 200_000
+
+(* Deterministic SPM contents for a bare DFG (mirrors `plaidc run`). *)
+let spm_for dfg ~seed =
+  let spm = Plaid_sim.Spm.create () in
+  List.iter
+    (fun (name, extent) ->
+      Plaid_sim.Spm.ensure spm name extent;
+      let rng = Plaid_util.Rng.create (seed + Hashtbl.hash name) in
+      for i = 0 to extent - 1 do
+        Plaid_sim.Spm.write spm name i (Plaid_util.Rng.int rng 256 - 128)
+      done)
+    (Dfg.arrays dfg);
+  spm
+
+(* Hard checks every mapping success must pass, regardless of mapper. *)
+let check_mapping ~what ~mii ~spm (m : Mapping.t) =
+  let* () =
+    match Mapping.validate m with
+    | Ok () -> Ok ()
+    | Error msg -> fail (what ^ "-invalid") "%s" msg
+  in
+  let* () =
+    if m.ii >= mii then Ok ()
+    else fail (what ^ "-ii-below-mii") "mapped at II %d but MII is %d" m.ii mii
+  in
+  match Plaid_sim.Cycle_sim.verify m spm with
+  | Ok _ -> Ok ()
+  | Error msg -> fail (what ^ "-sim-mismatch") "%s" msg
+
+let guarded what f =
+  match f () with
+  | r -> r
+  | exception e -> fail (what ^ "-crash") "%s" (Printexc.to_string e)
+
+let check_opt dfg ~seed =
+  guarded "opt" @@ fun () ->
+  let g', _ = Opt.optimize dfg in
+  let s_ref = spm_for dfg ~seed and s_opt = spm_for dfg ~seed in
+  Plaid_sim.Reference.run dfg s_ref;
+  Plaid_sim.Reference.run g' s_opt;
+  if Plaid_sim.Spm.dump s_ref = Plaid_sim.Spm.dump s_opt then Ok ()
+  else fail "opt-semantics" "optimized %s diverges from the reference run" dfg.Dfg.name
+
+let check_repair (c : Case.t) ~arch ~mii ~spm =
+  if c.Case.faults = [] then Ok ()
+  else
+    guarded "repair" @@ fun () ->
+    let pristine, _ = Arch_gen.build c.Case.arch in
+    match
+      (Driver.map ~algo:(Driver.Pf Pathfinder.quick) ~arch:pristine ~dfg:c.Case.dfg
+         ~seed:c.Case.seed ())
+        .Driver.mapping
+    with
+    | None -> Ok ()
+    | Some hm -> (
+      let r =
+        Driver.repair ~algo:(Driver.Pf Pathfinder.quick) ~arch ~mapping:hm
+          ~seed:c.Case.seed ()
+      in
+      match r.Driver.repaired with
+      | None -> Ok () (* repair may legitimately fail on a degraded fabric *)
+      | Some rm -> check_mapping ~what:"repair" ~mii ~spm rm)
+
+(* PathFinder vs exact search at the *same* schedule: the only feasibility
+   comparison that is sound, because the exact mapper is complete for a
+   given (ii, times). *)
+let check_exact ~arch ~dfg (pf : Driver.outcome) =
+  match pf.Driver.mapping with
+  | Some m when Dfg.n_nodes dfg <= 10 -> (
+    guarded "exact" @@ fun () ->
+    let r = Exact.find arch dfg ~ii:m.Mapping.ii ~times:m.Mapping.times ~budget:exact_budget in
+    match (r.Exact.mapping, r.Exact.exhausted) with
+    | None, false ->
+      fail "exact-contradiction"
+        "pathfinder mapped %s at II %d but the exact search proves that schedule \
+         unplaceable" dfg.Dfg.name m.Mapping.ii
+    | Some em, _ -> (
+      match Mapping.validate em with
+      | Ok () -> Ok ()
+      | Error msg -> fail "exact-invalid" "%s" msg)
+    | None, true -> Ok ())
+  | _ -> Ok ()
+
+let run (c : Case.t) =
+  Obs.Trace.with_span ~cat:"fuzz" "fuzz.oracle"
+    ~args:[ ("case", c.Case.dfg.Dfg.name) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_oracle_runs;
+  let skipped o_mii =
+    { o_mii; o_pf_ii = 0; o_sa_ii = 0; o_hier_ii = -1; o_skipped = true; o_failure = None }
+  in
+  match Case.build c with
+  | exception Invalid_argument msg ->
+    { (skipped 0) with
+      o_skipped = false;
+      o_failure = Some { fail_kind = "case-invalid"; fail_detail = msg } }
+  | arch, pcu -> (
+    let dfg = c.Case.dfg in
+    let cap = Plaid_arch.Arch.capacity arch in
+    (* With every FU (or every memory FU a memory node needs) dead, no II
+       bound exists and no mapper can succeed; nothing to differentiate. *)
+    if
+      cap.Analysis.total_slots = 0
+      || (Analysis.n_memory_class dfg > 0 && cap.Analysis.memory_slots = 0)
+    then skipped 0
+    else
+      let mii = Analysis.mii dfg cap in
+      let spm = spm_for dfg ~seed:c.Case.seed in
+      let pf =
+        Driver.map ~algo:(Driver.Pf Pathfinder.quick) ~arch ~dfg ~seed:c.Case.seed ()
+      in
+      let sa =
+        Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch ~dfg ~seed:c.Case.seed ()
+      in
+      let hier =
+        Option.map
+          (fun p ->
+            Plaid_core.Hier_mapper.map ~params:Plaid_core.Hier_mapper.quick ~plaid:p
+              ~seed:c.Case.seed dfg)
+          pcu
+      in
+      let ii = function Some (m : Mapping.t) -> m.Mapping.ii | None -> 0 in
+      let o_pf_ii = ii pf.Driver.mapping and o_sa_ii = ii sa.Driver.mapping in
+      let o_hier_ii =
+        match hier with
+        | None -> -1
+        | Some h -> ii h.Plaid_core.Hier_mapper.mapping
+      in
+      List.iter
+        (fun mapped -> if mapped > 0 then Obs.Metrics.incr m_mapper_success)
+        [ o_pf_ii; o_sa_ii; (if o_hier_ii > 0 then o_hier_ii else 0) ];
+      let checked =
+        let check_opt_mapping what m =
+          match m with Some m -> check_mapping ~what ~mii ~spm m | None -> Ok ()
+        in
+        let* () = check_opt_mapping "pf" pf.Driver.mapping in
+        let* () = check_opt_mapping "sa" sa.Driver.mapping in
+        let* () =
+          match hier with
+          | None -> Ok ()
+          | Some h -> check_opt_mapping "hier" h.Plaid_core.Hier_mapper.mapping
+        in
+        let* () = check_exact ~arch ~dfg pf in
+        let* () = check_opt dfg ~seed:c.Case.seed in
+        check_repair c ~arch ~mii ~spm
+      in
+      { o_mii = mii; o_pf_ii; o_sa_ii; o_hier_ii; o_skipped = false;
+        o_failure = (match checked with Ok () -> None | Error f -> Some f) })
+
+let failure_kind c = Option.map (fun f -> f.fail_kind) (run c).o_failure
+
+(* Metamorphic: unrolling preserves kernel semantics and divides the trip
+   count exactly (used by the test gate over the Table 2 suite). *)
+let check_unroll (k : Kernel.t) ~params ~u =
+  guarded "unroll" @@ fun () ->
+  let ku = Unroll.apply k u in
+  let* () =
+    if ku.Kernel.trip * u = k.Kernel.trip then Ok ()
+    else
+      fail "unroll-trip" "unroll by %d took trip %d to %d" u k.Kernel.trip ku.Kernel.trip
+  in
+  let dump m =
+    Hashtbl.fold (fun name arr acc -> (name, Array.copy arr) :: acc) m []
+    |> List.sort compare
+  in
+  let m_base = Kernel.memory_for k ~seed:5 and m_unrolled = Kernel.memory_for k ~seed:5 in
+  Kernel.interpret k ~params m_base;
+  Kernel.interpret ku ~params m_unrolled;
+  if dump m_base = dump m_unrolled then Ok ()
+  else fail "unroll-semantics" "unroll by %d changes %s's memory state" u k.Kernel.name

@@ -1,0 +1,39 @@
+(** Differential and metamorphic oracles over one fuzz case.
+
+    Every check is {e sound}: a reported failure is a real toolchain bug.
+    Heuristic mappers failing to map is never an error (they are
+    incomplete); feasibility is only cross-checked against the exact
+    branch-and-bound at the identical (II, schedule), where completeness
+    makes disagreement a contradiction.  Mapping successes face the hard
+    checks — {!Plaid_mapping.Mapping.validate}, II ≥ MII on the degraded
+    fabric, and bit-exact cycle simulation against the golden reference. *)
+
+type failure = { fail_kind : string; fail_detail : string }
+
+type outcome = {
+  o_mii : int;
+  o_pf_ii : int;    (** 0 when PathFinder found no mapping *)
+  o_sa_ii : int;
+  o_hier_ii : int;  (** -1 on non-Plaid fabrics, 0 when unmapped *)
+  o_skipped : bool; (** fabric too degraded for the II bound to exist *)
+  o_failure : failure option;
+}
+
+val run : Case.t -> outcome
+(** Pure function of the case: parallel runs are byte-identical. *)
+
+val failure_kind : Case.t -> string option
+(** [run] distilled to the failure kind — the shrinker's predicate. *)
+
+val spm_for : Plaid_ir.Dfg.t -> seed:int -> Plaid_sim.Spm.t
+(** Deterministic scratchpad contents for a bare DFG. *)
+
+val check_mapping :
+  what:string -> mii:int -> spm:Plaid_sim.Spm.t -> Plaid_mapping.Mapping.t ->
+  (unit, failure) result
+(** The hard per-success checks, reusable outside full oracle runs. *)
+
+val check_unroll :
+  Plaid_ir.Kernel.t -> params:(string * int) list -> u:int -> (unit, failure) result
+(** Metamorphic: unrolling by [u] divides the trip count by exactly [u]
+    and preserves the interpreted memory state. *)

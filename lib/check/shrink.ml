@@ -1,0 +1,127 @@
+(* Greedy case minimization: drop faults, shrink the trip count, remove
+   DFG nodes and edges one at a time, keeping each step only when the
+   failure predicate still fires.  Every candidate is strictly smaller
+   than its parent, so the first-improvement loop terminates; candidate
+   order is fixed, so shrinking is deterministic.
+
+   DFG surgery preserves validity by construction: a data edge whose
+   producer disappears becomes an immediate on the consumer (the edge's
+   carry-initial value), covering the operand {!Plaid_ir.Dfg.finish}
+   insists on; ordering edges simply vanish.  Candidates the builder
+   rejects are skipped. *)
+
+open Plaid_ir
+
+(* Rebuild [g] without the nodes [keep] excludes. *)
+let restrict (g : Dfg.t) ~keep =
+  let b = Dfg.builder ~trip:g.Dfg.trip g.Dfg.name in
+  let remap = Array.make (Array.length g.Dfg.nodes) (-1) in
+  match
+    Array.iter
+      (fun (nd : Dfg.node) ->
+        if keep.(nd.id) then begin
+          let patched =
+            List.filter_map
+              (fun (e : Dfg.edge) ->
+                if (not keep.(e.src)) && e.operand >= 0 then Some (e.operand, e.init)
+                else None)
+              g.Dfg.preds.(nd.id)
+          in
+          remap.(nd.id) <-
+            Dfg.add_node b ~imms:(nd.imms @ patched) ?access:nd.access ~label:nd.label nd.op
+        end)
+      g.Dfg.nodes;
+    Array.iter
+      (fun (e : Dfg.edge) ->
+        if keep.(e.src) && keep.(e.dst) then
+          Dfg.add_edge b ~dist:e.dist ~init:e.init ~src:remap.(e.src) ~dst:remap.(e.dst)
+            ~operand:e.operand ())
+      g.Dfg.edges;
+    Dfg.finish b
+  with
+  | g' -> Some g'
+  | exception Invalid_argument _ -> None
+
+let remove_node g v =
+  let keep = Array.make (Array.length g.Dfg.nodes) true in
+  keep.(v) <- false;
+  restrict g ~keep
+
+let drop_edge (g : Dfg.t) idx =
+  let victim = g.Dfg.edges.(idx) in
+  let b = Dfg.builder ~trip:g.Dfg.trip g.Dfg.name in
+  match
+    Array.iter
+      (fun (nd : Dfg.node) ->
+        let patched =
+          if victim.dst = nd.id && victim.operand >= 0 then [ (victim.operand, victim.init) ]
+          else []
+        in
+        ignore (Dfg.add_node b ~imms:(nd.imms @ patched) ?access:nd.access ~label:nd.label nd.op))
+      g.Dfg.nodes;
+    Array.iteri
+      (fun i (e : Dfg.edge) ->
+        if i <> idx then
+          Dfg.add_edge b ~dist:e.dist ~init:e.init ~src:e.src ~dst:e.dst ~operand:e.operand ())
+      g.Dfg.edges;
+    Dfg.finish b
+  with
+  | g' -> Some g'
+  | exception Invalid_argument _ -> None
+
+let set_trip (g : Dfg.t) trip =
+  let b = Dfg.builder ~trip g.Dfg.name in
+  match
+    Array.iter
+      (fun (nd : Dfg.node) ->
+        ignore (Dfg.add_node b ~imms:nd.imms ?access:nd.access ~label:nd.label nd.op))
+      g.Dfg.nodes;
+    Array.iter
+      (fun (e : Dfg.edge) ->
+        Dfg.add_edge b ~dist:e.dist ~init:e.init ~src:e.src ~dst:e.dst ~operand:e.operand ())
+      g.Dfg.edges;
+    Dfg.finish b
+  with
+  | g' -> Some g'
+  | exception Invalid_argument _ -> None
+
+(* Candidate cases strictly smaller than [c], in a fixed order. *)
+let candidates (c : Case.t) =
+  let without_fault =
+    List.mapi
+      (fun i _ -> { c with Case.faults = List.filteri (fun j _ -> j <> i) c.Case.faults })
+      c.Case.faults
+  in
+  let g = c.Case.dfg in
+  let smaller_trips =
+    if g.Dfg.trip > 1 then
+      List.filter_map
+        (fun t ->
+          if t < g.Dfg.trip then
+            Option.map (fun g' -> { c with Case.dfg = g' }) (set_trip g t)
+          else None)
+        [ 1; g.Dfg.trip / 2 ]
+    else []
+  in
+  let without_node =
+    List.init (Array.length g.Dfg.nodes) (fun v ->
+        Option.map (fun g' -> { c with Case.dfg = g' }) (remove_node g v))
+    |> List.filter_map Fun.id
+  in
+  let without_edge =
+    List.init (Array.length g.Dfg.edges) (fun i ->
+        Option.map (fun g' -> { c with Case.dfg = g' }) (drop_edge g i))
+    |> List.filter_map Fun.id
+  in
+  without_fault @ smaller_trips @ without_node @ without_edge
+
+let minimize ~predicate c =
+  if not (predicate c) then c
+  else begin
+    let rec loop c =
+      match List.find_opt predicate (candidates c) with
+      | Some c' -> loop c'
+      | None -> c
+    in
+    loop c
+  end

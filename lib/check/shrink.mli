@@ -1,0 +1,19 @@
+(** Greedy minimization of failing fuzz cases.
+
+    [minimize ~predicate c] repeatedly tries strictly-smaller variants of
+    [c] — dropped faults, smaller trip counts, removed nodes (dangling
+    consumers patched with the edge's carry-initial as an immediate),
+    removed edges — keeping a variant whenever [predicate] still holds,
+    until no single-step reduction reproduces the failure.  Deterministic;
+    returns [c] unchanged when [predicate c] is already false. *)
+
+val minimize : predicate:(Case.t -> bool) -> Case.t -> Case.t
+
+(** DFG surgery helpers (exposed for tests): each returns [None] when the
+    rebuilt graph fails builder validation. *)
+
+val remove_node : Plaid_ir.Dfg.t -> int -> Plaid_ir.Dfg.t option
+
+val drop_edge : Plaid_ir.Dfg.t -> int -> Plaid_ir.Dfg.t option
+
+val set_trip : Plaid_ir.Dfg.t -> int -> Plaid_ir.Dfg.t option

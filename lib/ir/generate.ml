@@ -10,6 +10,18 @@ let store b name i src =
   let st = Dfg.add_node b ~access:{ Dfg.array = name; offset = i; stride = 1 } Op.Store in
   Dfg.add_edge b ~src ~dst:st ~operand:0 ()
 
+(* Several stores into one array must not alias across iterations (that
+   would need the ordering edges Lower adds; without them the pipelined
+   write order is undefined): give store [j] of [n] the disjoint lane
+   [offset = j, stride = n]. *)
+let store_lanes b name values =
+  let n = List.length values in
+  List.iteri
+    (fun j v ->
+      let st = Dfg.add_node b ~access:{ Dfg.array = name; offset = j; stride = n } Op.Store in
+      Dfg.add_edge b ~src:v ~dst:st ~operand:0 ())
+    values
+
 let chain spec =
   let rng = Plaid_util.Rng.create spec.seed in
   let b = Dfg.builder ~trip:spec.trip "chain" in
@@ -124,7 +136,126 @@ let random_dag ?(memory_ratio = 0.3) spec =
     pool := node :: !pool
   done;
   (* anchor the freshest values in stores so the hot path reaches memory *)
-  List.iteri (fun i v -> if i < 4 then store b "y" i v) !pool;
+  store_lanes b "y" (List.filteri (fun i _ -> i < 4) !pool);
+  Dfg.finish b
+
+let deep_carry spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "deep_carry" in
+  let acc_dist = 1 + Plaid_util.Rng.int rng 3 in
+  let cur = ref (load b "x" 0) in
+  for _ = 1 to max 1 (spec.size - 1) do
+    let n = Dfg.add_node b ~imms:[ (1, 1 + Plaid_util.Rng.int rng 7) ] (pick_op rng) in
+    Dfg.add_edge b ~src:!cur ~dst:n ~operand:0 ();
+    cur := n
+  done;
+  let acc = Dfg.add_node b ~label:"acc" Op.Add in
+  Dfg.add_edge b ~src:!cur ~dst:acc ~operand:0 ();
+  (* the recurrence distance varies, so RecMII is not always chain/1 *)
+  Dfg.add_edge b ~dist:acc_dist ~init:(Plaid_util.Rng.int rng 16) ~src:acc ~dst:acc
+    ~operand:1 ();
+  store b "y" 0 acc;
+  Dfg.finish b
+
+let fanout spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "fanout" in
+  let x = load b "x" 0 in
+  let consumers =
+    List.init
+      (max 2 spec.size)
+      (fun _ ->
+        let n = Dfg.add_node b ~imms:[ (1, 1 + Plaid_util.Rng.int rng 15) ] (pick_op rng) in
+        Dfg.add_edge b ~src:x ~dst:n ~operand:0 ();
+        n)
+  in
+  (* broadcast stresses multicast routing; fold back so results are live *)
+  let frontier = ref consumers in
+  while List.length !frontier > 1 do
+    let rec pair acc = function
+      | a :: c :: rest ->
+        let n = Dfg.add_node b (pick_op rng) in
+        Dfg.add_edge b ~src:a ~dst:n ~operand:0 ();
+        Dfg.add_edge b ~src:c ~dst:n ~operand:1 ();
+        pair (n :: acc) rest
+      | [ a ] -> a :: acc
+      | [] -> acc
+    in
+    frontier := pair [] !frontier
+  done;
+  store b "y" 0 (List.hd !frontier);
+  Dfg.finish b
+
+let memory_mix spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "memory_mix" in
+  let n_loads = max 2 ((spec.size / 2) + 1) in
+  let n_stores = max 1 (spec.size / 3) in
+  let loads =
+    List.init n_loads (fun _ ->
+        Dfg.add_node b
+          ~access:
+            { Dfg.array = "x"; offset = Plaid_util.Rng.int rng 4;
+              stride = 1 + Plaid_util.Rng.int rng 2 }
+          Op.Load)
+  in
+  let pool = ref (Array.of_list loads) in
+  let values =
+    List.init n_stores (fun _ ->
+        let a = Plaid_util.Rng.pick rng !pool in
+        let c = Plaid_util.Rng.pick rng !pool in
+        let n = Dfg.add_node b (pick_op rng) in
+        Dfg.add_edge b ~src:a ~dst:n ~operand:0 ();
+        Dfg.add_edge b ~src:c ~dst:n ~operand:1 ();
+        pool := Array.append !pool [| n |];
+        n)
+  in
+  (* each store owns a disjoint (offset, stride) lane of "y": no aliasing,
+     so no ordering edges are needed *)
+  List.iteri
+    (fun j v ->
+      let st =
+        Dfg.add_node b ~access:{ Dfg.array = "y"; offset = j; stride = n_stores } Op.Store
+      in
+      Dfg.add_edge b ~src:v ~dst:st ~operand:0 ())
+    values;
+  Dfg.finish b
+
+let carried_dag spec =
+  let rng = Plaid_util.Rng.create spec.seed in
+  let b = Dfg.builder ~trip:spec.trip "carried_dag" in
+  let n_loads = max 1 (spec.size / 3) in
+  let pool = ref (List.init n_loads (fun i -> load b "x" i)) in
+  let pending = ref [] in
+  for _ = 1 to spec.size do
+    let a = Plaid_util.Rng.pick rng (Array.of_list !pool) in
+    let node =
+      if Plaid_util.Rng.int rng 3 = 0 then begin
+        (* operand 1 stays open: a loop-carried edge fills it below *)
+        let n = Dfg.add_node b (pick_op rng) in
+        Dfg.add_edge b ~src:a ~dst:n ~operand:0 ();
+        pending := (n, 1) :: !pending;
+        n
+      end
+      else begin
+        let n = Dfg.add_node b ~imms:[ (1, Plaid_util.Rng.int rng 16) ] (pick_op rng) in
+        Dfg.add_edge b ~src:a ~dst:n ~operand:0 ();
+        n
+      end
+    in
+    pool := node :: !pool
+  done;
+  (* back edges may point at any node (even a later id): only the dist-0
+     subgraph must stay acyclic *)
+  let all = Array.of_list !pool in
+  List.iter
+    (fun (n, k) ->
+      let src = Plaid_util.Rng.pick rng all in
+      Dfg.add_edge b
+        ~dist:(1 + Plaid_util.Rng.int rng 2)
+        ~init:(Plaid_util.Rng.int rng 16) ~src ~dst:n ~operand:k ())
+    (List.rev !pending);
+  store_lanes b "y" (List.filteri (fun i _ -> i < 2) !pool);
   Dfg.finish b
 
 let all_families spec =
@@ -136,3 +267,30 @@ let all_families spec =
     ("reduction", reduction ~lanes:3 spec);
     ("random-dag", random_dag spec);
   ]
+
+let fuzz_families spec =
+  all_families spec
+  @ [
+      ("deep-carry", deep_carry spec);
+      ("fanout", fanout spec);
+      ("memory-mix", memory_mix spec);
+      ("carried-dag", carried_dag spec);
+    ]
+
+let family_names =
+  [ "chain"; "tree"; "stencil"; "stencil-inplace"; "reduction"; "random-dag";
+    "deep-carry"; "fanout"; "memory-mix"; "carried-dag" ]
+
+let by_name name spec =
+  match name with
+  | "chain" -> Some (chain spec)
+  | "tree" -> Some (tree spec)
+  | "stencil" -> Some (stencil ~width:3 spec)
+  | "stencil-inplace" -> Some (stencil ~in_place:true ~width:3 spec)
+  | "reduction" -> Some (reduction ~lanes:3 spec)
+  | "random-dag" -> Some (random_dag spec)
+  | "deep-carry" -> Some (deep_carry spec)
+  | "fanout" -> Some (fanout spec)
+  | "memory-mix" -> Some (memory_mix spec)
+  | "carried-dag" -> Some (carried_dag spec)
+  | _ -> None

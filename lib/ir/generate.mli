@@ -9,7 +9,15 @@
     - [stencil]: loads of neighbouring elements combined into one store,
       optionally in place (which induces loop-carried memory dependences);
     - [reduction]: parallel accumulator chains with loop-carried adds;
-    - [random_dag]: random two-operand DAG with configurable memory ratio. *)
+    - [random_dag]: random two-operand DAG with configurable memory ratio;
+    - [deep_carry]: a dependent chain folded into one accumulator whose
+      loop-carried distance varies (stresses RecMII and retiming);
+    - [fanout]: one loaded value broadcast to many consumers, folded back
+      into a single store (stresses multicast routing);
+    - [memory_mix]: loads with random offsets/strides feeding several
+      stores on disjoint (offset, stride) lanes (stresses ALSU slots);
+    - [carried_dag]: [random_dag] plus loop-carried operands with random
+      inter-iteration distances and explicit initial values. *)
 
 type spec = {
   seed : int;
@@ -28,5 +36,24 @@ val reduction : lanes:int -> spec -> Dfg.t
 val random_dag : ?memory_ratio:float -> spec -> Dfg.t
 (** [memory_ratio] (default 0.3) of nodes are loads feeding the DAG. *)
 
+val deep_carry : spec -> Dfg.t
+
+val fanout : spec -> Dfg.t
+
+val memory_mix : spec -> Dfg.t
+
+val carried_dag : spec -> Dfg.t
+
 val all_families : spec -> (string * Dfg.t) list
-(** One representative of each family, for sweep harnesses. *)
+(** One representative of each of the six original families, for sweep
+    harnesses (kept stable: existing tests map every member). *)
+
+val fuzz_families : spec -> (string * Dfg.t) list
+(** [all_families] plus the four adversarial families above — the
+    generator pool the differential fuzzer ({!Plaid_check}) draws from. *)
+
+val family_names : string list
+(** Names accepted by {!by_name}, in a fixed order. *)
+
+val by_name : string -> spec -> Dfg.t option
+(** Build one family by name; [None] for unknown names. *)

@@ -8,6 +8,96 @@ type outcome = {
 
 let slot_mod ii t = ((t mod ii) + ii) mod ii
 
+(* Completeness requires backtracking over *routing* choices, not just
+   placements: committing each edge to the router's single cheapest path
+   can block a later edge that some costlier path would have left open,
+   making the search report "unplaceable" for schedules the heuristics
+   map fine (the differential fuzzer found exactly that on a faulted
+   mesh).  So the exact search enumerates every valid exact-latency path
+   lazily, in the same (resource, elapsed) state space as {!Route.find}'s
+   Hard mode. *)
+
+(* Admissible prune for the enumeration: the minimum summed link latency
+   from each resource to [dst_fu], ignoring occupancy.  Any state with
+   [elapsed + min_lat > length] can never arrive on time. *)
+let min_latency_to arch ~dst_fu =
+  let n = Plaid_arch.Arch.n_resources arch in
+  let dist = Array.make n max_int in
+  let q = Plaid_util.Pqueue.create () in
+  dist.(dst_fu) <- 0;
+  Plaid_util.Pqueue.push q 0.0 dst_fu;
+  let finished = ref false in
+  while (not !finished) && not (Plaid_util.Pqueue.is_empty q) do
+    match Plaid_util.Pqueue.pop q with
+    | None -> finished := true
+    | Some (d, res) ->
+      if int_of_float d = dist.(res) then
+        List.iter
+          (fun (src, lat) ->
+            if dist.(res) + lat < dist.(src) then begin
+              dist.(src) <- dist.(res) + lat;
+              Plaid_util.Pqueue.push q (float_of_int dist.(src)) src
+            end)
+          arch.Plaid_arch.Arch.in_links.(res)
+  done;
+  dist
+
+(* All exact-latency paths for one edge, as a lazy sequence in a fixed
+   deterministic order.  [tick] charges each state expansion against the
+   shared search budget; once it reports exhaustion the sequence dries
+   up.  Occupancy is consulted live ([Mrrg.can_use]), so the caller must
+   not mutate the MRRG while holding an unforced tail — the search below
+   only advances the sequence after releasing the previous candidate. *)
+let enum_paths mrrg ~src_fu ~src_node ~t_src ~dst_fu ~length ~min_lat ~tick :
+    Route.path Seq.t =
+  if length < 1 || length > Route.max_detour then Seq.empty
+  else begin
+    let arch = Mrrg.arch mrrg in
+    let ii = Mrrg.ii mrrg in
+    let exclusive = Mrrg.exclusive mrrg in
+    let fu_ok = arch.Plaid_arch.Arch.allow_fu_routethrough in
+    (* the same self-collision rule as the router: one (resource, slot)
+       cell must not appear at two different elapsed times *)
+    let conflict rev_path res' e' =
+      List.exists
+        (fun (r, e) -> r = res' && e <> e' && (exclusive || (e - e') mod ii = 0))
+        rev_path
+    in
+    let rec go res elapsed rev_path () =
+      if tick () then Seq.Nil
+      else
+        (List.to_seq arch.Plaid_arch.Arch.out_links.(res)
+        |> Seq.concat_map (fun (dst, lat) ->
+               let e' = elapsed + lat in
+               if e' > length then Seq.empty
+               else if dst = dst_fu && e' = length then
+                 (* consumer FU itself is not occupied by the route *)
+                 Seq.return (List.rev rev_path)
+               else if
+                 min_lat.(dst) = max_int || e' + min_lat.(dst) > length
+               then Seq.empty
+               else begin
+                 let intermediate_fu =
+                   match (Plaid_arch.Arch.resource arch dst).Plaid_arch.Arch.kind with
+                   | Plaid_arch.Arch.Fu _ -> true
+                   | _ -> false
+                 in
+                 if intermediate_fu && not fu_ok then Seq.empty
+                 else begin
+                   let slot = slot_mod ii (t_src + e') in
+                   let signal = { Mrrg.s_node = src_node; s_elapsed = e' } in
+                   if
+                     Mrrg.can_use mrrg ~res:dst ~slot signal
+                     && not (conflict rev_path dst e')
+                   then go dst e' ((dst, e') :: rev_path)
+                   else Seq.empty
+                 end
+               end))
+          ()
+    in
+    go src_fu 0 []
+  end
+
 let find arch g ~ii ~times ~budget =
   let n = Dfg.n_nodes g in
   let order = Array.of_list (Dfg.topo_order g) in
@@ -16,7 +106,24 @@ let find arch g ~ii ~times ~budget =
   let paths : (int * Route.path) list ref = ref [] in  (* (edge idx, path), undo stack *)
   let explored = ref 0 in
   let exhausted = ref false in
+  let tick () =
+    if not !exhausted then begin
+      incr explored;
+      if !explored > budget then exhausted := true
+    end;
+    !exhausted
+  in
   let edges = g.Dfg.edges in
+  (* per-consumer minimum-latency maps, built on demand *)
+  let min_lat_cache = Hashtbl.create 16 in
+  let min_lat_for dst_fu =
+    match Hashtbl.find_opt min_lat_cache dst_fu with
+    | Some d -> d
+    | None ->
+      let d = min_latency_to arch ~dst_fu in
+      Hashtbl.add min_lat_cache dst_fu d;
+      d
+  in
   (* edges whose both endpoints are placed once [v] is placed *)
   let ready_edges v =
     List.filter_map
@@ -30,29 +137,6 @@ let find arch g ~ii ~times ~budget =
         else None)
       (List.init (Array.length edges) (fun i -> i))
   in
-  let route_one i =
-    let e = edges.(i) in
-    let length = times.(e.dst) - times.(e.src) + (e.dist * ii) in
-    match
-      Route.find mrrg ~src_fu:place.(e.src) ~src_node:e.src ~t_src:times.(e.src)
-        ~dst_fu:place.(e.dst) ~length ~mode:Route.Hard
-    with
-    | None -> false
-    | Some (path, _) ->
-      Route.occupy_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
-      paths := (i, path) :: !paths;
-      true
-  in
-  let unroute_down_to mark =
-    while List.length !paths > mark do
-      match !paths with
-      | (i, path) :: rest ->
-        let e = edges.(i) in
-        Route.release_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
-        paths := rest
-      | [] -> ()
-    done
-  in
   let ordering_ok v =
     (* ordering edges have no route but still need causal lengths *)
     List.for_all
@@ -62,7 +146,36 @@ let find arch g ~ii ~times ~budget =
         || times.(e.dst) - times.(e.src) + (e.dist * ii) >= 1)
       (Dfg.succs g v)
   in
-  let rec search k =
+  (* Route [pending] edges in order, backtracking across the alternative
+     paths of each, then resume placement at node-rank [k]. *)
+  let rec route_then_place pending k =
+    match pending with
+    | [] -> search k
+    | i :: rest ->
+      let e = edges.(i) in
+      let length = times.(e.dst) - times.(e.src) + (e.dist * ii) in
+      let candidates =
+        enum_paths mrrg ~src_fu:place.(e.src) ~src_node:e.src ~t_src:times.(e.src)
+          ~dst_fu:place.(e.dst) ~length ~min_lat:(min_lat_for place.(e.dst)) ~tick
+      in
+      Seq.exists
+        (fun path ->
+          if !exhausted then false
+          else begin
+            Route.occupy_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
+            paths := (i, path) :: !paths;
+            if route_then_place rest k then true
+            else begin
+              (match !paths with
+              | (j, p) :: tl when j = i ->
+                Route.release_path mrrg ~src_node:e.src ~t_src:times.(e.src) p;
+                paths := tl
+              | _ -> assert false (* deeper frames undo their own routes *));
+              false
+            end
+          end)
+        candidates
+  and search k =
     if !exhausted then false
     else if k = Array.length order then true
     else begin
@@ -76,29 +189,16 @@ let find arch g ~ii ~times ~budget =
       in
       List.exists
         (fun fu ->
-          if !exhausted then false
-          else begin
-          incr explored;
-          if !explored > budget then begin
-            exhausted := true;
-            false
-          end
+          if tick () then false
           else begin
             Mrrg.place_node mrrg ~node:v ~fu ~slot;
             place.(v) <- fu;
-            let mark = List.length !paths in
-            let ok =
-              ordering_ok v
-              && List.for_all route_one (ready_edges v)
-              && search (k + 1)
-            in
+            let ok = ordering_ok v && route_then_place (ready_edges v) (k + 1) in
             if not ok then begin
-              unroute_down_to mark;
               Mrrg.unplace_node mrrg ~node:v ~fu ~slot;
               place.(v) <- -1
             end;
             ok
-          end
           end)
         candidates
     end

@@ -1,8 +1,12 @@
 (** Exact placement by branch-and-bound, for small DFGs.
 
     Given a modulo schedule, enumerate node-to-FU assignments in topological
-    order, routing each edge as soon as both endpoints are placed and
-    backtracking on the first routing failure.  Complete for the given
+    order, routing each edge as soon as both endpoints are placed.  Both
+    placements *and* routes are backtracking dimensions: every valid
+    exact-latency path is enumerated lazily, so a path choice that blocks a
+    later edge is undone rather than mistaken for infeasibility (committing
+    to the router's single cheapest path is how the differential fuzzer once
+    caught this module contradicting PathFinder).  Complete for the given
     schedule: if [find] returns [None] with an unexhausted budget, no
     placement routes under that schedule.
 

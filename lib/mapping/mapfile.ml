@@ -34,13 +34,15 @@ let dec s =
   go 0;
   Buffer.contents buf
 
-let to_string (m : Mapping.t) =
-  let buf = Buffer.create 4096 in
-  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pf "%s\n" version;
-  pf "arch %s\n" (enc m.arch.Plaid_arch.Arch.name);
-  pf "dfg %s %d\n" (enc m.dfg.Dfg.name) m.dfg.Dfg.trip;
-  pf "ii %d\n" m.ii;
+(* ------------------------------------------------- DFG line serialization *)
+
+(* The DFG section ("dfg", "node", "edge" lines) is shared with the fuzz
+   corpus format (Plaid_check.Case), so a shrunk repro is a mapfile prefix. *)
+
+let dfg_to_lines (g : Dfg.t) =
+  let lines = ref [] in
+  let pf fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  pf "dfg %s %d" (enc g.Dfg.name) g.Dfg.trip;
   Array.iter
     (fun (nd : Dfg.node) ->
       let imms = String.concat "," (List.map (fun (i, c) -> Printf.sprintf "%d:%d" i c) nd.imms) in
@@ -49,18 +51,107 @@ let to_string (m : Mapping.t) =
         | None -> "-"
         | Some a -> Printf.sprintf "%s:%d:%d" (enc a.array) a.offset a.stride
       in
-      pf "node %d %s %s %s %s\n" nd.id (Op.to_string nd.op)
+      pf "node %d %s %s %s %s" nd.id (Op.to_string nd.op)
         (if imms = "" then "-" else imms)
         access (enc nd.label))
-    m.dfg.Dfg.nodes;
+    g.Dfg.nodes;
   Array.iter
-    (fun (e : Dfg.edge) -> pf "edge %d %d %d %d %d\n" e.src e.dst e.operand e.dist e.init)
-    m.dfg.Dfg.edges;
+    (fun (e : Dfg.edge) -> pf "edge %d %d %d %d %d" e.src e.dst e.operand e.dist e.init)
+    g.Dfg.edges;
+  List.rev !lines
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let op_of_string s =
+  List.find_opt
+    (fun op -> Op.to_string op = s)
+    (Op.all_compute @ [ Op.Load; Op.Store; Op.Input ])
+
+let dfg_of_lines lines =
+  let head = ref None in
+  let nodes = ref [] and edges = ref [] in
+  let parse_line line =
+    match String.split_on_char ' ' line with
+    | [ "dfg"; name; trip ] ->
+      head := Some (dec name, int_of_string trip);
+      Ok ()
+    | [ "node"; id; op; imms; access; label ] -> (
+      match op_of_string op with
+      | None -> err "unknown op %s" op
+      | Some op ->
+        let imms =
+          if imms = "-" then []
+          else
+            String.split_on_char ',' imms
+            |> List.map (fun p ->
+                   match String.split_on_char ':' p with
+                   | [ i; c ] -> (int_of_string i, int_of_string c)
+                   | _ -> failwith "bad imm")
+        in
+        let access =
+          if access = "-" then None
+          else
+            match String.split_on_char ':' access with
+            | [ arr; off; stride ] ->
+              Some
+                { Dfg.array = dec arr; offset = int_of_string off;
+                  stride = int_of_string stride }
+            | _ -> failwith "bad access"
+        in
+        nodes := (int_of_string id, op, imms, access, dec label) :: !nodes;
+        Ok ())
+    | [ "edge"; src; dst; operand; dist; init ] ->
+      edges :=
+        (int_of_string src, int_of_string dst, int_of_string operand, int_of_string dist,
+         int_of_string init)
+        :: !edges;
+      Ok ()
+    | _ -> err "unrecognized DFG line: %s" line
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | l :: rest -> (
+      match (try parse_line l with _ -> err "malformed line: %s" l) with
+      | Ok () -> all rest
+      | Error _ as e -> e)
+  in
+  let* () = all lines in
+  match !head with
+  | None -> err "missing dfg header line"
+  | Some (dname, trip) -> (
+    let b = Dfg.builder ~trip dname in
+    let sorted_nodes = List.sort compare !nodes in
+    match
+      List.iter
+        (fun (id, op, imms, access, label) ->
+          let id' = Dfg.add_node b ~imms ?access ~label op in
+          if id' <> id then failwith "node ids not dense")
+        sorted_nodes;
+      List.iter
+        (fun (src, dst, operand, dist, init) ->
+          Dfg.add_edge b ~dist ~init ~src ~dst ~operand ())
+        (List.rev !edges);
+      Dfg.finish b
+    with
+    | exception Invalid_argument msg -> err "bad DFG: %s" msg
+    | exception Failure msg -> err "bad DFG: %s" msg
+    | dfg -> Ok dfg)
+
+(* --------------------------------------------------------------- mapfile *)
+
+let to_string (m : Mapping.t) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%s\n" version;
+  pf "arch %s\n" (enc m.arch.Plaid_arch.Arch.name);
+  List.iter (fun l -> pf "%s\n" l) (dfg_to_lines m.dfg);
+  pf "ii %d\n" m.ii;
   Array.iteri (fun v t -> pf "time %d %d\n" v t) m.times;
   Array.iteri (fun v fu -> pf "place %d %d\n" v fu) m.place;
-  List.iteri
-    (fun i (r : Mapping.route_entry) ->
-      ignore i;
+  List.iter
+    (fun (r : Mapping.route_entry) ->
       let e = r.re_edge in
       let path = String.concat " " (List.map (fun (res, el) -> Printf.sprintf "%d:%d" res el) r.re_path) in
       pf "route %d %d %d %s\n" e.src e.dst e.operand (if path = "" then "-" else path))
@@ -72,21 +163,19 @@ let save m ~path =
   output_string oc (to_string m);
   close_out oc
 
-let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
-
-let err fmt = Printf.ksprintf (fun s -> Error s) fmt
-
-let op_of_string s =
-  List.find_opt
-    (fun op -> Op.to_string op = s)
-    (Op.all_compute @ [ Op.Load; Op.Store; Op.Input ])
+let is_dfg_line line =
+  let pre p =
+    let n = String.length p in
+    String.length line >= n && String.sub line 0 n = p
+  in
+  pre "dfg " || pre "node " || pre "edge "
 
 let of_string ?(validate = true) ~resolve text =
   let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
   match lines with
   | v :: rest when v = version -> (
-    let arch_name = ref None and dfg_head = ref None and ii = ref None in
-    let nodes = ref [] and edges = ref [] in
+    let dfg_lines, other = List.partition is_dfg_line rest in
+    let arch_name = ref None and ii = ref None in
     let times = Hashtbl.create 32 and places = Hashtbl.create 32 in
     let routes = ref [] in
     let parse_line line =
@@ -94,42 +183,8 @@ let of_string ?(validate = true) ~resolve text =
       | [ "arch"; name ] ->
         arch_name := Some (dec name);
         Ok ()
-      | [ "dfg"; name; trip ] ->
-        dfg_head := Some (dec name, int_of_string trip);
-        Ok ()
       | [ "ii"; v ] ->
         ii := Some (int_of_string v);
-        Ok ()
-      | [ "node"; id; op; imms; access; label ] -> (
-        match op_of_string op with
-        | None -> err "unknown op %s" op
-        | Some op ->
-          let imms =
-            if imms = "-" then []
-            else
-              String.split_on_char ',' imms
-              |> List.map (fun p ->
-                     match String.split_on_char ':' p with
-                     | [ i; c ] -> (int_of_string i, int_of_string c)
-                     | _ -> failwith "bad imm")
-          in
-          let access =
-            if access = "-" then None
-            else
-              match String.split_on_char ':' access with
-              | [ arr; off; stride ] ->
-                Some
-                  { Dfg.array = dec arr; offset = int_of_string off;
-                    stride = int_of_string stride }
-              | _ -> failwith "bad access"
-          in
-          nodes := (int_of_string id, op, imms, access, dec label) :: !nodes;
-          Ok ())
-      | [ "edge"; src; dst; operand; dist; init ] ->
-        edges :=
-          (int_of_string src, int_of_string dst, int_of_string operand, int_of_string dist,
-           int_of_string init)
-          :: !edges;
         Ok ()
       | [ "time"; v; t ] ->
         Hashtbl.replace times (int_of_string v) (int_of_string t);
@@ -156,50 +211,36 @@ let of_string ?(validate = true) ~resolve text =
         | Ok () -> all rest
         | Error _ as e -> e)
     in
-    let* () = all rest in
-    match (!arch_name, !dfg_head, !ii) with
-    | Some aname, Some (dname, trip), Some ii -> (
+    let* () = all other in
+    let* dfg = dfg_of_lines dfg_lines in
+    match (!arch_name, !ii) with
+    | Some aname, Some ii -> (
       match resolve aname with
       | None -> err "unknown architecture %s" aname
       | Some arch -> (
-        (* rebuild the DFG *)
-        let b = Dfg.builder ~trip dname in
-        let sorted_nodes = List.sort compare !nodes in
-        List.iter
-          (fun (id, op, imms, access, label) ->
-            let id' = Dfg.add_node b ~imms ?access ~label op in
-            if id' <> id then failwith "node ids not dense")
-          sorted_nodes;
-        List.iter
-          (fun (src, dst, operand, dist, init) ->
-            Dfg.add_edge b ~dist ~init ~src ~dst ~operand ())
-          (List.rev !edges);
-        match Dfg.finish b with
-        | exception Invalid_argument msg -> err "bad DFG: %s" msg
-        | dfg ->
-          let n = Dfg.n_nodes dfg in
-          let times_arr = Array.init n (fun v -> try Hashtbl.find times v with Not_found -> 0) in
-          let place_arr =
-            Array.init n (fun v -> try Hashtbl.find places v with Not_found -> -1)
-          in
-          (* reattach routes to their edges by (src, dst, operand) *)
-          let find_edge (src, dst, operand) =
-            Array.to_list dfg.Dfg.edges
-            |> List.find_opt (fun (e : Dfg.edge) ->
-                   e.src = src && e.dst = dst && e.operand = operand)
-          in
-          let rec build_routes acc = function
-            | [] -> Ok (List.rev acc)
-            | (src, dst, operand, path) :: rest -> (
-              match find_edge (src, dst, operand) with
-              | None -> err "route for unknown edge %d->%d" src dst
-              | Some e -> build_routes ({ Mapping.re_edge = e; re_path = path } :: acc) rest)
-          in
-          let* routes = build_routes [] (List.rev !routes) in
-          let m = { Mapping.arch; dfg; ii; times = times_arr; place = place_arr; routes } in
-          let* () = if validate then Mapping.validate m else Ok () in
-          Ok m))
-    | _ -> err "missing arch/dfg/ii header"
+        let n = Dfg.n_nodes dfg in
+        let times_arr = Array.init n (fun v -> try Hashtbl.find times v with Not_found -> 0) in
+        let place_arr =
+          Array.init n (fun v -> try Hashtbl.find places v with Not_found -> -1)
+        in
+        (* reattach routes to their edges by (src, dst, operand) *)
+        let find_edge (src, dst, operand) =
+          Array.to_list dfg.Dfg.edges
+          |> List.find_opt (fun (e : Dfg.edge) ->
+                 e.src = src && e.dst = dst && e.operand = operand)
+        in
+        let rec build_routes acc = function
+          | [] -> Ok (List.rev acc)
+          | (src, dst, operand, path) :: rest -> (
+            match find_edge (src, dst, operand) with
+            | None -> err "route for unknown edge %d->%d" src dst
+            | Some e -> build_routes ({ Mapping.re_edge = e; re_path = path } :: acc) rest)
+        in
+        let* routes = build_routes [] (List.rev !routes) in
+        let m = { Mapping.arch; dfg; ii; times = times_arr; place = place_arr; routes } in
+        let* () = if validate then Mapping.validate m else Ok () in
+        Ok m))
+    | _ -> err "missing arch/ii header"
   )
   | _ -> err "not a %s file" version
 

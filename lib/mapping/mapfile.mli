@@ -31,3 +31,12 @@ val of_string :
   resolve:(string -> Plaid_arch.Arch.t option) ->
   string ->
   (Mapping.t, string) result
+
+val dfg_to_lines : Plaid_ir.Dfg.t -> string list
+(** The DFG section of a mapfile ([dfg]/[node]/[edge] lines, no trailing
+    newlines).  Shared with the fuzz-corpus case format so shrunk repros
+    stay mapfile-compatible. *)
+
+val dfg_of_lines : string list -> (Plaid_ir.Dfg.t, string) result
+(** Inverse of {!dfg_to_lines}; rebuilds the DFG through the builder, so
+    the result is valid by construction or an [Error]. *)

@@ -114,6 +114,42 @@ let test_listing_renders () =
     in
     check Alcotest.bool "mentions total" true (contains s "total")
 
+(* ------------------------------------------ properties on random mappings *)
+
+(* generate + decode must hold on arbitrary mapped programs, not just the
+   suite kernels: every route step of every generated mapping decodes back
+   to its upstream resource, and the encoding stays within budget *)
+let prop_bitstream_decodes_random_mappings =
+  QCheck.Test.make ~name:"bitstream decodes routed sources on random mappings" ~count:6
+    QCheck.(make ~print:string_of_int Gen.(int_range 1 100_000))
+    (fun seed ->
+      let spec = { Plaid_ir.Generate.seed; size = 6; trip = 4 } in
+      List.for_all
+        (fun ((name, g) : string * Plaid_ir.Dfg.t) ->
+          match
+            (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed ())
+              .Driver.mapping
+          with
+          | None -> true (* feasibility is not under test *)
+          | Some m -> (
+            match Bitstream.generate m with
+            | Error e -> QCheck.Test.fail_reportf "%s: %s" name e
+            | Ok bs ->
+              Bitstream.total_bits bs <= Bitstream.budget_bits bs
+              && List.for_all
+                   (fun (r : Mapping.route_entry) ->
+                     let e = r.re_edge in
+                     let prev = ref m.Mapping.place.(e.src) in
+                     List.for_all
+                       (fun (res, elapsed) ->
+                         let slot = (m.Mapping.times.(e.src) + elapsed) mod m.Mapping.ii in
+                         let ok = Bitstream.source_of bs ~res ~slot = Some !prev in
+                         prev := res;
+                         ok)
+                       r.re_path)
+                   m.Mapping.routes))
+        (Plaid_ir.Generate.fuzz_families spec))
+
 let suites =
   [
     ( "bitstream",
@@ -124,5 +160,6 @@ let suites =
         Alcotest.test_case "per-FU opcode width" `Quick test_op_encoding_per_fu;
         Alcotest.test_case "8-bit immediate enforced" `Quick test_imm_range_enforced;
         Alcotest.test_case "listing renders" `Quick test_listing_renders;
+        Test_qc.to_alcotest prop_bitstream_decodes_random_mappings;
       ] );
   ]

@@ -138,7 +138,7 @@ let suites =
         Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
         Alcotest.test_case "in-place stencil recurrence" `Quick test_inplace_stencil_has_recurrence;
         Alcotest.test_case "reduction lanes" `Quick test_reduction_lanes;
-        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) prop_families_map_everywhere;
+        Test_qc.to_alcotest prop_families_map_everywhere;
       ] );
     ( "power-trace",
       [

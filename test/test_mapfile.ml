@@ -107,6 +107,45 @@ let test_label_encoding () =
       check Alcotest.string "label" "load 100%" (Dfg.node m'.Mapping.dfg 0).label;
       check Alcotest.string "dfg name" "odd name" m'.Mapping.dfg.Dfg.name)
 
+(* ------------------------------------------ properties on random mappings *)
+
+(* The round trip must hold for arbitrary programs, not just the fixed
+   examples above: map each generated family and require print . parse .
+   print to be the identity on the serialized bytes. *)
+let prop_roundtrip_random_mappings =
+  QCheck.Test.make ~name:"mapfile round-trips random mappings" ~count:6
+    QCheck.(make ~print:string_of_int Gen.(int_range 1 100_000))
+    (fun seed ->
+      let spec = { Plaid_ir.Generate.seed; size = 6; trip = 4 } in
+      List.for_all
+        (fun ((name, g) : string * Plaid_ir.Dfg.t) ->
+          match
+            (Driver.map ~algo:(Driver.Sa Anneal.quick) ~arch:(Lazy.force st4) ~dfg:g ~seed ())
+              .Driver.mapping
+          with
+          | None -> true (* nothing to serialize; feasibility is not under test *)
+          | Some m -> (
+            let text = Mapfile.to_string m in
+            match Mapfile.of_string ~resolve text with
+            | Error e -> QCheck.Test.fail_reportf "%s: %s" name e
+            | Ok m' -> Mapfile.to_string m' = text))
+        (Plaid_ir.Generate.fuzz_families spec))
+
+(* the bare DFG section (shared with the fuzz corpus format) is invertible
+   on every generator family, mapped or not *)
+let prop_dfg_lines_roundtrip =
+  QCheck.Test.make ~name:"dfg line serialization is invertible" ~count:12
+    QCheck.(make ~print:string_of_int Gen.(int_range 1 100_000))
+    (fun seed ->
+      let spec = { Plaid_ir.Generate.seed; size = 9; trip = 5 } in
+      List.for_all
+        (fun ((name, g) : string * Plaid_ir.Dfg.t) ->
+          let lines = Mapfile.dfg_to_lines g in
+          match Mapfile.dfg_of_lines lines with
+          | Error e -> QCheck.Test.fail_reportf "%s: %s" name e
+          | Ok g' -> Mapfile.dfg_to_lines g' = lines)
+        (Plaid_ir.Generate.fuzz_families spec))
+
 let suites =
   [
     ( "mapfile",
@@ -117,5 +156,7 @@ let suites =
         Alcotest.test_case "tampering rejected" `Quick test_tampered_placement_rejected;
         Alcotest.test_case "version guard" `Quick test_version_guard;
         Alcotest.test_case "label encoding" `Quick test_label_encoding;
+        Test_qc.to_alcotest prop_roundtrip_random_mappings;
+        Test_qc.to_alcotest prop_dfg_lines_roundtrip;
       ] );
   ]

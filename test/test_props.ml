@@ -254,7 +254,7 @@ let prop_rng_derive_pure =
 let suites =
   [
     ( "properties",
-      List.map (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250705 |]) t)
+      List.map Test_qc.to_alcotest
         [ prop_route_exact_length; prop_route_release_restores; prop_schedule_sound;
           prop_opt_preserves_semantics; prop_mapper_avoids_random_faults;
           prop_rng_streams_disjoint; prop_rng_derive_pure ]

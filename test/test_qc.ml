@@ -1,0 +1,32 @@
+(* Shared QCheck -> Alcotest bridge with a replayable seed.
+
+   Every property test in the repo draws its randomness from one seed,
+   overridable via the PLAID_QC_SEED environment variable.  On failure the
+   wrapper prints the seed so the exact run can be reproduced with
+   `PLAID_QC_SEED=<n> dune runtest`. *)
+
+let default_seed = 20250705
+
+let seed =
+  match Sys.getenv_opt "PLAID_QC_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "PLAID_QC_SEED=%S is not an integer; using %d\n%!" s default_seed;
+      default_seed)
+
+let to_alcotest cell =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) cell
+  in
+  ( name,
+    speed,
+    fun args ->
+      try run args
+      with e ->
+        Printf.eprintf
+          "property %S failed under seed %d; rerun with PLAID_QC_SEED=%d to reproduce\n%!"
+          name seed seed;
+        raise e )

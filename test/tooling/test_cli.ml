@@ -12,8 +12,11 @@
      byte-identical for -j 1 and -j 4, exit 1 with MISMATCH lines on
      stderr when unrepaired faulty mappings mis-simulate, and exit 0 in
      repair mode once every surviving mapping verifies;
-   - unknown subcommands and argument values must exit 2 with the valid
-     choices on stderr. *)
+   - `plaidc fuzz` must exit 0 on a clean campaign, produce byte-identical
+     reports at every worker count, and dump one replayable case file per
+     trial under --dump-cases;
+   - unknown subcommands, unknown flags, and out-of-range argument values
+     (negative counts, -j 0) must exit 2 with a diagnostic on stderr. *)
 
 let plaidc = Sys.argv.(1)
 
@@ -126,6 +129,29 @@ let () =
   let rc = sh "%s %s --repair --json - -j 2 > repair.json 2> repair.err" plaidc campaign in
   if rc <> 0 then fail "repair campaign: expected exit 0, got %d" rc
 
+(* --- fuzz campaigns ---------------------------------------------------- *)
+
+let () =
+  (* a clean campaign exits 0 and the report is byte-identical in -j *)
+  let rc = sh "%s fuzz --trials 10 --seed 9 -j 1 > fuzz1.out 2> fuzz1.err" plaidc in
+  if rc <> 0 then fail "fuzz campaign: expected exit 0, got %d" rc;
+  let out = read_file "fuzz1.out" in
+  if not (contains ~needle:"summary: 10 trials" out) then
+    fail "fuzz report is missing the trial summary";
+  if not (contains ~needle:"feasibility:" out) then
+    fail "fuzz report is missing the per-mapper feasibility line";
+  let _ = sh "%s fuzz --trials 10 --seed 9 -j 3 > fuzz3.out 2> /dev/null" plaidc in
+  if read_file "fuzz3.out" <> out then fail "fuzz report differs between -j 1 and -j 3";
+  (* --dump-cases writes one replayable file per trial *)
+  let rc = sh "%s fuzz --trials 3 --seed 9 --dump-cases fuzzcases > dump.out 2> dump.err" plaidc in
+  if rc <> 0 then fail "fuzz --dump-cases: expected exit 0, got %d" rc;
+  let dumped =
+    Sys.readdir "fuzzcases" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+  in
+  if List.length dumped <> 3 then
+    fail "fuzz --dump-cases wrote %d case files (want 3)" (List.length dumped)
+
 (* --- uniform bad-name handling ----------------------------------------- *)
 
 let () =
@@ -134,8 +160,23 @@ let () =
   let rc = sh "%s map -k gemm_u2 -a nosuch > arch.out 2> arch.err" plaidc in
   if rc <> 2 then fail "unknown architecture: expected exit 2, got %d" rc;
   if not (contains ~needle:"plaid" (read_file "arch.err")) then
-    fail "unknown-architecture error does not list the valid choices"
+    fail "unknown-architecture error does not list the valid choices";
+  (* bad argument values: stderr diagnostic + exit 2, uniformly *)
+  let rc = sh "%s fuzz --frobnicate > badflag.out 2> badflag.err" plaidc in
+  if rc <> 2 then fail "unknown fuzz flag: expected exit 2, got %d" rc;
+  let rc = sh "%s fuzz --trials=-3 > negt.out 2> negt.err" plaidc in
+  if rc <> 2 then fail "negative fuzz trial count: expected exit 2, got %d" rc;
+  if String.trim (read_file "negt.err") = "" then
+    fail "negative fuzz trial count printed nothing on stderr";
+  if String.trim (read_file "negt.out") <> "" then
+    fail "negative-trials diagnostic leaked to stdout";
+  let rc = sh "%s fuzz --trials 1 -j 0 > j0.out 2> j0.err" plaidc in
+  if rc <> 2 then fail "fuzz -j 0: expected exit 2, got %d" rc;
+  let rc = sh "%s faults -k gemm_u2 -a st --faults=-1 > negf.out 2> negf.err" plaidc in
+  if rc <> 2 then fail "negative fault count: expected exit 2, got %d" rc;
+  let rc = sh "%s exp table2 -j 0 > jexp.out 2> jexp.err" plaidc in
+  if rc <> 2 then fail "exp -j 0: expected exit 2, got %d" rc
 
 let () =
   if !failures > 0 then exit 1;
-  print_endline "cli gate: trace/metrics, fault campaigns, and error handling OK"
+  print_endline "cli gate: trace/metrics, fault campaigns, fuzz campaigns, and error handling OK"
