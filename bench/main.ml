@@ -190,6 +190,59 @@ let run_fault_repair () =
     "  %d fault sets: %d repaired (%d incremental)\n  repair loop  %.2fs\n  full remaps  %.2fs\n"
     (List.length sets) (List.length ok) (List.length inc) t_repair t_remap
 
+(* --- mapping cache: cold vs warm --------------------------------------- *)
+
+(* The acceptance number for Plaid_serve: mapping the full workload suite
+   through the batch service with a cold store, then again with a warm one.
+   The warm pass reads and re-verifies blobs instead of running mappers, so
+   it must be >= 10x faster; the responses must be byte-identical.  The
+   cache's own counters are printed from the service's stats so the hit/miss
+   accounting is part of the recorded output. *)
+let run_cache_cold_warm () =
+  Plaid_exp.Ascii.heading "Mapping cache: cold vs warm (full suite via plaidc-serve core)";
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_file "plaid_bench_cache" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) @@ fun () ->
+  let requests =
+    List.map
+      (fun e ->
+        Plaid_serve.Service.Map
+          { kernel = Plaid_workloads.Suite.name e; arch = "plaid"; seed = 2025;
+            deadline_ms = None })
+      Plaid_workloads.Suite.table2
+  in
+  let run_pass () =
+    (* a fresh cache per pass: pass 1 exercises compute+store, pass 2 the
+       disk tier of a separate process lifetime *)
+    let cache = Plaid_serve.Cache.create ~dir () in
+    let svc = Plaid_serve.Service.create ~cache () in
+    let resps = Plaid_serve.Service.run_batch svc requests in
+    (resps, Plaid_serve.Cache.stats cache)
+  in
+  let (cold, cold_stats), t_cold = time run_pass in
+  let (warm, warm_stats), t_warm = time run_pass in
+  let payloads rs =
+    List.map
+      (function
+        | Plaid_serve.Service.Payload { payload; _ } -> payload
+        | Plaid_serve.Service.Failure msg -> "err " ^ msg)
+      rs
+  in
+  if payloads cold <> payloads warm then
+    failwith "cache bench: warm responses differ from cold";
+  Printf.printf
+    "  %d kernels\n  cold (computed %d)  %.2fs\n  warm (disk hits %d)  %.3fs\n  speedup     %.0fx%s\n"
+    (List.length requests) cold_stats.Plaid_serve.Cache.miss t_cold
+    warm_stats.Plaid_serve.Cache.hit_disk t_warm (t_cold /. t_warm)
+    (if t_cold /. t_warm >= 10.0 then "  (>= 10x: PASS)" else "  (< 10x: FAIL)")
+
 (* --- observability overhead -------------------------------------------- *)
 
 (* Same portfolio, tracing + metrics off vs on.  Off is the shipping
@@ -220,6 +273,7 @@ let run_obs_overhead () =
 let () =
   Plaid_util.Pool.with_pool ~size:jobs run_experiments;
   run_speedup ();
+  run_cache_cold_warm ();
   run_fault_repair ();
   run_obs_overhead ();
   run_microbenches ();

@@ -4,7 +4,9 @@
      list                         show the evaluated kernel suite
      map -k <kernel> -a <arch>    compile one kernel and report the mapping
      motifs -k <kernel>           run motif generation, dump DOT with clusters
-     exp [-e <name>]              regenerate the paper's tables and figures *)
+     exp [-e <name>]              regenerate the paper's tables and figures
+     serve                        batch compile daemon over the mapping cache
+     cache <action>               operate the on-disk mapping cache *)
 
 open Cmdliner
 
@@ -274,8 +276,9 @@ let run_cmd =
       Plaid_mapping.Mapfile.load ~validate:(not no_validate) ~resolve:resolve_arch ~path:file
     with
     | Error e ->
-      Printf.eprintf "%s: %s\n" file e;
-      1
+      (* unreadable, truncated, or corrupt input: one line, uniform exit 2 *)
+      Printf.eprintf "plaidc: %s: %s\n" file e;
+      2
     | Ok m ->
       let g = m.Plaid_mapping.Mapping.dfg in
       Printf.printf "loaded %s on %s: II=%d\n" g.Plaid_ir.Dfg.name
@@ -373,6 +376,10 @@ let compile_cmd =
   let run file arch seed show_config param_values jobs trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     match Plaid_ir.Parse.kernel_of_file file with
+    | exception Sys_error msg ->
+      (* unreadable source file: same one-line, exit-2 contract as run *)
+      Printf.eprintf "plaidc: %s\n" msg;
+      2
     | Error e ->
       Format.eprintf "%s: %a@." file Plaid_ir.Parse.pp_error e;
       1
@@ -627,10 +634,21 @@ let exp_cmd =
             "Which experiment to run: table2, fig2, fig12, fig13, fig14, fig15, fig16, fig17, \
              fig18, fig19, utilization, ablations, dse, resilience, verify.  Default: all.")
   in
-  let run name seed jobs trace metrics =
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persistent mapping cache for experiment reruns: per-kernel mappings are \
+             fingerprinted and stored under $(docv), so a warm rerun skips every mapping \
+             search.  Report bytes are identical with the cache cold, warm, or absent.")
+  in
+  let run name seed jobs cache trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     with_jobs jobs @@ fun pool ->
-    let ctx = Plaid_exp.Ctx.create ~seed ~pool () in
+    let cache = Option.map (fun dir -> Plaid_serve.Cache.create ~dir ()) cache in
+    let ctx = Plaid_exp.Ctx.create ~seed ~pool ?cache () in
     match name with
     | None ->
       ignore (Plaid_exp.Experiments.all ~pool ctx);
@@ -645,18 +663,248 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ exp_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ exp_arg $ seed_arg $ jobs_arg $ cache_arg $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------- serving & cache ops *)
+
+let default_cache_dir () =
+  match Sys.getenv_opt "PLAID_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> ".plaid-cache"
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Root of the on-disk mapping cache.  Defaults to \\$PLAID_CACHE_DIR, \
+           else .plaid-cache.")
+
+let serve_cmd =
+  let mem_budget_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "mem-budget" ] ~docv:"MIB"
+          ~doc:"In-memory cache tier budget in MiB (LRU beyond it).")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of stdin/stdout; connections are \
+             served one at a time, each speaking the newline-delimited protocol.")
+  in
+  let run cache_dir mem_budget socket jobs trace metrics =
+    if mem_budget < 0 then
+      die_bad_arg ~what:"memory budget" mem_budget ~expected:"a non-negative MiB count";
+    with_obs ~trace ~metrics @@ fun () ->
+    with_jobs jobs @@ fun pool ->
+    let dir = Option.value cache_dir ~default:(default_cache_dir ()) in
+    let cache =
+      Plaid_serve.Cache.create ~mem_budget:(mem_budget * 1024 * 1024) ~dir ()
+    in
+    let svc = Plaid_serve.Service.create ~pool ~cache () in
+    let stop = Atomic.make false in
+    (* Graceful shutdown: note the request and unwind at the next safe
+       point.  The store's write-then-rename discipline means a TERM that
+       lands mid-write leaves no partial object — at worst a stale tmp
+       file that `plaidc cache gc` sweeps. *)
+    let on_signal _ =
+      Atomic.set stop true;
+      raise Exit
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    let respond oc resp = Plaid_serve.Service.write_response oc resp in
+    let handle_line oc line =
+      match Plaid_serve.Service.parse_request line with
+      | Error msg ->
+        respond oc (Plaid_serve.Service.Failure msg);
+        `Continue
+      | Ok Plaid_serve.Service.Quit ->
+        respond oc (Plaid_serve.Service.handle svc Plaid_serve.Service.Quit);
+        `Stop
+      | Ok req ->
+        respond oc (Plaid_serve.Service.handle svc req);
+        `Continue
+    in
+    let read_batch ic n =
+      let rec go acc i =
+        if i = 0 then List.rev acc
+        else
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> go (line :: acc) (i - 1)
+      in
+      go [] n
+    in
+    let serve_channels ic oc =
+      let rec loop () =
+        if Atomic.get stop then ()
+        else
+          match input_line ic with
+          | exception End_of_file -> ()
+          | line -> (
+            let line = String.trim line in
+            if line = "" then loop ()
+            else
+              match String.split_on_char ' ' line with
+              | [ "batch"; n ] -> (
+                match int_of_string_opt n with
+                | None | Some 0 ->
+                  respond oc (Plaid_serve.Service.Failure "batch needs a positive count");
+                  loop ()
+                | Some n when n < 0 ->
+                  respond oc (Plaid_serve.Service.Failure "batch needs a positive count");
+                  loop ()
+                | Some n ->
+                  (* parse every line first; a bad line answers err without
+                     sinking the rest of the batch *)
+                  let parsed =
+                    List.map Plaid_serve.Service.parse_request (read_batch ic n)
+                  in
+                  let reqs =
+                    List.filter_map (function Ok r -> Some r | Error _ -> None) parsed
+                  in
+                  let results = ref (Plaid_serve.Service.run_batch svc reqs) in
+                  List.iter
+                    (fun p ->
+                      match p with
+                      | Error msg -> respond oc (Plaid_serve.Service.Failure msg)
+                      | Ok _ -> (
+                        match !results with
+                        | r :: rest ->
+                          results := rest;
+                          respond oc r
+                        | [] -> ()))
+                    parsed;
+                  loop ())
+              | _ -> (
+                match handle_line oc line with
+                | `Continue -> loop ()
+                | `Stop -> ()))
+      in
+      loop ()
+    in
+    let finish () =
+      let s = Plaid_serve.Cache.stats cache in
+      Printf.eprintf
+        "serve: %d requests (%d mem hits, %d disk hits, %d misses, %d coalesced)\n%!"
+        Plaid_serve.Cache.(s.hit_mem + s.hit_disk + s.miss + s.coalesced)
+        s.Plaid_serve.Cache.hit_mem s.Plaid_serve.Cache.hit_disk
+        s.Plaid_serve.Cache.miss s.Plaid_serve.Cache.coalesced
+    in
+    (match socket with
+    | None ->
+      Printf.eprintf "plaidc serve: cache %s, %d workers, reading stdin\n%!" dir
+        (Plaid_util.Pool.size pool);
+      (try serve_channels stdin stdout with Exit -> ())
+    | Some path ->
+      (try Sys.remove path with Sys_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 8;
+          Printf.eprintf "plaidc serve: cache %s, %d workers, listening on %s\n%!" dir
+            (Plaid_util.Pool.size pool) path;
+          let rec accept_loop () =
+            if not (Atomic.get stop) then begin
+              match Unix.accept fd with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+              | cfd, _ ->
+                let ic = Unix.in_channel_of_descr cfd in
+                let oc = Unix.out_channel_of_descr cfd in
+                (try serve_channels ic oc
+                 with Exit -> Atomic.set stop true);
+                (try flush oc with Sys_error _ -> ());
+                (try Unix.close cfd with Unix.Unix_error _ -> ());
+                accept_loop ()
+            end
+          in
+          try accept_loop () with Exit -> ()));
+    finish ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch compile service: newline-delimited map/compile/case/stats/evict \
+          requests against the content-addressed mapping cache")
+    Term.(
+      const run $ cache_dir_arg $ mem_budget_arg $ socket_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
+
+let cache_cmd =
+  let actions = [ "stats"; "gc"; "clear"; "verify" ] in
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:(Printf.sprintf "One of %s." (String.concat ", " actions)))
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"N"
+          ~doc:"gc only: evict oldest entries until the store fits $(docv) bytes.")
+  in
+  let run action cache_dir max_bytes =
+    let dir = Option.value cache_dir ~default:(default_cache_dir ()) in
+    let store = Plaid_serve.Store.open_dir dir in
+    match action with
+    | "stats" ->
+      let s = Plaid_serve.Store.stats store in
+      Printf.printf "cache %s: %d entries, %d bytes\n" dir s.Plaid_serve.Store.entries
+        s.Plaid_serve.Store.bytes;
+      0
+    | "verify" ->
+      let r = Plaid_serve.Store.verify store in
+      Printf.printf "cache %s: %d live entries, %d corrupt, %d stale tmp files\n" dir
+        r.Plaid_serve.Store.v_live
+        (List.length r.Plaid_serve.Store.v_corrupt)
+        r.Plaid_serve.Store.v_tmp;
+      List.iter (Printf.eprintf "corrupt: %s\n") r.Plaid_serve.Store.v_corrupt;
+      if r.Plaid_serve.Store.v_corrupt = [] then 0 else 1
+    | "gc" ->
+      let r = Plaid_serve.Store.gc ?max_bytes store in
+      Printf.printf
+        "cache %s: removed %d corrupt entries and %d tmp files, evicted %d, %d bytes live\n"
+        dir r.Plaid_serve.Store.g_corrupt r.Plaid_serve.Store.g_tmp
+        r.Plaid_serve.Store.g_evicted r.Plaid_serve.Store.g_bytes;
+      0
+    | "clear" ->
+      let n = Plaid_serve.Store.clear store in
+      Printf.printf "cache %s: removed %d files\n" dir n;
+      0
+    | other -> die_unknown ~what:"cache action" other actions
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Operate the on-disk mapping cache: stats, gc, clear, verify")
+    Term.(const run $ action_arg $ cache_dir_arg $ max_bytes_arg)
 
 let () =
   let info =
-    Cmd.info "plaidc" ~version:"1.0"
+    (* The version doubles as the cache fingerprint salt: a release that
+       changes mapping semantics changes this string, which invalidates
+       every cached mapping at the key level. *)
+    Cmd.info "plaidc" ~version:Plaid_serve.Fingerprint.version
       ~doc:"Plaid CGRA toolchain: motif-based hierarchical mapping, baselines, evaluation"
   in
   let code =
     Cmd.eval'
       (Cmd.group info
          [ list_cmd; map_cmd; run_cmd; motifs_cmd; compile_cmd; rtl_cmd; faults_cmd;
-           fuzz_cmd; exp_cmd ])
+           fuzz_cmd; exp_cmd; serve_cmd; cache_cmd ])
   in
   (* Cmdliner reports unknown subcommands and malformed flags with its own
      CLI-error code; fold that into the uniform "bad name -> exit 2"

@@ -246,6 +246,37 @@ let config_bits_per_entry t = t.config.compute_bits + t.config.comm_bits
 
 let set_config t config = { t with config }
 
+(* Canonical structural dump for cache fingerprinting: everything a mapper
+   can observe — resources, links, config profile, routethrough policy, and
+   the attached fault set (sorted, so list order cannot split a cache).
+   Derived tables (out_links, f_res, ...) are functions of these and are
+   deliberately omitted. *)
+let fingerprint_lines t =
+  let lines = ref [] in
+  let pf fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  pf "arch %s" t.name;
+  pf "config %d %d %d %c" t.config.compute_bits t.config.comm_bits t.config.entries
+    (if t.config.clock_gated then 'g' else '-');
+  pf "routethrough %c" (if t.allow_fu_routethrough then 'y' else 'n');
+  Array.iter
+    (fun r ->
+      let kind =
+        match r.kind with
+        | Port -> "port"
+        | Reg -> "reg"
+        | Fu f ->
+          Printf.sprintf "fu[%s]%s"
+            (String.concat "," (List.map Plaid_ir.Op.to_string f.fu_ops))
+            (if f.fu_memory then "+mem" else "")
+      in
+      pf "res %d %s %s (%d,%d) %s" r.id r.rname kind (fst r.tile) (snd r.tile)
+        r.area_class)
+    t.resources;
+  Array.iter (fun l -> pf "link %d %d %d" l.lsrc l.ldst l.latency) t.links;
+  List.iter (fun f -> pf "fault %s" f)
+    (List.sort compare (List.map (fault_to_string t) t.faults));
+  List.rev !lines
+
 let pp_summary fmt t =
   let count k = Array.to_list t.resources |> List.filter (fun r -> r.kind = k) |> List.length in
   Format.fprintf fmt "%s: %d FUs (%d memory-capable), %d ports, %d regs, %d links, %d cfg bits/entry"

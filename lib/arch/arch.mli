@@ -156,4 +156,11 @@ val spm_faulty : t -> string -> bool
 
 val fault_to_string : t -> fault -> string
 
+val fingerprint_lines : t -> string list
+(** Canonical, process-stable structural description — name, config
+    profile, routethrough policy, every resource and link, and the
+    attached fault set (sorted).  Two architectures with equal lines are
+    indistinguishable to every mapper; the mapping-cache fingerprints
+    ({!Plaid_serve.Fingerprint}) digest exactly this. *)
+
 val pp_summary : Format.formatter -> t -> unit

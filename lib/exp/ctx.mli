@@ -10,10 +10,23 @@
 
 type t
 
-val create : ?seed:int -> ?outer:int -> ?pool:Plaid_util.Pool.t -> unit -> t
+val create :
+  ?seed:int ->
+  ?outer:int ->
+  ?pool:Plaid_util.Pool.t ->
+  ?cache:Plaid_serve.Cache.t ->
+  unit ->
+  t
 (** [?pool] is forwarded to the baseline mapper portfolio ([Driver.best_of])
     and the generic-mapper II search; mapping results are identical for any
-    pool size (see {!Plaid_mapping.Driver}). *)
+    pool size (see {!Plaid_mapping.Driver}).
+
+    [?cache] attaches a persistent mapping cache: every per-kernel mapping
+    is keyed by its semantic fingerprint ({!Plaid_serve.Fingerprint}) and
+    served from the cache when warm.  Experiment reports are byte-identical
+    with the cache cold, warm, or absent — mappings travel through the
+    exact mapfile blob round-trip in all cached cases, and the determinism
+    gate enforces the equality. *)
 
 val outer : t -> int
 

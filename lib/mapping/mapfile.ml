@@ -158,8 +158,10 @@ let to_string (m : Mapping.t) =
     m.routes;
   Buffer.contents buf
 
+(* Binary channels both ways: a mapfile doubles as a cache blob, and blob
+   round-trips must be byte-exact. *)
 let save m ~path =
-  let oc = open_out path in
+  let oc = open_out_bin path in
   output_string oc (to_string m);
   close_out oc
 
@@ -246,7 +248,7 @@ let of_string ?(validate = true) ~resolve text =
 
 (* all following arguments are labeled, so [?validate] can never be erased *)
 let[@warning "-16"] load ?validate ~resolve ~path =
-  match open_in path with
+  match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic ->
     let n = in_channel_length ic in

@@ -12,6 +12,11 @@
     builders, so the name suffices (the paper's flow likewise keeps
     hardware and configuration separate). *)
 
+val version : string
+(** Format version header ([plaidmap-1]).  The mapping cache folds this
+    into its compiler-version salt so a format bump invalidates every
+    stored blob. *)
+
 val save : Mapping.t -> path:string -> unit
 
 val to_string : Mapping.t -> string

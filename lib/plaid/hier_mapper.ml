@@ -473,7 +473,13 @@ let map_hier ?(params = default) ~plaid ~hier ~seed dfg =
   in
   attempt mii
 
-let map ?(params = default) ~plaid ~seed dfg =
+(* The motif cover is a cheap deterministic function of (seed, dfg); it is
+   exposed so a mapping-cache hit can rebuild the full outcome without
+   re-running the anneal. *)
+let default_hier ~seed dfg =
   let rng = Plaid_util.Rng.create ((seed * 31) + 17) in
-  let hier = Motif_gen.generate ~rng dfg in
+  Motif_gen.generate ~rng dfg
+
+let map ?(params = default) ~plaid ~seed dfg =
+  let hier = default_hier ~seed dfg in
   map_hier ~params ~plaid ~hier ~seed dfg

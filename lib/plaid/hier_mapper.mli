@@ -34,6 +34,11 @@ type outcome = {
   mii : int;
 }
 
+val default_hier : seed:int -> Plaid_ir.Dfg.t -> Motif_gen.hier
+(** The motif cover {!map} would generate for this seed — deterministic
+    and cheap relative to the anneal, so cache hits can reconstruct an
+    {!outcome} (cover, MII) around a stored mapping. *)
+
 val map :
   ?params:params -> plaid:Pcu.t -> seed:int -> Plaid_ir.Dfg.t -> outcome
 

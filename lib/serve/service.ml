@@ -1,0 +1,270 @@
+let m_requests = Plaid_obs.Metrics.counter "serve_requests"
+let m_errors = Plaid_obs.Metrics.counter "serve_errors"
+let m_deadline = Plaid_obs.Metrics.counter "serve_deadline_exceeded"
+let h_request_ms = Plaid_obs.Metrics.histogram "serve_request_ms"
+
+(* The same fabrics, by the same names, as `plaidc map -a`: responses must
+   be byte-identical to what the one-shot CLI writes. *)
+let arch_names = [ "st"; "st6"; "stml"; "plaid"; "plaid3"; "plaidml" ]
+
+let build_fabric = function
+  | "st" ->
+    Some (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st_4x4", None)
+  | "st6" ->
+    Some (Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_6x6 ~name:"st_6x6", None)
+  | "stml" -> Some (Plaid_core.Specialize.st_ml (), None)
+  | "plaid" ->
+    let p = Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"plaid_2x2" () in
+    Some (p.Plaid_core.Pcu.arch, Some p)
+  | "plaid3" ->
+    let p = Plaid_core.Pcu.build ~rows:3 ~cols:3 ~name:"plaid_3x3" () in
+    Some (p.Plaid_core.Pcu.arch, Some p)
+  | "plaidml" ->
+    let p = Plaid_core.Specialize.plaid_ml () in
+    Some (p.Plaid_core.Pcu.arch, Some p)
+  | _ -> None
+
+type t = {
+  cache : Cache.t;
+  pool : Plaid_util.Pool.t option;
+  fabrics : (string * (Plaid_arch.Arch.t * Plaid_core.Pcu.t option)) list;
+}
+
+let create ?pool ~cache () =
+  (* eager: pool tasks must never force a shared lazy concurrently *)
+  let fabrics =
+    List.map (fun n -> (n, Option.get (build_fabric n))) arch_names
+  in
+  { cache; pool; fabrics }
+
+let cache t = t.cache
+
+type request =
+  | Map of { kernel : string; arch : string; seed : int; deadline_ms : int option }
+  | Compile of { file : string; arch : string; seed : int; deadline_ms : int option }
+  | Case of { file : string; deadline_ms : int option }
+  | Stats
+  | Evict of [ `All | `Key of string ]
+  | Quit
+
+type response =
+  | Payload of { source : Cache.source option; payload : string }
+  | Failure of string
+
+(* ------------------------------------------------------- request parsing *)
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let parse_kv args =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+      match String.index_opt tok '=' with
+      | Some i when i > 0 ->
+        go ((String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)) :: acc) rest
+      | _ -> err "malformed argument %S (want key=value)" tok)
+  in
+  go [] args
+
+let get_int kv key ~default =
+  match List.assoc_opt key kv with
+  | None -> Ok default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> err "argument %s=%S is not an integer" key v)
+
+let get_deadline kv =
+  match List.assoc_opt "deadline-ms" kv with
+  | None -> Ok None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n > 0 -> Ok (Some n)
+    | Some n -> err "deadline-ms=%d must be positive" n
+    | None -> err "argument deadline-ms=%S is not an integer" v)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let known kv allowed =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kv with
+  | Some (k, _) -> err "unknown argument %s" k
+  | None -> Ok ()
+
+let parse_request line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> Error "empty request"
+  | "map" :: args ->
+    let* kv = parse_kv args in
+    let* () = known kv [ "kernel"; "arch"; "seed"; "deadline-ms" ] in
+    let* seed = get_int kv "seed" ~default:2025 in
+    let* deadline_ms = get_deadline kv in
+    (match List.assoc_opt "kernel" kv with
+    | None -> Error "map needs kernel=<name>"
+    | Some kernel ->
+      let arch = Option.value (List.assoc_opt "arch" kv) ~default:"plaid" in
+      Ok (Map { kernel; arch; seed; deadline_ms }))
+  | "compile" :: args ->
+    let* kv = parse_kv args in
+    let* () = known kv [ "file"; "arch"; "seed"; "deadline-ms" ] in
+    let* seed = get_int kv "seed" ~default:2025 in
+    let* deadline_ms = get_deadline kv in
+    (match List.assoc_opt "file" kv with
+    | None -> Error "compile needs file=<kernel.k>"
+    | Some file ->
+      let arch = Option.value (List.assoc_opt "arch" kv) ~default:"plaid" in
+      Ok (Compile { file; arch; seed; deadline_ms }))
+  | "case" :: args ->
+    let* kv = parse_kv args in
+    let* () = known kv [ "file"; "deadline-ms" ] in
+    let* deadline_ms = get_deadline kv in
+    (match List.assoc_opt "file" kv with
+    | None -> Error "case needs file=<corpus.case>"
+    | Some file -> Ok (Case { file; deadline_ms }))
+  | [ "stats" ] -> Ok Stats
+  | [ "evict"; "all" ] -> Ok (Evict `All)
+  | "evict" :: args ->
+    let* kv = parse_kv args in
+    let* () = known kv [ "key" ] in
+    (match List.assoc_opt "key" kv with
+    | Some k -> Ok (Evict (`Key k))
+    | None -> Error "evict needs 'all' or key=<hex>")
+  | [ "quit" ] -> Ok Quit
+  | cmd :: _ -> err "unknown request %s (choose from map, compile, case, stats, evict, quit)" cmd
+
+(* ------------------------------------------------------------- compute *)
+
+(* Negative results (mapper found nothing) are cached as the empty blob:
+   deterministic failures are as cacheable as successes, and a replayed
+   corpus is all hits on the second pass either way. *)
+let blob_of_mapping = function
+  | None -> ""
+  | Some m -> Plaid_mapping.Mapfile.to_string m
+
+let map_on_fabric ~arch ~pcu ~dfg ~seed =
+  match pcu with
+  | Some plaid ->
+    (Plaid_core.Hier_mapper.map ~plaid ~seed dfg).Plaid_core.Hier_mapper.mapping
+  | None ->
+    (Plaid_mapping.Driver.best_of
+       ~algos:
+         [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.default;
+           Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.default ]
+       ~arch ~dfg ~seed ())
+      .Plaid_mapping.Driver.mapping
+
+let mapper_name ~pcu =
+  match pcu with Some _ -> "hier:default" | None -> "best_of:pf+sa:default"
+
+(* Resolve a request down to (key, compute) — everything except the mapping
+   itself, so batches can dedupe before burning a worker. *)
+let prepare t = function
+  | Map { kernel; arch; seed; _ } -> (
+    match Plaid_workloads.Suite.find kernel with
+    | exception Not_found -> Error (Printf.sprintf "unknown kernel %s" kernel)
+    | entry -> (
+      match List.assoc_opt arch t.fabrics with
+      | None ->
+        Error
+          (Printf.sprintf "unknown architecture %s (choose from %s)" arch
+             (String.concat ", " arch_names))
+      | Some (a, pcu) ->
+        let dfg = Plaid_workloads.Suite.dfg entry in
+        let key = Fingerprint.key ~dfg ~arch:a ~mapper:(mapper_name ~pcu) ~seed in
+        Ok (key, fun () -> blob_of_mapping (map_on_fabric ~arch:a ~pcu ~dfg ~seed))))
+  | Compile { file; arch; seed; _ } -> (
+    match Plaid_ir.Parse.kernel_of_file file with
+    | exception Sys_error msg -> Error msg
+    | Error e -> Error (Format.asprintf "%s: %a" file Plaid_ir.Parse.pp_error e)
+    | Ok kernel -> (
+      match List.assoc_opt arch t.fabrics with
+      | None ->
+        Error
+          (Printf.sprintf "unknown architecture %s (choose from %s)" arch
+             (String.concat ", " arch_names))
+      | Some (a, pcu) ->
+        let dfg, _ = Plaid_ir.Opt.optimize (Plaid_ir.Lower.lower kernel) in
+        let key = Fingerprint.key ~dfg ~arch:a ~mapper:(mapper_name ~pcu) ~seed in
+        Ok (key, fun () -> blob_of_mapping (map_on_fabric ~arch:a ~pcu ~dfg ~seed))))
+  | Case { file; _ } -> (
+    match Plaid_check.Case.load ~path:file with
+    | Error e -> Error (Printf.sprintf "%s: %s" file e)
+    | Ok c -> (
+      match Plaid_check.Case.build c with
+      | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" file msg)
+      | arch, pcu ->
+        let dfg = c.Plaid_check.Case.dfg in
+        let seed = c.Plaid_check.Case.seed in
+        let key = Fingerprint.key ~dfg ~arch ~mapper:(mapper_name ~pcu) ~seed in
+        Ok (key, fun () -> blob_of_mapping (map_on_fabric ~arch ~pcu ~dfg ~seed))))
+  | Stats | Evict _ | Quit -> Error "not a compile request"
+
+let deadline_of = function
+  | Map { deadline_ms; _ } | Compile { deadline_ms; _ } | Case { deadline_ms; _ } ->
+    deadline_ms
+  | Stats | Evict _ | Quit -> None
+
+let handle t req =
+  Plaid_obs.Metrics.incr m_requests;
+  let t0 = Plaid_obs.Trace.Clock.now_ns () in
+  let finish resp =
+    Plaid_obs.Metrics.observe h_request_ms
+      (Plaid_obs.Trace.Clock.seconds_since t0 *. 1000.0);
+    (match resp with
+    | Failure _ -> Plaid_obs.Metrics.incr m_errors
+    | Payload _ -> ());
+    resp
+  in
+  finish
+  @@ Plaid_obs.Trace.with_span ~cat:"serve" "request"
+  @@ fun () ->
+  match req with
+  | Stats ->
+    Payload
+      { source = None;
+        payload = Format.asprintf "%a" Cache.pp_stats (Cache.stats t.cache) }
+  | Evict `All ->
+    Cache.evict_all t.cache;
+    Payload { source = None; payload = "evicted all" }
+  | Evict (`Key k) -> (
+    match Cache.evict t.cache ~key:k with
+    | () -> Payload { source = None; payload = "evicted " ^ k }
+    | exception Invalid_argument msg -> Failure msg)
+  | Quit -> Payload { source = None; payload = "bye" }
+  | (Map _ | Compile _ | Case _) as req -> (
+    match prepare t req with
+    | Error msg -> Failure msg
+    | Ok (key, compute) -> (
+      let blob, source = Cache.get_or_compute t.cache ~key (fun () -> Some (compute ())) in
+      let over_deadline =
+        match deadline_of req with
+        | None -> false
+        | Some ms -> Plaid_obs.Trace.Clock.seconds_since t0 *. 1000.0 > float_of_int ms
+      in
+      if over_deadline then begin
+        Plaid_obs.Metrics.incr m_deadline;
+        Failure "deadline exceeded"
+      end
+      else
+        match blob with
+        | None | Some "" -> Failure "no mapping"
+        | Some payload -> Payload { source = Some source; payload }))
+
+let run_batch t reqs =
+  let tasks = List.map (fun r () -> handle t r) reqs in
+  match t.pool with
+  | Some pool -> Plaid_util.Pool.run pool tasks
+  | None -> List.map (fun f -> f ()) tasks
+
+let write_response oc resp =
+  (match resp with
+  | Payload { source; payload } ->
+    let tag =
+      match source with
+      | None -> ""
+      | Some s -> " source=" ^ Cache.source_to_string s
+    in
+    Printf.fprintf oc "ok %d%s\n" (String.length payload) tag;
+    output_string oc payload;
+    output_char oc '\n'
+  | Failure msg -> Printf.fprintf oc "err %s\n" msg);
+  flush oc

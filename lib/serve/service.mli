@@ -1,0 +1,73 @@
+(** The batch compile service behind [plaidc serve].
+
+    Requests name work (a suite kernel on a named fabric, a kernel source
+    file, or a fuzz-corpus case file); the service fingerprints the request
+    ({!Fingerprint}), consults the two-tier {!Cache} with single-flight
+    coalescing, and answers with the mapping object blob — byte-identical
+    to what [plaidc map -o] writes for the same request, so clients can
+    feed responses straight to [plaidc run].
+
+    {2 Line protocol}
+
+    One request per line, space-separated [key=value] arguments:
+
+    {v
+    map kernel=<name> arch=<st|st6|stml|plaid|plaid3|plaidml> [seed=<n>] [deadline-ms=<n>]
+    compile file=<kernel.k> [arch=<plaid|st>] [seed=<n>] [deadline-ms=<n>]
+    case file=<corpus.case> [deadline-ms=<n>]
+    stats
+    evict all | evict key=<hex>
+    quit
+    v}
+
+    Replies are framed so payloads may contain anything:
+
+    {v
+    ok <len> [source=<mem|disk|compute|coalesced>]\n<len payload bytes>\n
+    err <message>\n
+    v}
+
+    A request whose mapper finds no mapping answers [err no mapping]; the
+    negative result is cached like any other blob (as an empty payload),
+    so repeats are hits.  Deadlines are cooperative: the elapsed time is
+    checked when the mapping is ready, and a late response is replaced by
+    [err deadline exceeded] (the blob still enters the cache for the next
+    caller). *)
+
+type t
+
+val create : ?pool:Plaid_util.Pool.t -> cache:Cache.t -> unit -> t
+(** Builds the named fabrics eagerly (so pool tasks never race a lazy) and
+    keeps [pool] for {!run_batch}. *)
+
+val cache : t -> Cache.t
+
+type request =
+  | Map of { kernel : string; arch : string; seed : int; deadline_ms : int option }
+  | Compile of { file : string; arch : string; seed : int; deadline_ms : int option }
+  | Case of { file : string; deadline_ms : int option }
+  | Stats
+  | Evict of [ `All | `Key of string ]
+  | Quit
+
+val parse_request : string -> (request, string) result
+
+type response =
+  | Payload of { source : Cache.source option; payload : string }
+      (** [source] is [None] for administrative replies (stats, evict) *)
+  | Failure of string
+
+val handle : t -> request -> response
+(** Serve one request on the calling domain ([Quit] answers [ok 0]). *)
+
+val run_batch : t -> request list -> response list
+(** Serve a batch: every request becomes a pool task (sequential without a
+    pool), so a mixed batch fills all workers while identical requests
+    coalesce down to one mapping.  Responses come back in request order
+    regardless of execution interleaving. *)
+
+val write_response : out_channel -> response -> unit
+(** Emit the wire framing described above (flushes). *)
+
+val arch_names : string list
+(** Fabric names [map] accepts — the same set [plaidc map -a] resolves. *)

@@ -1,0 +1,177 @@
+let magic = "plaidblob-1"
+
+let corrupt_counter = Plaid_obs.Metrics.counter "cache_corrupt"
+
+type t = { root : string }
+
+let ensure_dir d = if not (Sys.file_exists d) then (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+
+let objects_dir t = Filename.concat t.root "objects"
+
+let tmp_dir t = Filename.concat t.root "tmp"
+
+let open_dir root =
+  let t = { root } in
+  ensure_dir root;
+  ensure_dir (objects_dir t);
+  ensure_dir (tmp_dir t);
+  t
+
+let root t = t.root
+
+let valid_key k =
+  String.length k >= 2
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) k
+
+let shard t key = Filename.concat (objects_dir t) (String.sub key 0 2)
+
+let path t ~key =
+  if not (valid_key key) then invalid_arg ("Store.path: bad key " ^ key);
+  Filename.concat (shard t key) key
+
+type read = Hit of string | Miss | Corrupt
+
+(* Verify an object file end to end; never raises on bad content. *)
+let read_object file =
+  match open_in_bin file with
+  | exception Sys_error _ -> Miss
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    (match input_line ic with
+    | exception End_of_file -> Corrupt
+    | header -> (
+      match String.split_on_char ' ' header with
+      | [ m; digest; len ] when m = magic -> (
+        match int_of_string_opt len with
+        | None -> Corrupt
+        | Some len -> (
+          match really_input_string ic len with
+          | exception End_of_file -> Corrupt
+          | payload ->
+            (* trailing garbage is as suspect as truncation *)
+            if in_channel_length ic > pos_in ic then Corrupt
+            else if Digest.to_hex (Digest.string payload) <> digest then Corrupt
+            else Hit payload))
+      | _ -> Corrupt))
+
+let get t ~key =
+  match read_object (path t ~key) with
+  | Corrupt ->
+    Plaid_obs.Metrics.incr corrupt_counter;
+    Corrupt
+  | r -> r
+
+(* Unique-enough temp names: pid for cross-process, a counter for
+   within-process concurrency. *)
+let tmp_counter = Atomic.make 0
+
+let put t ~key payload =
+  let final = path t ~key in
+  ensure_dir (shard t key);
+  let tmp =
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "%d.%d.tmp" (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1))
+  in
+  let oc = open_out_bin tmp in
+  output_string oc
+    (Printf.sprintf "%s %s %d\n" magic
+       (Digest.to_hex (Digest.string payload))
+       (String.length payload));
+  output_string oc payload;
+  close_out oc;
+  Sys.rename tmp final
+
+let delete t ~key =
+  let file = path t ~key in
+  if Sys.file_exists file then Sys.remove file
+
+let list_objects t =
+  let objs = objects_dir t in
+  let shards =
+    match Sys.readdir objs with exception Sys_error _ -> [||] | a -> a
+  in
+  Array.sort compare shards;
+  Array.to_list shards
+  |> List.concat_map (fun shard ->
+         let dir = Filename.concat objs shard in
+         match Sys.readdir dir with
+         | exception Sys_error _ -> []
+         | files ->
+           Array.sort compare files;
+           Array.to_list files |> List.map (fun f -> (f, Filename.concat dir f)))
+
+let iter t f = List.iter (fun (key, _) -> f key) (list_objects t)
+
+type stats = { entries : int; bytes : int }
+
+let file_size file = match Unix.stat file with
+  | exception Unix.Unix_error _ -> 0
+  | st -> st.Unix.st_size
+
+let stats t =
+  List.fold_left
+    (fun acc (_, file) -> { entries = acc.entries + 1; bytes = acc.bytes + file_size file })
+    { entries = 0; bytes = 0 } (list_objects t)
+
+let list_tmp t =
+  match Sys.readdir (tmp_dir t) with
+  | exception Sys_error _ -> []
+  | files -> Array.to_list files |> List.map (Filename.concat (tmp_dir t))
+
+type verify_report = { v_live : int; v_corrupt : string list; v_tmp : int }
+
+let verify t =
+  let live = ref 0 and corrupt = ref [] in
+  List.iter
+    (fun (key, file) ->
+      match read_object file with
+      | Hit _ -> incr live
+      | Miss | Corrupt -> corrupt := key :: !corrupt)
+    (list_objects t);
+  { v_live = !live; v_corrupt = List.rev !corrupt; v_tmp = List.length (list_tmp t) }
+
+type gc_report = { g_corrupt : int; g_tmp : int; g_evicted : int; g_bytes : int }
+
+let gc ?max_bytes t =
+  let tmp = list_tmp t in
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) tmp;
+  let live = ref [] and corrupt = ref 0 in
+  List.iter
+    (fun (_key, file) ->
+      match read_object file with
+      | Hit _ ->
+        let mtime = match Unix.stat file with
+          | exception Unix.Unix_error _ -> 0.0
+          | st -> st.Unix.st_mtime
+        in
+        live := (mtime, file, file_size file) :: !live
+      | Miss | Corrupt ->
+        incr corrupt;
+        (try Sys.remove file with Sys_error _ -> ()))
+    (list_objects t);
+  (* oldest first, so budget eviction drops the stalest entries *)
+  let live = List.sort compare !live in
+  let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 live in
+  let evicted = ref 0 in
+  let remaining = ref total in
+  (match max_bytes with
+  | None -> ()
+  | Some budget ->
+    List.iter
+      (fun (_, file, sz) ->
+        if !remaining > budget then begin
+          (try Sys.remove file with Sys_error _ -> ());
+          incr evicted;
+          remaining := !remaining - sz
+        end)
+      live);
+  { g_corrupt = !corrupt; g_tmp = List.length tmp; g_evicted = !evicted;
+    g_bytes = !remaining }
+
+let clear t =
+  let n = ref 0 in
+  List.iter
+    (fun (_, file) -> try Sys.remove file; incr n with Sys_error _ -> ())
+    (list_objects t);
+  List.iter (fun f -> try Sys.remove f; incr n with Sys_error _ -> ()) (list_tmp t);
+  !n

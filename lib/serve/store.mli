@@ -1,0 +1,74 @@
+(** Content-addressed on-disk blob store: the cache's durable tier.
+
+    Layout under the root directory:
+
+    {v
+    <root>/objects/<k0k1>/<key>     one blob per key (sharded by prefix)
+    <root>/tmp/<pid>.<n>.tmp        in-flight writes
+    v}
+
+    Each object file is a one-line header ["plaidblob-1 <md5> <len>"]
+    followed by exactly [len] payload bytes.  {!get} re-checks both the
+    length and the digest, so a truncated, bit-flipped, or foreign file is
+    reported as {!read.Corrupt} — callers treat it as a miss; the store
+    never raises on bad data.
+
+    Writes are write-then-rename: the blob is fully written and closed
+    under [tmp/], then atomically renamed into place.  A reader therefore
+    never observes a partial object, concurrent writers of the same key
+    settle on one complete blob (last rename wins; contents are equal by
+    construction since keys are content fingerprints), and a process
+    killed mid-write leaves at worst a stale [tmp/] file that {!gc}
+    sweeps. *)
+
+type t
+
+val open_dir : string -> t
+(** Open (creating directories as needed) a store rooted at the path. *)
+
+val root : t -> string
+
+val path : t -> key:string -> string
+(** Where the blob for [key] lives (whether or not it exists yet) —
+    exposed for tests and operational tooling.
+    @raise Invalid_argument on keys that are not lowercase hex. *)
+
+type read =
+  | Hit of string  (** verified payload *)
+  | Miss
+  | Corrupt  (** present but failed verification; counted in
+                 the [cache_corrupt] metric *)
+
+val get : t -> key:string -> read
+
+val put : t -> key:string -> string -> unit
+(** Durably store [payload] under [key] (atomic write-then-rename). *)
+
+val delete : t -> key:string -> unit
+
+val iter : t -> (string -> unit) -> unit
+(** Apply to every stored key (live and corrupt alike), in sorted order. *)
+
+type stats = { entries : int; bytes : int }
+
+val stats : t -> stats
+(** Object count and total file bytes (headers included); does not verify. *)
+
+type verify_report = {
+  v_live : int;  (** entries whose digest and length check out *)
+  v_corrupt : string list;  (** keys that failed verification, sorted *)
+  v_tmp : int;  (** stale temporary files (interrupted writes) *)
+}
+
+val verify : t -> verify_report
+(** Full scan: re-read and re-digest every entry. *)
+
+type gc_report = { g_corrupt : int; g_tmp : int; g_evicted : int; g_bytes : int }
+
+val gc : ?max_bytes:int -> t -> gc_report
+(** Remove corrupt entries and stale temporaries; with [~max_bytes], also
+    evict oldest-modified live entries until the store fits the budget.
+    Returns what was removed and the live bytes remaining. *)
+
+val clear : t -> int
+(** Delete every object and temporary; returns the number removed. *)

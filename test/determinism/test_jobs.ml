@@ -60,9 +60,9 @@ let selection =
     (fun (name, _) -> List.mem name [ "table2"; "fig13"; "dse" ])
     Plaid_exp.Experiments.runners
 
-let report ?pool () =
+let report ?pool ?cache () =
   (* a fresh context each time: no cached mappings leak between runs *)
-  let ctx = Plaid_exp.Ctx.create ?pool () in
+  let ctx = Plaid_exp.Ctx.create ?pool ?cache () in
   Plaid_exp.Ascii.with_capture (fun () -> Plaid_exp.Experiments.run ?pool ctx selection)
 
 let check_experiments pool =
@@ -73,6 +73,66 @@ let check_experiments pool =
   if seq_bytes <> par_bytes then
     fail "experiment report bytes differ between sequential and -j %d (%d vs %d bytes)"
       jobs (String.length seq_bytes) (String.length par_bytes)
+
+(* ------------------------------------------- cache stays out-of-band *)
+
+(* The persistent mapping cache must be invisible in experiment output:
+   every Ctx mapping path — baseline best-of, hierarchical, generic-on-
+   plaid — must hand back byte-identical mapfiles whether the cache is
+   absent, cold (computing and filling the store), warm in the same
+   store from a fresh context, or warm at -j 1.  Since report bytes are
+   a pure function of these mappings, this is the acceptance criterion
+   that lets `plaidc exp --cache` be trusted for paper regeneration;
+   the report-level equality itself is re-checked on the (mapping-free)
+   selection above so cache plumbing can't perturb an experiment run. *)
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let check_cache_invariance pool =
+  let dir = Filename.temp_file "plaid_det_cache" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) @@ fun () ->
+  let kernels = [ "dwconv"; "jacobi"; "atax_u2" ] in
+  let mapset ?pool ?cache () =
+    let ctx = Plaid_exp.Ctx.create ?pool ?cache () in
+    let blob = function
+      | None -> ""
+      | Some m -> Plaid_mapping.Mapfile.to_string m
+    in
+    List.map
+      (fun kernel ->
+        let e = Plaid_workloads.Suite.find kernel in
+        [ blob (Plaid_exp.Ctx.map_st ctx e);
+          blob (Plaid_exp.Ctx.map_plaid ctx e).Plaid_core.Hier_mapper.mapping;
+          blob (Plaid_exp.Ctx.map_plaid_generic ctx `Pf e) ])
+      kernels
+  in
+  let plain = mapset ~pool () in
+  let cold = mapset ~pool ~cache:(Plaid_serve.Cache.create ~dir ()) () in
+  (* fresh Cache.t over the populated store: every mapping is a disk hit *)
+  let warm = mapset ~pool ~cache:(Plaid_serve.Cache.create ~dir ()) () in
+  let warm_seq = mapset ~cache:(Plaid_serve.Cache.create ~dir ()) () in
+  List.iter
+    (fun (name, maps) ->
+      if maps <> plain then
+        fail "mappings differ between cache-free and %s (-j %d)" name jobs)
+    [ ("cold cache", cold); ("warm cache", warm); ("warm cache at -j 1", warm_seq) ];
+  (* the warm runs must actually have been served from the store *)
+  let probe = Plaid_serve.Cache.create ~dir () in
+  let stats = Plaid_serve.Store.stats (Option.get (Plaid_serve.Cache.store probe)) in
+  if stats.Plaid_serve.Store.entries = 0 then
+    fail "cache invariance check ran against an empty store (nothing was cached)";
+  (* and a cache-attached experiment report still equals the plain one *)
+  let plain_summaries, plain_bytes = report ~pool () in
+  let cached_summaries, cached_bytes =
+    report ~pool ~cache:(Plaid_serve.Cache.create ~dir ()) ()
+  in
+  if plain_summaries <> cached_summaries || plain_bytes <> cached_bytes then
+    fail "experiment report changes when a cache is attached (-j %d)" jobs
 
 (* ------------------------------------------- tracing stays out-of-band *)
 
@@ -118,6 +178,8 @@ let () =
   Plaid_util.Pool.with_pool ~size:jobs (fun pool ->
       check_mapper pool;
       check_experiments pool;
+      check_cache_invariance pool;
       check_obs_invariance pool);
   if !failures > 0 then exit 1;
-  Printf.printf "determinism: sequential and -j %d agree (tracing on and off)\n" jobs
+  Printf.printf
+    "determinism: sequential and -j %d agree (tracing on and off, cache cold and warm)\n" jobs

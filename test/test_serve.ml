@@ -1,0 +1,396 @@
+(* Plaid_serve: fingerprints, the content-addressed store, the two-tier
+   cache, and the batch compile service.
+
+   The properties that make the cache safe to trust:
+   - fingerprints are injective on semantic content and identical across
+     processes (pinned digests guard the canonical forms);
+   - a cached blob is bit-identical to the computed mapfile and still
+     simulates bit-exactly after the round trip;
+   - a flipped byte anywhere in a stored object is a verified miss — never
+     a crash, never a wrong mapping — and recomputation heals it;
+   - N racing requests for one key run the mapper once. *)
+
+module F = Plaid_serve.Fingerprint
+module Store = Plaid_serve.Store
+module Cache = Plaid_serve.Cache
+module Service = Plaid_serve.Service
+
+let check = Alcotest.(check bool)
+
+(* fresh scratch directory per call, without depending on unix *)
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let f = Filename.temp_file "plaid_serve_test" (string_of_int !n) in
+    Sys.remove f;
+    f
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let flip_byte path pos =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor 1));
+  write_file path (Bytes.to_string s)
+
+let fuzz_case i = Plaid_check.Fuzz.gen_case ~seed:Test_qc.seed i
+
+let case_arch (c : Plaid_check.Case.t) = fst (Plaid_check.Case.build c)
+
+let case_key (c : Plaid_check.Case.t) =
+  F.key ~dfg:c.dfg ~arch:(case_arch c) ~mapper:"test" ~seed:c.seed
+
+(* ---------------------------------------------------------- fingerprints *)
+
+(* MD5 of a fixed string, pinned: if this moves, every deployed cache key
+   changes silently. *)
+let test_digest_pinned () =
+  check "md5 primitive is stable"
+    (F.digest_hex "plaid-cache-key" = "ae15448618a790c68da3fe8f58af153f")
+    true
+
+(* The full key for a fixed fuzz case, pinned to the literal another
+   process computed.  This is the across-processes property made
+   executable: any run of any build of this revision must produce these
+   exact bytes.  (A deliberate change to the canonical forms must bump
+   the Fingerprint version salt — update the pin alongside.) *)
+let pinned_case_key = "e644f62548bc4f5a7e7f2ef928902e7d"
+
+let test_key_pinned_across_processes () =
+  (* fixed seed, NOT Test_qc.seed: the pin must not move under PLAID_QC_SEED *)
+  let k = case_key (Plaid_check.Fuzz.gen_case ~seed:20250705 0) in
+  if k <> pinned_case_key then
+    Alcotest.failf "fingerprint drifted: got %s, pinned %s (version %s)" k pinned_case_key
+      F.version
+
+let test_key_well_formed () =
+  let k = case_key (fuzz_case 1) in
+  check "32 chars" (String.length k = 32) true;
+  String.iter
+    (fun c ->
+      check "lowercase hex" ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) true)
+    k;
+  check "recomputation is stable" (case_key (fuzz_case 1) = k) true
+
+(* Distinct semantic content gives distinct keys; identical content gives
+   identical keys — over the fuzz generators, the same distribution the
+   differential campaigns draw from. *)
+let qc_fingerprint_injective =
+  QCheck.Test.make ~count:40 ~name:"fingerprint injectivity on fuzz cases"
+    QCheck.(pair (int_bound 24) (int_bound 24))
+    (fun (i, j) ->
+      let ci = fuzz_case i and cj = fuzz_case j in
+      let canon (c : Plaid_check.Case.t) =
+        ( Plaid_mapping.Mapfile.dfg_to_lines c.dfg,
+          Plaid_arch.Arch.fingerprint_lines (case_arch c),
+          c.seed )
+      in
+      if canon ci = canon cj then case_key ci = case_key cj
+      else case_key ci <> case_key cj)
+
+let qc_fingerprint_salts =
+  QCheck.Test.make ~count:20 ~name:"mapper and seed are part of the key"
+    QCheck.(int_bound 24)
+    (fun i ->
+      let c = fuzz_case i in
+      let arch = case_arch c in
+      let k = F.key ~dfg:c.dfg ~arch ~mapper:"a" ~seed:7 in
+      k <> F.key ~dfg:c.dfg ~arch ~mapper:"b" ~seed:7
+      && k <> F.key ~dfg:c.dfg ~arch ~mapper:"a" ~seed:8)
+
+(* ------------------------------------------------------------------ store *)
+
+let test_store_roundtrip () =
+  let st = Store.open_dir (temp_dir ()) in
+  let key = F.digest_hex "k1" and payload = "hello\nblob \x00 bytes" in
+  Store.put st ~key payload;
+  (match Store.get st ~key with
+  | Store.Hit p -> check "payload round-trips" (p = payload) true
+  | Store.Miss | Store.Corrupt -> Alcotest.fail "expected a hit");
+  check "missing key is a miss" (Store.get st ~key:(F.digest_hex "k2") = Store.Miss) true;
+  let s = Store.stats st in
+  check "one entry" (s.Store.entries = 1) true
+
+let test_store_detects_corruption () =
+  let st = Store.open_dir (temp_dir ()) in
+  let key = F.digest_hex "k1" in
+  Store.put st ~key "payload payload payload";
+  (* flip one payload byte: digest check must catch it *)
+  flip_byte (Store.path st ~key) 40;
+  check "flipped byte reads as corrupt" (Store.get st ~key = Store.Corrupt) true;
+  let v = Store.verify st in
+  check "verify counts it" (v.Store.v_corrupt = [ key ]) true;
+  (* truncation is also corruption, not a crash *)
+  let key2 = F.digest_hex "k2" in
+  Store.put st ~key:key2 "0123456789";
+  let p2 = Store.path st ~key:key2 in
+  write_file p2 (String.sub (read_file p2) 0 (String.length (read_file p2) - 3));
+  check "truncated object reads as corrupt" (Store.get st ~key:key2 = Store.Corrupt) true;
+  (* garbage that never had a header *)
+  let key3 = F.digest_hex "k3" in
+  Store.put st ~key:key3 "x";
+  write_file (Store.path st ~key:key3) "not a blob at all";
+  check "foreign file reads as corrupt" (Store.get st ~key:key3 = Store.Corrupt) true
+
+let test_store_gc () =
+  let st = Store.open_dir (temp_dir ()) in
+  let keep = F.digest_hex "keep" and bad = F.digest_hex "bad" in
+  Store.put st ~key:keep "kept payload";
+  Store.put st ~key:bad "doomed payload";
+  flip_byte (Store.path st ~key:bad) 40;
+  (* a stale tmp file, as left by a writer killed mid-write *)
+  write_file (Filename.concat (Store.root st) "tmp/999.0.tmp") "partial";
+  let g = Store.gc st in
+  check "gc removed the corrupt entry" (g.Store.g_corrupt = 1) true;
+  check "gc removed the stale tmp" (g.Store.g_tmp = 1) true;
+  let v = Store.verify st in
+  check "store is clean after gc" (v.Store.v_corrupt = [] && v.Store.v_tmp = 0) true;
+  check "live entry survived" (Store.get st ~key:keep = Store.Hit "kept payload") true;
+  (* byte budget: evict down to nothing but the newest *)
+  Store.put st ~key:bad "restored";
+  let g = Store.gc ~max_bytes:1 st in
+  check "budget eviction ran" (g.Store.g_evicted >= 1) true
+
+let test_store_rejects_bad_keys () =
+  let st = Store.open_dir (temp_dir ()) in
+  List.iter
+    (fun key ->
+      match Store.path st ~key with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "key %S should be rejected" key)
+    [ ""; "Z"; "../../etc/passwd"; "ABCDEF"; "ab/cd" ]
+
+(* ------------------------------------------------------------------ cache *)
+
+let test_cache_two_tiers () =
+  let dir = temp_dir () in
+  let c = Cache.create ~dir () in
+  let key = F.digest_hex "k" in
+  Cache.put c ~key "blob";
+  (match Cache.find c ~key with
+  | Some ("blob", Cache.Mem) -> ()
+  | _ -> Alcotest.fail "expected a memory hit");
+  (* a fresh cache over the same directory sees only the disk tier *)
+  let c2 = Cache.create ~dir () in
+  (match Cache.find c2 ~key with
+  | Some ("blob", Cache.Disk) -> ()
+  | _ -> Alcotest.fail "expected a disk hit");
+  (* ...and the disk hit was promoted to memory *)
+  match Cache.find c2 ~key with
+  | Some ("blob", Cache.Mem) -> ()
+  | _ -> Alcotest.fail "expected promotion to the memory tier"
+
+let test_cache_corruption_is_a_miss () =
+  let dir = temp_dir () in
+  let c = Cache.create ~dir () in
+  let key = F.digest_hex "k" in
+  Cache.put c ~key "precious payload";
+  let store = Option.get (Cache.store c) in
+  flip_byte (Store.path store ~key) 40;
+  Plaid_obs.Metrics.reset ();
+  Plaid_obs.Metrics.set_enabled true;
+  let c2 = Cache.create ~dir () in
+  Fun.protect ~finally:(fun () -> Plaid_obs.Metrics.set_enabled false) @@ fun () ->
+  check "corrupt disk entry is a miss" (Cache.find c2 ~key = None) true;
+  check "cache counted the corruption" ((Cache.stats c2).Cache.corrupt = 1) true;
+  let snap = Plaid_obs.Metrics.snapshot () in
+  check "cache_corrupt metric bumped"
+    (List.assoc_opt "cache_corrupt" snap.Plaid_obs.Metrics.counters = Some 1)
+    true;
+  (* recomputation heals the entry in place *)
+  let blob, source = Cache.get_or_compute c2 ~key (fun () -> Some "recomputed") in
+  check "compute ran" (blob = Some "recomputed" && source = Cache.Computed) true;
+  let c3 = Cache.create ~dir () in
+  check "healed entry verifies again"
+    (Cache.find c3 ~key = Some ("recomputed", Cache.Disk))
+    true
+
+let test_cache_negative_not_cached () =
+  let c = Cache.create () in
+  let key = F.digest_hex "k" in
+  let calls = ref 0 in
+  let compute () = incr calls; None in
+  check "negative result delivered" (Cache.get_or_compute c ~key compute = (None, Cache.Computed)) true;
+  let _ = Cache.get_or_compute c ~key compute in
+  check "negative result retried" (!calls = 2) true
+
+let test_cache_lru_eviction () =
+  (* memory-only cache with room for ~2 of our 8-byte payloads *)
+  let c = Cache.create ~mem_budget:20 () in
+  let key i = F.digest_hex (string_of_int i) in
+  for i = 1 to 5 do
+    Cache.put c ~key:(key i) "01234567"
+  done;
+  let s = Cache.stats c in
+  check "budget held" (s.Cache.mem_bytes <= 20) true;
+  check "evictions counted" (s.Cache.evicted = 3) true;
+  check "newest entry survives" (Cache.find c ~key:(key 5) <> None) true;
+  check "oldest entry evicted" (Cache.find c ~key:(key 1) = None) true
+
+let test_cache_single_flight () =
+  let c = Cache.create () in
+  let key = F.digest_hex "k" in
+  let computes = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    (* widen the race window so waiters actually coalesce *)
+    let rec spin n = if n > 0 then spin (n - 1) in
+    spin 2_000_000;
+    Some "the one result"
+  in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Cache.get_or_compute c ~key compute))
+  in
+  let results = List.map Domain.join domains in
+  check "compute ran exactly once" (Atomic.get computes = 1) true;
+  List.iter
+    (fun (blob, _) -> check "every caller got the result" (blob = Some "the one result") true)
+    results;
+  let s = Cache.stats c in
+  check "three callers were served without computing"
+    (s.Cache.coalesced + s.Cache.hit_mem = 3)
+    true
+
+(* ------------------------------------- service: mapping blob round trip *)
+
+let dir_service () =
+  let cache = Cache.create ~dir:(temp_dir ()) () in
+  (cache, Service.create ~cache ())
+
+let map_req ?deadline_ms ?(seed = 2025) ?(arch = "plaid") kernel =
+  Service.Map { kernel; arch; seed; deadline_ms }
+
+let payload_of = function
+  | Service.Payload { payload; source } -> (payload, source)
+  | Service.Failure msg -> Alcotest.failf "request failed: %s" msg
+
+let test_service_roundtrip_simulates () =
+  let cache, svc = dir_service () in
+  let blob, source = payload_of (Service.handle svc (map_req "dwconv")) in
+  check "first request computes" (source = Some Cache.Computed) true;
+  let blob2, source2 = payload_of (Service.handle svc (map_req "dwconv")) in
+  check "repeat is a memory hit" (source2 = Some Cache.Mem) true;
+  check "repeat is bit-identical" (blob2 = blob) true;
+  (* a different process over the same store: disk hit, same bytes *)
+  let svc2 = Service.create ~cache:(Cache.create ~dir:(Option.get (Cache.store cache) |> Store.root) ()) () in
+  let blob3, source3 = payload_of (Service.handle svc2 (map_req "dwconv")) in
+  check "fresh cache hits disk" (source3 = Some Cache.Disk) true;
+  check "disk blob is bit-identical" (blob3 = blob) true;
+  (* the cached blob is a loadable mapping that still simulates bit-exactly *)
+  let entry = Plaid_workloads.Suite.find "dwconv" in
+  let plaid = Plaid_core.Pcu.build ~rows:2 ~cols:2 ~name:"plaid_2x2" () in
+  let resolve n = if n = "plaid_2x2" then Some plaid.Plaid_core.Pcu.arch else None in
+  match Plaid_mapping.Mapfile.of_string ~resolve blob with
+  | Error e -> Alcotest.failf "cached blob does not parse: %s" e
+  | Ok m -> (
+    let k =
+      Plaid_ir.Unroll.apply entry.Plaid_workloads.Suite.base entry.Plaid_workloads.Suite.unroll
+    in
+    let spm =
+      Plaid_sim.Spm.of_kernel k ~params:(Plaid_workloads.Suite.params entry) ~seed:77
+    in
+    match Plaid_sim.Cycle_sim.verify m spm with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "cached mapping no longer simulates: %s" e)
+
+let test_service_deadline () =
+  let _, svc = dir_service () in
+  (* gemm_u2 on the ST mesh takes hundreds of ms to map: a 1 ms deadline
+     must trip, but the blob still lands in the cache for the next caller *)
+  (match Service.handle svc (map_req ~deadline_ms:1 ~seed:4242 ~arch:"st" "gemm_u2") with
+  | Service.Failure "deadline exceeded" -> ()
+  | Service.Failure msg -> Alcotest.failf "expected a deadline failure, got: %s" msg
+  | Service.Payload _ -> Alcotest.fail "a 1 ms deadline did not trip");
+  let _, source = payload_of (Service.handle svc (map_req ~seed:4242 ~arch:"st" "gemm_u2")) in
+  check "late blob was cached anyway" (source = Some Cache.Mem) true
+
+let test_service_errors () =
+  let _, svc = dir_service () in
+  (match Service.handle svc (map_req "nosuch") with
+  | Service.Failure msg -> check "unknown kernel named" (msg = "unknown kernel nosuch") true
+  | Service.Payload _ -> Alcotest.fail "unknown kernel must fail");
+  (match Service.handle svc (map_req ~arch:"warp" "dwconv") with
+  | Service.Failure _ -> ()
+  | Service.Payload _ -> Alcotest.fail "unknown arch must fail");
+  match Service.handle svc (Service.Case { file = "/nonexistent.case"; deadline_ms = None }) with
+  | Service.Failure _ -> ()
+  | Service.Payload _ -> Alcotest.fail "unreadable case file must fail"
+
+let test_service_parse () =
+  let bad l =
+    match Service.parse_request l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "request %S should not parse" l
+  in
+  bad "";
+  bad "map";
+  bad "map kernel";
+  bad "map kernel=x frob=1";
+  bad "map kernel=x deadline-ms=0";
+  bad "map kernel=x seed=abc";
+  bad "warp kernel=x";
+  bad "evict";
+  (match Service.parse_request "map kernel=dwconv" with
+  | Ok (Service.Map { kernel = "dwconv"; arch = "plaid"; seed = 2025; deadline_ms = None }) -> ()
+  | _ -> Alcotest.fail "map defaults wrong");
+  match Service.parse_request "evict all" with
+  | Ok (Service.Evict `All) -> ()
+  | _ -> Alcotest.fail "evict all did not parse"
+
+let test_service_batch_coalesces () =
+  let _, svc = dir_service () in
+  let reqs = [ map_req "dwconv"; map_req "dwconv"; map_req "dwconv" ] in
+  let resps = Service.run_batch svc reqs in
+  let payloads = List.map payload_of resps in
+  (match payloads with
+  | (b1, _) :: rest -> List.iter (fun (b, _) -> check "batch agrees" (b = b1) true) rest
+  | [] -> Alcotest.fail "empty batch result");
+  let s = Cache.stats (Service.cache svc) in
+  check "one compute for three identical requests"
+    (s.Cache.miss = 1 && s.Cache.hit_mem + s.Cache.coalesced = 2)
+    true
+
+let suites =
+  [
+    ( "serve-fingerprint",
+      [
+        Alcotest.test_case "digest primitive pinned" `Quick test_digest_pinned;
+        Alcotest.test_case "key pinned across processes" `Quick test_key_pinned_across_processes;
+        Alcotest.test_case "key well-formed and stable" `Quick test_key_well_formed;
+        Test_qc.to_alcotest qc_fingerprint_injective;
+        Test_qc.to_alcotest qc_fingerprint_salts;
+      ] );
+    ( "serve-store",
+      [
+        Alcotest.test_case "blob round trip" `Quick test_store_roundtrip;
+        Alcotest.test_case "corruption detected" `Quick test_store_detects_corruption;
+        Alcotest.test_case "gc sweeps corruption and tmp" `Quick test_store_gc;
+        Alcotest.test_case "bad keys rejected" `Quick test_store_rejects_bad_keys;
+      ] );
+    ( "serve-cache",
+      [
+        Alcotest.test_case "two tiers" `Quick test_cache_two_tiers;
+        Alcotest.test_case "corruption is a verified miss" `Quick test_cache_corruption_is_a_miss;
+        Alcotest.test_case "negative results not cached" `Quick test_cache_negative_not_cached;
+        Alcotest.test_case "lru respects the byte budget" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "single-flight coalescing" `Quick test_cache_single_flight;
+      ] );
+    ( "serve-service",
+      [
+        Alcotest.test_case "blob round trip simulates bit-exactly" `Slow
+          test_service_roundtrip_simulates;
+        Alcotest.test_case "deadlines trip but still cache" `Slow test_service_deadline;
+        Alcotest.test_case "request errors" `Quick test_service_errors;
+        Alcotest.test_case "protocol parsing" `Quick test_service_parse;
+        Alcotest.test_case "batches coalesce" `Quick test_service_batch_coalesces;
+      ] );
+  ]

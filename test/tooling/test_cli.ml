@@ -4,10 +4,15 @@
    - `plaidc map --trace --metrics` must exit 0 and write a trace that is
      valid Chrome trace-event JSON with at least one span from every
      instrumented subsystem (driver, pf, sa, pool, sim);
-   - a mapping corrupted on disk must be rejected by the loader (exit 1),
-     and with --no-validate must reach the simulator and take the
-     simulation-MISMATCH path: message on stderr, nothing on stdout,
-     exit 1;
+   - an unreadable, truncated, or corrupted mapping file must be rejected
+     by the loader with one line on stderr and the uniform bad-input
+     exit 2; with --no-validate a corrupted file must reach the simulator
+     and take the simulation-MISMATCH path: message on stderr, nothing on
+     stdout, exit 1;
+   - `plaidc serve` must answer a replayed request from the store on the
+     second pass (no recompute, byte-identical payload, equal to what
+     `plaidc map -o` writes), `plaidc cache` must report/verify/heal the
+     store, and `plaidc --version` must carry the fingerprint salt;
    - `plaidc faults` must emit a valid JSON campaign report that is
      byte-identical for -j 1 and -j 4, exit 1 with MISMATCH lines on
      stderr when unrepaired faulty mappings mis-simulate, and exit 0 in
@@ -88,9 +93,29 @@ let () =
   let oc = open_out "gemm_bad.map" in
   output_string oc corrupted;
   close_out oc;
-  (* the validating loader must reject it *)
+  (* the validating loader must reject it: one stderr line, exit 2 *)
   let rc = sh "%s run -f gemm_bad.map > bad.out 2> bad.err" plaidc in
-  if rc <> 1 then fail "corrupted mapfile: expected load failure (exit 1), got %d" rc;
+  if rc <> 2 then fail "corrupted mapfile: expected load failure (exit 2), got %d" rc;
+  if String.trim (read_file "bad.out") <> "" then
+    fail "corrupted-mapfile diagnostic leaked to stdout";
+  (match String.split_on_char '\n' (String.trim (read_file "bad.err")) with
+  | [ line ] ->
+    if not (contains ~needle:"gemm_bad.map" line) then
+      fail "corrupted-mapfile diagnostic does not name the file"
+  | lines -> fail "corrupted mapfile: expected one stderr line, got %d" (List.length lines));
+  (* unreadable and truncated inputs take the same one-line exit-2 path *)
+  let rc = sh "%s run -f nonexistent.map > miss.out 2> miss.err" plaidc in
+  if rc <> 2 then fail "missing mapfile: expected exit 2, got %d" rc;
+  if String.trim (read_file "miss.err") = "" then
+    fail "missing mapfile printed nothing on stderr";
+  let gemm = read_file "gemm.map" in
+  let oc = open_out "gemm_cut.map" in
+  output_string oc (String.sub gemm 0 (String.length gemm / 2));
+  close_out oc;
+  let rc = sh "%s run -f gemm_cut.map > cut.out 2> cut.err" plaidc in
+  if rc <> 2 then fail "truncated mapfile: expected exit 2, got %d" rc;
+  let rc = sh "%s compile -f nonexistent.k > nok.out 2> nok.err" plaidc in
+  if rc <> 2 then fail "missing kernel source: expected exit 2, got %d" rc;
   (* with validation skipped it must reach the simulator and mismatch *)
   let rc = sh "%s run -f gemm_bad.map --no-validate > bad2.out 2> bad2.err" plaidc in
   if rc <> 1 then fail "--no-validate on corrupted mapfile: expected exit 1, got %d" rc;
@@ -152,6 +177,90 @@ let () =
   if List.length dumped <> 3 then
     fail "fuzz --dump-cases wrote %d case files (want 3)" (List.length dumped)
 
+(* --- serving & caching ------------------------------------------------- *)
+
+(* payload bytes of the first ok-framed response in a protocol transcript *)
+let first_payload out =
+  match String.index_opt out '\n' with
+  | None -> ""
+  | Some i -> (
+    match String.split_on_char ' ' (String.sub out 0 i) with
+    | "ok" :: len :: _ -> (
+      match int_of_string_opt len with
+      | Some n when i + 1 + n <= String.length out -> String.sub out (i + 1) n
+      | _ -> "")
+    | _ -> "")
+
+let () =
+  (* --version carries the fingerprint salt, so operators can correlate
+     cache generations with builds *)
+  let rc = sh "%s --version > ver.out 2> ver.err" plaidc in
+  if rc <> 0 then fail "--version exited %d" rc;
+  if not (contains ~needle:"plaidmap-1" (read_file "ver.out")) then
+    fail "--version does not carry the cache fingerprint salt";
+  (* two-pass protocol replay over one store: the second pass must be
+     served from disk (no recompute) with a byte-identical payload, and
+     the payload must equal the mapfile the one-shot CLI wrote *)
+  let oc = open_out "serve.req" in
+  output_string oc "map kernel=gemm_u2 arch=st seed=2025\nquit\n";
+  close_out oc;
+  let rc = sh "%s serve --cache-dir srvcache < serve.req > pass1.out 2> serve1.err" plaidc in
+  if rc <> 0 then fail "serve pass 1 exited %d" rc;
+  let rc =
+    sh "%s serve --cache-dir srvcache --metrics < serve.req > pass2.out 2> serve2.err" plaidc
+  in
+  if rc <> 0 then fail "serve pass 2 exited %d" rc;
+  let p1 = read_file "pass1.out" and p2 = read_file "pass2.out" in
+  if not (contains ~needle:"source=compute" p1) then
+    fail "serve pass 1 did not report a compute";
+  if contains ~needle:"source=compute" p2 then
+    fail "serve pass 2 recomputed a cached mapping";
+  if not (contains ~needle:"source=disk" p2) then
+    fail "serve pass 2 was not served from the store";
+  if first_payload p1 = "" then fail "serve pass 1 returned no payload";
+  if first_payload p1 <> first_payload p2 then
+    fail "served payload differs between passes";
+  if first_payload p1 <> read_file "gemm.map" then
+    fail "served payload differs from the mapfile 'plaidc map -o' writes";
+  if not (contains ~needle:"cache_hit_disk" (read_file "serve2.err")) then
+    fail "serve --metrics does not surface the cache counters";
+  (* cache operations over the populated store *)
+  let rc = sh "%s cache stats --cache-dir srvcache > cst.out 2> cst.err" plaidc in
+  if rc <> 0 then fail "cache stats exited %d" rc;
+  if not (contains ~needle:"1 entries" (read_file "cst.out")) then
+    fail "cache stats does not report the stored entry";
+  let rc = sh "%s cache verify --cache-dir srvcache > cvf.out 2> cvf.err" plaidc in
+  if rc <> 0 then fail "cache verify on a clean store exited %d" rc;
+  if not (contains ~needle:"0 corrupt" (read_file "cvf.out")) then
+    fail "cache verify miscounts a clean store";
+  (* flip one byte of the stored object: verify must flag it (exit 1) and
+     gc must heal the store back to verifiable *)
+  let object_file =
+    let objects = Filename.concat "srvcache" "objects" in
+    let shard = Filename.concat objects (Sys.readdir objects).(0) in
+    Filename.concat shard (Sys.readdir shard).(0)
+  in
+  let blob = Bytes.of_string (read_file object_file) in
+  Bytes.set blob 40 (Char.chr (Char.code (Bytes.get blob 40) lxor 1));
+  let oc = open_out_bin object_file in
+  output_string oc (Bytes.to_string blob);
+  close_out oc;
+  let rc = sh "%s cache verify --cache-dir srvcache > cvf2.out 2> cvf2.err" plaidc in
+  if rc <> 1 then fail "cache verify on a corrupted store: expected exit 1, got %d" rc;
+  let rc = sh "%s cache gc --cache-dir srvcache > cgc.out 2> cgc.err" plaidc in
+  if rc <> 0 then fail "cache gc exited %d" rc;
+  let rc = sh "%s cache verify --cache-dir srvcache > cvf3.out 2> cvf3.err" plaidc in
+  if rc <> 0 then fail "cache verify after gc exited %d" rc;
+  (* a corrupt entry is a miss, never a wrong answer: the next request
+     recomputes and re-stores the identical payload *)
+  let rc = sh "%s serve --cache-dir srvcache < serve.req > pass3.out 2> serve3.err" plaidc in
+  if rc <> 0 then fail "serve pass 3 exited %d" rc;
+  if first_payload (read_file "pass3.out") <> first_payload p1 then
+    fail "recomputed payload differs after corruption was collected";
+  (* unknown cache action: uniform exit 2 *)
+  let rc = sh "%s cache frobnicate > cbad.out 2> cbad.err" plaidc in
+  if rc <> 2 then fail "unknown cache action: expected exit 2, got %d" rc
+
 (* --- uniform bad-name handling ----------------------------------------- *)
 
 let () =
@@ -179,4 +288,5 @@ let () =
 
 let () =
   if !failures > 0 then exit 1;
-  print_endline "cli gate: trace/metrics, fault campaigns, fuzz campaigns, and error handling OK"
+  print_endline
+    "cli gate: trace/metrics, fault campaigns, fuzz campaigns, serve/cache, and error handling OK"
