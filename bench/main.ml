@@ -270,11 +270,72 @@ let run_obs_overhead () =
   Printf.printf "metrics summary (instrumented run):\n";
   Format.printf "%a@?" Plaid_obs.Metrics.pp_summary (Plaid_obs.Metrics.snapshot ())
 
+(* --- serve-path telemetry overhead ------------------------------------- *)
+
+(* The serve path is always instrumented in production ([plaidc serve] arms
+   the registry unconditionally), so this section bounds what that costs on
+   the hot path: the same warm batch through Service.run_batch with the
+   registry disarmed vs armed.  Warm passes isolate the probe cost — every
+   request is a cache hit, so the mapper's own runtime doesn't drown the
+   histogram bumps.  Responses must stay byte-identical either way. *)
+let run_serve_obs_overhead () =
+  Plaid_exp.Ascii.heading "Serve-path telemetry overhead (warm batch, metrics off vs on)";
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_file "plaid_bench_serve_obs" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) @@ fun () ->
+  let requests =
+    List.map
+      (fun e ->
+        Plaid_serve.Service.Map
+          { kernel = Plaid_workloads.Suite.name e; arch = "plaid"; seed = 2025;
+            deadline_ms = None })
+      Plaid_workloads.Suite.table2
+  in
+  let cache = Plaid_serve.Cache.create ~dir () in
+  let svc = Plaid_serve.Service.create ~cache () in
+  ignore (Plaid_serve.Service.run_batch svc requests) (* populate the cache *);
+  let rounds = 50 in
+  let payloads rs =
+    List.map
+      (function
+        | Plaid_serve.Service.Payload { payload; _ } -> payload
+        | Plaid_serve.Service.Failure msg -> "err " ^ msg)
+      rs
+  in
+  let pass () =
+    let last = ref [] in
+    for _ = 1 to rounds do
+      last := payloads (Plaid_serve.Service.run_batch svc requests)
+    done;
+    !last
+  in
+  let off, t_off = time pass in
+  Plaid_obs.Metrics.set_enabled true;
+  let on, t_on = time pass in
+  Plaid_obs.Metrics.set_enabled false;
+  if off <> on then failwith "serve obs bench: instrumented responses differ from plain";
+  let n = rounds * List.length requests in
+  Printf.printf
+    "  %d warm requests/pass\n  metrics off  %.3fs  (%.1f us/req)\n  metrics on   %.3fs  (%.1f us/req)\n  delta        %+.1f%%\n"
+    n t_off
+    (t_off /. float_of_int n *. 1e6)
+    t_on
+    (t_on /. float_of_int n *. 1e6)
+    (((t_on /. t_off) -. 1.0) *. 100.0)
+
 let () =
   Plaid_util.Pool.with_pool ~size:jobs run_experiments;
   run_speedup ();
   run_cache_cold_warm ();
   run_fault_repair ();
   run_obs_overhead ();
+  run_serve_obs_overhead ();
   run_microbenches ();
   print_endline "\nbench: done"

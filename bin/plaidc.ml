@@ -116,7 +116,14 @@ let with_obs ~trace ~metrics f =
       Printf.eprintf "trace: %d spans -> %s%s\n"
         (Plaid_obs.Trace.span_count ())
         path
-        (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else ""));
+        (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else "");
+      (* a truncated trace silently lies about where time went — make the
+         overflow impossible to miss *)
+      if dropped > 0 then
+        Printf.eprintf
+          "warning: trace ring overflowed; %d oldest spans are missing from %s (raise \
+           capacity with Trace.set_capacity)\n"
+          dropped path);
     if metrics then
       Format.eprintf "-- metrics --@.%a@?" Plaid_obs.Metrics.pp_summary
         (Plaid_obs.Metrics.snapshot ())
@@ -145,6 +152,26 @@ let resolve_arch name =
   | "spatial4x4" -> Some (Plaid_spatial.Spatial.arch ())
   | _ -> None
 
+(* The post-mapping diagnostic behind `plaidc map --report`: II-search
+   timeline, per-phase time breakdown, and congestion/occupancy heatmaps.
+   The notice goes to stderr so the mapping report on stdout stays
+   byte-identical with or without the flag. *)
+let write_report ?mapping ~kernel ~seed ~arch path =
+  let content =
+    if Filename.check_suffix path ".json" then
+      Plaid_obs.Json.to_string (Plaid_mapping.Explain.json ?mapping ~kernel ~seed ~arch ())
+      ^ "\n"
+    else Plaid_mapping.Explain.ascii ?mapping ~kernel ~seed ~arch ()
+  in
+  match open_out path with
+  | exception Sys_error msg ->
+    Printf.eprintf "plaidc: %s\n" msg;
+    exit 2
+  | oc ->
+    output_string oc content;
+    close_out oc;
+    Printf.eprintf "wrote mapping report %s\n" path
+
 let map_cmd =
   let viz_arg =
     Arg.(value & flag & info [ "viz" ] ~doc:"Print per-slot fabric occupancy and routes.")
@@ -155,8 +182,25 @@ let map_cmd =
       & opt (some string) None
       & info [ "o" ] ~docv:"FILE" ~doc:"Save the mapping object file here.")
   in
-  let run kernel arch seed viz out jobs trace metrics =
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a post-mapping diagnostic report to $(docv): per-phase time breakdown \
+             (schedule/place/route per II attempt), PE-occupancy and channel-overuse \
+             heatmaps, and the II-search timeline.  JSON when $(docv) ends in .json, \
+             ASCII otherwise.  The mapping itself is unchanged.")
+  in
+  let run kernel arch seed viz out report jobs trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
+    if report <> None then Plaid_mapping.Explain.set_enabled true;
+    let maybe_report ?mapping rarch =
+      match report with
+      | None -> ()
+      | Some path -> write_report ?mapping ~kernel ~seed ~arch:rarch path
+    in
     match Plaid_workloads.Suite.find kernel with
     | exception Not_found ->
       Printf.eprintf "unknown kernel %s; try 'plaidc list'\n" kernel;
@@ -184,6 +228,7 @@ let map_cmd =
                  ~arch:built.Plaid_core.Fabrics.arch ~dfg ~seed ())
                 .Plaid_mapping.Driver.mapping
           in
+          maybe_report ?mapping built.Plaid_core.Fabrics.arch;
           match mapping with
           | None ->
             Printf.eprintf "mapper found no valid mapping\n";
@@ -197,9 +242,11 @@ let map_cmd =
       | "spatial" -> (
         match Plaid_exp.Ctx.spatial ctx entry with
         | Error e ->
+          maybe_report (Plaid_spatial.Spatial.arch ());
           Printf.eprintf "spatial mapping failed: %s\n" e;
           1
         | Ok r ->
+          maybe_report (Plaid_spatial.Spatial.arch ());
           Printf.printf "%s on spatial 4x4: %d segments, cycles=%d, energy=%.1f pJ\n" kernel
             (List.length r.mappings)
             (Plaid_exp.Ctx.spatial_cycles ctx r)
@@ -216,6 +263,12 @@ let map_cmd =
           | "plaidml" -> (Plaid_exp.Ctx.map_plaid_ml ctx entry).Plaid_core.Hier_mapper.mapping
           | other -> die_unknown ~what:"architecture" other arch_names
         in
+        (match mapping with
+        | Some m -> maybe_report ~mapping:m m.Plaid_mapping.Mapping.arch
+        | None -> (
+          match fabric_of_name ctx arch with
+          | Some a -> maybe_report a
+          | None -> ()));
         match mapping with
         | None ->
           Printf.eprintf "mapper found no valid mapping\n";
@@ -251,8 +304,8 @@ let map_cmd =
   Cmd.v
     (Cmd.info "map" ~doc:"Map one kernel onto an architecture and verify it")
     Term.(
-      const run $ kernel_arg $ arch_arg $ seed_arg $ viz_arg $ out_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      const run $ kernel_arg $ arch_arg $ seed_arg $ viz_arg $ out_arg $ report_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 let run_cmd =
   let file_arg =
@@ -698,17 +751,65 @@ let serve_cmd =
             "Listen on a Unix domain socket instead of stdin/stdout; connections are \
              served one at a time, each speaking the newline-delimited protocol.")
   in
-  let run cache_dir mem_budget socket jobs trace metrics =
+  let interval_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:"Print a metrics snapshot to stderr every $(docv) seconds while serving.")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-request threshold: requests above $(docv) milliseconds emit a structured \
+             warning (visible with PLAID_LOG=warn).")
+  in
+  let run cache_dir mem_budget socket interval slow_ms jobs trace metrics =
     if mem_budget < 0 then
       die_bad_arg ~what:"memory budget" mem_budget ~expected:"a non-negative MiB count";
+    (match interval with
+    | Some n when n <= 0 ->
+      die_bad_arg ~what:"metrics interval" n ~expected:"a positive second count"
+    | _ -> ());
+    if slow_ms < 0 then
+      die_bad_arg ~what:"slow-request threshold" slow_ms
+        ~expected:"a non-negative millisecond count";
     with_obs ~trace ~metrics @@ fun () ->
+    (* the serving hot path is always instrumented: the `metrics` verb and
+       the periodic snapshot must have data to report *)
+    Plaid_obs.Metrics.set_enabled true;
     with_jobs jobs @@ fun pool ->
     let dir = Option.value cache_dir ~default:(default_cache_dir ()) in
     let cache =
       Plaid_serve.Cache.create ~mem_budget:(mem_budget * 1024 * 1024) ~dir ()
     in
-    let svc = Plaid_serve.Service.create ~pool ~cache () in
+    let svc = Plaid_serve.Service.create ~pool ~slow_ms:(float_of_int slow_ms) ~cache () in
     let stop = Atomic.make false in
+    let ticker =
+      Option.map
+        (fun seconds ->
+          (* periodic stderr snapshot; polls [stop] so shutdown never waits
+             a full interval *)
+          Domain.spawn (fun () ->
+              let rec tick elapsed =
+                if not (Atomic.get stop) then
+                  if elapsed >= float_of_int seconds then begin
+                    Format.eprintf "-- metrics (interval %ds) --@.%a@?" seconds
+                      Plaid_obs.Metrics.pp_summary
+                      (Plaid_obs.Metrics.snapshot ());
+                    tick 0.0
+                  end
+                  else begin
+                    Unix.sleepf 0.1;
+                    tick (elapsed +. 0.1)
+                  end
+              in
+              tick 0.0))
+        interval
+    in
     (* Graceful shutdown: note the request and unwind at the next safe
        point.  The store's write-then-rename discipline means a TERM that
        lands mid-write leaves no partial object — at worst a stale tmp
@@ -721,15 +822,16 @@ let serve_cmd =
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
     let respond oc resp = Plaid_serve.Service.write_response oc resp in
     let handle_line oc line =
+      let queued_at = Plaid_obs.Trace.Clock.now_ns () in
       match Plaid_serve.Service.parse_request line with
       | Error msg ->
         respond oc (Plaid_serve.Service.Failure msg);
         `Continue
       | Ok Plaid_serve.Service.Quit ->
-        respond oc (Plaid_serve.Service.handle svc Plaid_serve.Service.Quit);
+        respond oc (Plaid_serve.Service.handle ~queued_at svc Plaid_serve.Service.Quit);
         `Stop
       | Ok req ->
-        respond oc (Plaid_serve.Service.handle svc req);
+        respond oc (Plaid_serve.Service.handle ~queued_at svc req);
         `Continue
     in
     let read_batch ic n =
@@ -791,6 +893,8 @@ let serve_cmd =
       loop ()
     in
     let finish () =
+      Atomic.set stop true;
+      Option.iter Domain.join ticker;
       let s = Plaid_serve.Cache.stats cache in
       Printf.eprintf
         "serve: %d requests (%d mem hits, %d disk hits, %d misses, %d coalesced)\n%!"
@@ -839,8 +943,8 @@ let serve_cmd =
          "Run the batch compile service: newline-delimited map/compile/case/stats/evict \
           requests against the content-addressed mapping cache")
     Term.(
-      const run $ cache_dir_arg $ mem_budget_arg $ socket_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      const run $ cache_dir_arg $ mem_budget_arg $ socket_arg $ interval_arg $ slow_ms_arg
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 let cache_cmd =
   let actions = [ "stats"; "gc"; "clear"; "verify" ] in

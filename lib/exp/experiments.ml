@@ -692,13 +692,22 @@ let runners =
     ("verify", verify_all);
   ]
 
+(* Bounded: `plaidc exp` under --metrics (or a scrape-driven rerun loop)
+   must not grow a series per invocation. *)
+let h_experiment_ms = Plaid_obs.Metrics.histogram_bucketed "exp_experiment_ms"
+
 let run ?pool ctx selection =
   let tasks =
     List.map
       (fun (name, f) () ->
         ( name,
           Plaid_obs.Trace.with_span ~cat:"exp" ("exp." ^ name) (fun () ->
-              Ascii.with_capture (fun () -> f ctx)) ))
+              let t0 = Plaid_obs.Trace.Clock.now_ns () in
+              Fun.protect
+                ~finally:(fun () ->
+                  Plaid_obs.Metrics.observe h_experiment_ms
+                    (Plaid_obs.Trace.Clock.seconds_since t0 *. 1000.0))
+                (fun () -> Ascii.with_capture (fun () -> f ctx))) ))
       selection
   in
   let results =

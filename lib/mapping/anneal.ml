@@ -170,9 +170,10 @@ let run_once arch g ~ii ~times ~params ~rng =
     ~args:[ ("kernel", g.Dfg.name); ("ii", string_of_int ii) ]
     ~result:(function Some _ -> [ ("mapped", "true") ] | None -> [ ("mapped", "false") ])
   @@ fun () ->
-  match init_state arch g ~ii ~times ~rng with
+  match Explain.phase "place" (fun () -> init_state arch g ~ii ~times ~rng) with
   | None -> None
   | Some st ->
+    Explain.phase "route" @@ fun () ->
     let temp = ref params.t_start in
     let iter = ref 0 in
     (* plateau abort: a hopeless II should fail fast so the driver can move
@@ -196,6 +197,7 @@ let run_once arch g ~ii ~times ~params ~rng =
       end
       else incr since_best
     done;
+    Explain.add_iterations !iter;
     Obs.Metrics.set g_final_temp !temp;
     if Route_table.unrouted st.table = 0 then Some (to_mapping st)
     else begin

@@ -24,12 +24,14 @@ let attempt_at ~algo ~arch ~dfg ~cap ~base ii =
     ~args:[ ("algo", algo_name algo); ("ii", string_of_int ii) ]
     ~result:mapped_arg
   @@ fun () ->
+  Explain.with_attempt ~algo:(algo_name algo) ~ii ~mapped:Option.is_some @@ fun () ->
   Obs.Metrics.incr m_ii_attempts;
   let rng = Plaid_util.Rng.derive base ii in
   (* PathFinder cannot retime, so prefer a schedule with a two-cycle
      routing budget per edge; fall back to the tight schedule when
      recurrences make the padded one infeasible. *)
   let schedules =
+    Explain.phase "schedule" @@ fun () ->
     match algo with
     | Sa _ -> [ Schedule.compute dfg ~ii ~cap ]
     | Pf _ -> [ Schedule.compute ~lat:2 dfg ~ii ~cap; Schedule.compute dfg ~ii ~cap ]

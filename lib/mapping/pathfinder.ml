@@ -166,9 +166,10 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
   @@ fun () ->
   let mrrg = Mrrg.create arch ~ii in
   let times = Array.copy times in
-  match Greedy.initial_place mrrg g ~times ~rng with
+  match Explain.phase "place" (fun () -> Greedy.initial_place mrrg g ~times ~rng) with
   | None -> None
   | Some place ->
+    Explain.phase "route" @@ fun () ->
     let n_res = Plaid_arch.Arch.n_resources arch in
     let history = Array.make_matrix n_res ii 0.0 in
     let result = ref None in
@@ -252,6 +253,19 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
         end
       end
     done;
+    Explain.add_iterations !iter;
+    if Explain.enabled () then begin
+      (* end-of-negotiation congestion snapshot: the cells the router was
+         still fighting over (empty on success, since overuse must be 0) *)
+      let cells = ref [] in
+      for res = 0 to n_res - 1 do
+        for slot = 0 to ii - 1 do
+          let p = Mrrg.presence mrrg ~res ~slot in
+          if p > 1 then cells := (res, slot, p) :: !cells
+        done
+      done;
+      Explain.congestion !cells
+    end;
     match !result with
     | None -> None
     | Some m -> (

@@ -1,0 +1,266 @@
+let prefix = "plaid_"
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let metric_name name = prefix ^ sanitize name
+
+(* Prometheus float formatting: integral values without an exponent, +Inf
+   spelled the way scrapers expect. *)
+let float_str v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let openmetrics (snap : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s_total %d\n" n v))
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" n (float_str v)))
+    snap.gauges;
+  List.iter
+    (fun (name, (h : Metrics.hist_stats)) ->
+      (* empty histogram series are omitted: min/max are meaningless and a
+         zero-count series only costs scrape bytes *)
+      if h.count > 0 then begin
+        let n = metric_name name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+        Array.iter
+          (fun (ub, cum) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (float_str ub) cum))
+          h.buckets;
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (float_str h.sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.count)
+      end)
+    snap.histograms;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ---------------------------------------------------------------- JSON *)
+
+let json_of_snapshot (snap : Metrics.snapshot) : Json.t =
+  let hist (h : Metrics.hist_stats) =
+    let base =
+      [
+        ("count", Json.Num (float_of_int h.count));
+        ("sum", Json.Num h.sum);
+      ]
+    in
+    let stats =
+      if h.count = 0 then []
+      else
+        [
+          ("min", Json.Num h.min);
+          ("max", Json.Num h.max);
+          ("p50", Json.Num (Metrics.percentile h 50.0));
+          ("p90", Json.Num (Metrics.percentile h 90.0));
+          ("p99", Json.Num (Metrics.percentile h 99.0));
+          ( "buckets",
+            Json.Arr
+              (Array.to_list h.buckets
+              |> List.map (fun (ub, cum) ->
+                     Json.Obj
+                       [
+                         ( "le",
+                           if ub = infinity then Json.Str "+Inf" else Json.Num ub
+                         );
+                         ("count", Json.Num (float_of_int cum));
+                       ])) );
+        ]
+    in
+    Json.Obj (base @ stats)
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) snap.counters)
+      );
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) snap.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, hist h)) snap.histograms) );
+    ]
+
+let json (snap : Metrics.snapshot) = Json.to_string (json_of_snapshot snap)
+
+(* ----------------------------------------------------------- validator *)
+
+(* A line-level OpenMetrics check, strict enough to catch real rendering
+   bugs (missing TYPE, unsorted/non-cumulative buckets, count mismatch,
+   missing # EOF) without pulling in a scraper. *)
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all is_name_char s
+
+let parse_le_value v =
+  if v = "+Inf" then Some infinity else float_of_string_opt v
+
+type series_state = {
+  mutable typ : string;  (* counter | gauge | histogram *)
+  mutable last_le : float;  (* last bucket bound seen *)
+  mutable last_cum : float;  (* last cumulative bucket count *)
+  mutable inf_cum : float option;  (* cumulative count at le="+Inf" *)
+  mutable count_val : float option;  (* value of <name>_count *)
+}
+
+let check_openmetrics text =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines = String.split_on_char '\n' text in
+  let series : (string, series_state) Hashtbl.t = Hashtbl.create 16 in
+  let base_of name =
+    (* strip a histogram/counter sample suffix back to the declared family *)
+    let try_suffix suf =
+      let ls = String.length suf and ln = String.length name in
+      if ln > ls && String.sub name (ln - ls) ls = suf then
+        Some (String.sub name 0 (ln - ls))
+      else None
+    in
+    match try_suffix "_bucket" with
+    | Some b -> (b, `Bucket)
+    | None -> (
+      match try_suffix "_sum" with
+      | Some b when Hashtbl.mem series b -> (b, `Sum)
+      | _ -> (
+        match try_suffix "_count" with
+        | Some b when Hashtbl.mem series b -> (b, `Count)
+        | _ -> (
+          match try_suffix "_total" with
+          | Some b when Hashtbl.mem series b -> (b, `Total)
+          | _ -> (name, `Plain))))
+  in
+  let rec go lineno saw_eof = function
+    | [] -> if saw_eof then Ok () else err "missing terminal '# EOF'"
+    | "" :: rest ->
+      if rest <> [] then err "line %d: empty line before end of input" lineno
+      else if saw_eof then Ok ()
+      else err "missing terminal '# EOF'"
+    | line :: rest ->
+      if saw_eof then err "line %d: content after '# EOF'" lineno
+      else if line = "# EOF" then go (lineno + 1) true rest
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+        | [ name; typ ] ->
+          if not (valid_name name) then err "line %d: bad metric name %S" lineno name
+          else if not (List.mem typ [ "counter"; "gauge"; "histogram" ]) then
+            err "line %d: bad type %S" lineno typ
+          else if Hashtbl.mem series name then
+            err "line %d: duplicate TYPE for %s" lineno name
+          else begin
+            Hashtbl.replace series name
+              { typ; last_le = neg_infinity; last_cum = neg_infinity;
+                inf_cum = None; count_val = None };
+            go (lineno + 1) saw_eof rest
+          end
+        | _ -> err "line %d: malformed TYPE line" lineno
+      end
+      else if String.length line >= 1 && line.[0] = '#' then
+        (* other comments are fine *)
+        go (lineno + 1) saw_eof rest
+      else begin
+        (* sample line: name[{labels}] value *)
+        let name_end =
+          let i = ref 0 in
+          while !i < String.length line && is_name_char line.[!i] do Stdlib.incr i done;
+          !i
+        in
+        let name = String.sub line 0 name_end in
+        if not (valid_name name) then err "line %d: bad sample name" lineno
+        else begin
+          let after = String.sub line name_end (String.length line - name_end) in
+          let labels, value_str =
+            if String.length after > 0 && after.[0] = '{' then
+              match String.index_opt after '}' with
+              | None -> ("", after)  (* caught below as a bad value *)
+              | Some close ->
+                ( String.sub after 1 (close - 1),
+                  String.trim
+                    (String.sub after (close + 1) (String.length after - close - 1)) )
+            else ("", String.trim after)
+          in
+          match float_of_string_opt (if value_str = "+Inf" then "infinity" else value_str) with
+          | None -> err "line %d: bad sample value %S" lineno value_str
+          | Some value -> (
+            let base, kind = base_of name in
+            match Hashtbl.find_opt series base with
+            | None -> err "line %d: sample %s before its TYPE line" lineno name
+            | Some st -> (
+              match (st.typ, kind) with
+              | "counter", `Total ->
+                if value < 0.0 then err "line %d: negative counter" lineno
+                else go (lineno + 1) saw_eof rest
+              | "counter", _ ->
+                err "line %d: counter sample %s must end in _total" lineno name
+              | "gauge", `Plain -> go (lineno + 1) saw_eof rest
+              | "gauge", _ -> err "line %d: unexpected gauge sample %s" lineno name
+              | "histogram", `Bucket -> (
+                let le =
+                  if String.length labels >= 4 && String.sub labels 0 4 = "le=\""
+                     && labels.[String.length labels - 1] = '"'
+                  then parse_le_value (String.sub labels 4 (String.length labels - 5))
+                  else None
+                in
+                match le with
+                | None -> err "line %d: bucket without a well-formed le label" lineno
+                | Some le ->
+                  if not (le > st.last_le) then
+                    err "line %d: bucket bounds not increasing" lineno
+                  else if st.last_cum > value then
+                    err "line %d: bucket counts not cumulative" lineno
+                  else begin
+                    st.last_le <- le;
+                    st.last_cum <- value;
+                    if le = infinity then st.inf_cum <- Some value;
+                    go (lineno + 1) saw_eof rest
+                  end)
+              | "histogram", `Sum -> go (lineno + 1) saw_eof rest
+              | "histogram", `Count -> (
+                st.count_val <- Some value;
+                match st.inf_cum with
+                | Some c when c <> value ->
+                  err "line %d: %s_count %g disagrees with +Inf bucket %g" lineno
+                    base value c
+                | Some _ -> go (lineno + 1) saw_eof rest
+                | None -> err "line %d: histogram %s has no +Inf bucket" lineno base)
+              | "histogram", _ ->
+                err "line %d: unexpected histogram sample %s" lineno name
+              | _ -> err "line %d: unreachable type" lineno))
+        end
+      end
+  in
+  match go 1 false lines with
+  | Error _ as e -> e
+  | Ok () ->
+    (* every declared histogram must have closed with a _count line *)
+    Hashtbl.fold
+      (fun name st acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          if st.typ = "histogram" && st.count_val = None && st.last_le > neg_infinity
+          then err "histogram %s has buckets but no _count" name
+          else acc)
+      series (Ok ())

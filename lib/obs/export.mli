@@ -1,0 +1,31 @@
+(** Exposition of {!Metrics.snapshot}: OpenMetrics/Prometheus text and JSON.
+
+    Metric names are prefixed [plaid_] and sanitized (every character
+    outside [[a-zA-Z0-9_:]] becomes [_]), so [serve/request_ms] exports as
+    [plaid_serve_request_ms].  Counters gain the [_total] suffix; histograms
+    emit cumulative [_bucket{le="..."}] series plus [_sum]/[_count]; empty
+    histogram series (count = 0) are omitted so their meaningless min/max
+    never leak.  Counters and gauges are always rendered, even at 0. *)
+
+val metric_name : string -> string
+(** The exported (prefixed, sanitized) name of a registry name. *)
+
+val openmetrics : Metrics.snapshot -> string
+(** OpenMetrics text: [# TYPE] line per family, samples, terminal
+    [# EOF]. *)
+
+val json_of_snapshot : Metrics.snapshot -> Json.t
+(** Structured form: [{counters: {..}, gauges: {..}, histograms: {..}}],
+    each histogram with count/sum and — when non-empty — min/max/p50/p90/p99
+    and its cumulative buckets. *)
+
+val json : Metrics.snapshot -> string
+(** [Json.to_string (json_of_snapshot snap)]. *)
+
+val check_openmetrics : string -> (unit, string) result
+(** Line-level validator used by tests and CI: every sample's family is
+    declared by a prior [# TYPE] line with a well-formed name; counter
+    samples end in [_total] and are non-negative; histogram bucket bounds
+    strictly increase with cumulative non-decreasing counts, include a
+    [le="+Inf"] bucket, and agree with [_count]; the text ends with
+    [# EOF].  The error carries the offending line number. *)

@@ -18,6 +18,10 @@ let creg = new_reg ()
 let greg = new_reg ()
 let hreg = new_reg ()
 
+(* Bucket bounds per registered histogram; [||] means the exact
+   (every-observation) mode.  Indexed like [hreg.names], guarded by [lock]. *)
+let hbounds : float array array ref = ref [||]
+
 let register reg name =
   Mutex.lock lock;
   let id =
@@ -40,7 +44,45 @@ let register reg name =
 
 let counter name = register creg name
 let gauge name = register greg name
+
+let set_bounds id bounds =
+  Mutex.lock lock;
+  if id >= Array.length !hbounds then begin
+    let grown = Array.make (max 8 (2 * (id + 1))) [||] in
+    Array.blit !hbounds 0 grown 0 (Array.length !hbounds);
+    hbounds := grown
+  end;
+  if !hbounds.(id) = [||] then !hbounds.(id) <- bounds;
+  Mutex.unlock lock
+
 let histogram name = register hreg name
+
+let log_buckets ~start ~factor ~count =
+  if count < 1 then invalid_arg "Metrics.log_buckets: count must be >= 1";
+  if not (start > 0.0) then invalid_arg "Metrics.log_buckets: start must be > 0";
+  if not (factor > 1.0) then invalid_arg "Metrics.log_buckets: factor must be > 1";
+  Array.init count (fun i -> start *. (factor ** float_of_int i))
+
+(* 0.25ms .. ~2 minutes in doublings: wide enough for a cache hit and for a
+   full II search on a big fabric. *)
+let default_ms_buckets = log_buckets ~start:0.25 ~factor:2.0 ~count:20
+
+let histogram_bucketed ?(buckets = default_ms_buckets) name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram_bucketed: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (b > buckets.(i - 1)) then
+        invalid_arg "Metrics.histogram_bucketed: bounds must be strictly increasing")
+    buckets;
+  let id = register hreg name in
+  set_bounds id (Array.copy buckets);
+  id
+
+(* How many exact observations a bucketed series retains before percentiles
+   fall back to bucket resolution.  Bounds per-series memory in a
+   long-running server at reservoir_capacity * 8 bytes per shard. *)
+let reservoir_capacity = 512
 
 (* ------------------------------------------------------------- shards *)
 
@@ -48,13 +90,21 @@ let histogram name = register hreg name
    (see the .mli for the resulting snapshot contract).  Shards outlive
    their domain so a joined worker's counts still merge. *)
 
-type fbuf = { mutable data : float array; mutable len : int }
+type hbuf = {
+  mutable data : float array;  (* exact values; capped for bucketed series *)
+  mutable len : int;
+  mutable total : int;  (* all observations, including ones data dropped *)
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+  mutable bcounts : int array;  (* per-bucket counts (+1 slot for +Inf); [||] until first bucketed observe *)
+}
 
 type shard = {
   mutable counters : int array;
   mutable gauges : float array;
   mutable gseq : int array;  (* global arming order of the last set; 0 = never *)
-  mutable hists : fbuf array;
+  mutable hists : hbuf array;
 }
 
 let shards : shard list ref = ref []
@@ -101,22 +151,64 @@ let set g v =
     s.gseq.(g) <- 1 + Atomic.fetch_and_add gauge_clock 1
   end
 
+let bounds_of h =
+  Mutex.lock lock;
+  let b = if h < Array.length !hbounds then !hbounds.(h) else [||] in
+  Mutex.unlock lock;
+  b
+
+let bucket_index bounds v =
+  (* index of the first bound >= v; Array.length bounds means +Inf *)
+  let n = Array.length bounds in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
 let observe h v =
   if Atomic.get on then begin
     let s = Domain.DLS.get shard_key in
     if h >= Array.length s.hists then begin
-      let grown = Array.init (max 8 (2 * (h + 1))) (fun _ -> { data = [||]; len = 0 }) in
+      let grown =
+        Array.init
+          (max 8 (2 * (h + 1)))
+          (fun _ ->
+            { data = [||]; len = 0; total = 0; hsum = 0.0; hmin = infinity;
+              hmax = neg_infinity; bcounts = [||] })
+      in
       Array.blit s.hists 0 grown 0 (Array.length s.hists);
       s.hists <- grown
     end;
     let b = s.hists.(h) in
-    if b.len >= Array.length b.data then begin
-      let grown = Array.make (max 16 (2 * (b.len + 1))) 0.0 in
-      Array.blit b.data 0 grown 0 b.len;
-      b.data <- grown
+    let bounds = bounds_of h in
+    let bucketed = bounds <> [||] in
+    if bucketed then begin
+      if b.bcounts = [||] then b.bcounts <- Array.make (Array.length bounds + 1) 0;
+      let i = bucket_index bounds v in
+      b.bcounts.(i) <- b.bcounts.(i) + 1
     end;
-    b.data.(b.len) <- v;
-    b.len <- b.len + 1
+    (* the reservoir holds the first [reservoir_capacity] observations of a
+       bucketed series, every observation of an exact one *)
+    if (not bucketed) || b.len < reservoir_capacity then begin
+      if b.len >= Array.length b.data then begin
+        let cap = max 16 (2 * (b.len + 1)) in
+        let cap = if bucketed then min cap reservoir_capacity else cap in
+        let grown = Array.make cap 0.0 in
+        Array.blit b.data 0 grown 0 b.len;
+        b.data <- grown
+      end;
+      b.data.(b.len) <- v;
+      b.len <- b.len + 1
+    end;
+    b.hsum <- b.hsum +. v;
+    if v < b.hmin then b.hmin <- v;
+    if v > b.hmax then b.hmax <- v;
+    (* total last, so a concurrent snapshot never sees a count ahead of the
+       per-bucket counts it summarizes *)
+    b.total <- b.total + 1
   end
 
 (* ------------------------------------------------------------ snapshot *)
@@ -127,6 +219,7 @@ type hist_stats = {
   min : float;
   max : float;
   values : float array;
+  buckets : (float * int) array;
 }
 
 type snapshot = {
@@ -142,6 +235,9 @@ let snapshot () =
   let c_names = Array.sub creg.names 0 cn in
   let g_names = Array.sub greg.names 0 gn in
   let h_names = Array.sub hreg.names 0 hn in
+  let h_bounds =
+    Array.init hn (fun id -> if id < Array.length !hbounds then !hbounds.(id) else [||])
+  in
   Mutex.unlock lock;
   let counters =
     List.init cn (fun id ->
@@ -167,21 +263,53 @@ let snapshot () =
   in
   let histograms =
     List.init hn (fun id ->
+        let bounds = h_bounds.(id) in
         let parts =
           List.filter_map
             (fun (s : shard) ->
-              if id < Array.length s.hists && s.hists.(id).len > 0 then
-                Some (Array.sub s.hists.(id).data 0 s.hists.(id).len)
+              if id < Array.length s.hists && s.hists.(id).total > 0 then
+                Some s.hists.(id)
               else None)
             shards
         in
-        let values = Array.concat parts in
+        let count = List.fold_left (fun acc b -> acc + b.total) 0 parts in
+        let sum = List.fold_left (fun acc b -> acc +. b.hsum) 0.0 parts in
+        let mn = List.fold_left (fun acc b -> Float.min acc b.hmin) infinity parts in
+        let mx = List.fold_left (fun acc b -> Float.max acc b.hmax) neg_infinity parts in
+        let values =
+          Array.concat (List.map (fun b -> Array.sub b.data 0 b.len) parts)
+        in
         Array.sort compare values;
-        let count = Array.length values in
-        let sum = Array.fold_left ( +. ) 0.0 values in
+        let buckets =
+          if bounds = [||] then
+            (* exact series: cumulative counts against the default bounds, so
+               every series exports uniformly as a histogram *)
+            Array.map
+              (fun ub ->
+                let n = ref 0 in
+                Array.iter (fun v -> if v <= ub then Stdlib.incr n) values;
+                (ub, !n))
+              default_ms_buckets
+            |> fun per -> Array.append per [| (infinity, Array.length values) |]
+          else begin
+            let acc = Array.make (Array.length bounds + 1) 0 in
+            List.iter
+              (fun b ->
+                if b.bcounts <> [||] then
+                  Array.iteri (fun i n -> acc.(i) <- acc.(i) + n) b.bcounts)
+              parts;
+            (* cumulative, in bound order, +Inf last *)
+            let running = ref 0 in
+            Array.mapi
+              (fun i n ->
+                running := !running + n;
+                ((if i < Array.length bounds then bounds.(i) else infinity), !running))
+              acc
+          end
+        in
         let stats =
-          if count = 0 then { count; sum; min = 0.0; max = 0.0; values }
-          else { count; sum; min = values.(0); max = values.(count - 1); values }
+          if count = 0 then { count; sum; min = 0.0; max = 0.0; values; buckets }
+          else { count; sum; min = mn; max = mx; values; buckets }
         in
         (h_names.(id), stats))
   in
@@ -192,13 +320,30 @@ let snapshot () =
     histograms = List.sort by_name histograms;
   }
 
+let exact h = h.count = Array.length h.values
+
 let percentile h p =
   if h.count = 0 then 0.0
   else begin
     let p = Float.max 0.0 (Float.min 100.0 p) in
     let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.count)) in
     let rank = Stdlib.max 1 (Stdlib.min h.count rank) in
-    h.values.(rank - 1)
+    if exact h then h.values.(rank - 1)
+    else begin
+      (* bucket resolution: smallest upper bound whose cumulative count
+         reaches the rank — within one bucket width of the exact answer *)
+      let res = ref h.max in
+      (try
+         Array.iter
+           (fun (ub, cum) ->
+             if cum >= rank then begin
+               res := (if ub = infinity then h.max else Float.min ub h.max);
+               raise Exit
+             end)
+           h.buckets
+       with Exit -> ());
+      !res
+    end
   end
 
 let reset () =
@@ -208,7 +353,15 @@ let reset () =
       Array.fill s.counters 0 (Array.length s.counters) 0;
       Array.fill s.gauges 0 (Array.length s.gauges) 0.0;
       Array.fill s.gseq 0 (Array.length s.gseq) 0;
-      Array.iter (fun b -> b.len <- 0) s.hists)
+      Array.iter
+        (fun b ->
+          b.len <- 0;
+          b.total <- 0;
+          b.hsum <- 0.0;
+          b.hmin <- infinity;
+          b.hmax <- neg_infinity;
+          if b.bcounts <> [||] then Array.fill b.bcounts 0 (Array.length b.bcounts) 0)
+        s.hists)
     !shards;
   Mutex.unlock lock
 
@@ -230,6 +383,10 @@ let pp_summary fmt snap =
   List.iter (fun (n, v) -> Format.fprintf fmt "%-*s %g@." w n v) snap.gauges;
   List.iter
     (fun (n, h) ->
-      Format.fprintf fmt "%-*s count=%d sum=%g p50=%g p90=%g max=%g@." w n h.count h.sum
-        (percentile h 50.0) (percentile h 90.0) h.max)
+      (* an empty series has no observations to summarize: print '-' so a
+         real 0.0 observation is distinguishable from "never observed" *)
+      if h.count = 0 then Format.fprintf fmt "%-*s count=0 sum=- p50=- p90=- max=-@." w n
+      else
+        Format.fprintf fmt "%-*s count=%d sum=%g p50=%g p90=%g max=%g@." w n h.count h.sum
+          (percentile h 50.0) (percentile h 90.0) h.max)
     snap.histograms

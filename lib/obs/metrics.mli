@@ -31,6 +31,36 @@ val counter : string -> counter
 val gauge : string -> gauge
 
 val histogram : string -> histogram
+(** An exact histogram: every observation is retained, so percentiles are
+    exact.  Intended for bounded-cardinality series (iterations per mapping
+    attempt, one-shot CLI runs), not for long-running servers — see
+    {!histogram_bucketed}. *)
+
+val histogram_bucketed : ?buckets:float array -> string -> histogram
+(** A bounded histogram for long-running processes: observations land in
+    fixed buckets (upper bounds [buckets], strictly increasing, plus an
+    implicit +Inf bucket), and only the first {!reservoir_capacity}
+    observations are kept exactly, so memory per series is O(1).  While the
+    series fits the reservoir, percentiles are exact; past it they fall back
+    to bucket resolution (within one bucket width).  [buckets] defaults to
+    {!default_ms_buckets}.  Registration is idempotent by name; the first
+    registration's bounds win.
+
+    @raise Invalid_argument if [buckets] is empty or not strictly
+    increasing. *)
+
+val default_ms_buckets : float array
+(** Log-spaced millisecond latency bounds, 0.25ms doubling up to ~2 minutes
+    — wide enough for a cache hit and for a full II search. *)
+
+val log_buckets : start:float -> factor:float -> count:int -> float array
+(** [log_buckets ~start ~factor ~count] is
+    [[| start; start*.factor; ... |]] of length [count].
+    @raise Invalid_argument unless [start > 0], [factor > 1], [count >= 1]. *)
+
+val reservoir_capacity : int
+(** Exact observations a bucketed series retains per domain before
+    percentiles degrade to bucket resolution. *)
 
 val incr : counter -> unit
 (** Add 1.  No-op when disabled. *)
@@ -43,36 +73,47 @@ val set : gauge -> float -> unit
     [set] (in global arming order) wins at merge time. *)
 
 val observe : histogram -> float -> unit
-(** Append one observation.  Histograms store every observation, so
-    percentiles are exact; intended for bounded-cardinality series
-    (iterations per mapping attempt, queue depths), not unbounded firehoses. *)
+(** Record one observation.  No-op when disabled. *)
 
 type hist_stats = {
   count : int;
   sum : float;
-  min : float;  (** 0 when [count = 0] *)
+  min : float;  (** 0 when [count = 0] — render empty series as ['-'], not 0 *)
   max : float;  (** 0 when [count = 0] *)
-  values : float array;  (** all observations, sorted ascending *)
+  values : float array;
+      (** retained exact observations, sorted ascending; all of them for
+          exact histograms, at most the reservoir for bucketed ones *)
+  buckets : (float * int) array;
+      (** (upper bound, cumulative count) in increasing bound order, last
+          bound [infinity] with cumulative count = [count].  For exact
+          histograms, computed at snapshot time against
+          {!default_ms_buckets} so exposition is uniform. *)
 }
 
 type snapshot = {
   counters : (string * int) list;  (** name-sorted; per-domain values summed *)
   gauges : (string * float) list;  (** name-sorted; latest [set] wins *)
-  histograms : (string * hist_stats) list;  (** name-sorted; observations concatenated *)
+  histograms : (string * hist_stats) list;  (** name-sorted; shards merged *)
 }
 
 val snapshot : unit -> snapshot
 (** Merge every domain's shard.  Metrics that were registered but never
-    recorded report 0 / empty. *)
+    recorded report 0 / empty.  Cheap enough to take per scrape: cost is
+    proportional to registered series and retained reservoir values, not to
+    total observations. *)
 
 val percentile : hist_stats -> float -> float
-(** Exact nearest-rank percentile: [percentile h p] for [p] in [0, 100] is
-    the smallest recorded value v such that at least [ceil (p/100 * count)]
-    observations are [<= v]; [p = 0] gives the minimum.  0 when empty. *)
+(** Nearest-rank percentile for [p] in [0, 100].  Exact while every
+    observation is retained ([count = Array.length values]); otherwise the
+    smallest bucket upper bound whose cumulative count reaches the rank
+    (clamped to [max]), which is within one bucket width of the exact
+    answer.  0 when empty. *)
 
 val reset : unit -> unit
-(** Zero every shard (registrations survive). *)
+(** Zero every shard (registrations and bucket bounds survive). *)
 
 val pp_summary : Format.formatter -> snapshot -> unit
 (** Aligned human-readable table: counters as integers, gauges as %g,
-    histograms as count/sum/p50/p90/max. *)
+    histograms as count/sum/p50/p90/max — ['-'] for the summary fields of
+    an empty histogram, so a never-observed series is distinguishable from
+    a real 0.0 observation. *)

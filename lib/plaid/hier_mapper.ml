@@ -380,11 +380,12 @@ let dbg fmt =
   else Printf.ifprintf stderr fmt
 
 let run_once ?(params = default) plaid g hier ~ii ~base ~rng =
-  match init_state ~params plaid g hier ~ii ~base ~rng with
+  match Explain.phase "place" (fun () -> init_state ~params plaid g hier ~ii ~base ~rng) with
   | None ->
     dbg "[hier] %s ii=%d: initial placement failed\n%!" g.Dfg.name ii;
     None
   | Some st ->
+    Explain.phase "route" @@ fun () ->
     let temp = ref params.t_start in
     let iter = ref 0 in
     let n = Dfg.n_nodes g in
@@ -412,6 +413,7 @@ let run_once ?(params = default) plaid g hier ~ii ~base ~rng =
       end
       else incr since_best
     done;
+    Explain.add_iterations !iter;
     if Route_table.unrouted st.table = 0 then Some (to_mapping st)
     else begin
       dbg "[hier] %s ii=%d: %d edges unrouted after %d moves\n%!" g.Dfg.name ii
@@ -442,26 +444,28 @@ let map_hier ?(params = default) ~plaid ~hier ~seed dfg =
   let rec attempt ii =
     if ii > max_ii then { mapping = None; hier; mii }
     else begin
-      (* inter-PCU hops cost two cycles (result register + conveyor-belt
-         register), so prefer a schedule with a two-cycle budget per edge;
-         larger fabrics may need a third cycle of slack, and recurrence-
-         bound kernels fall back to the tight schedule *)
-      let schedules =
-        List.filter_map
-          (fun lat -> Schedule.compute ~lat g ~ii ~cap)
-          [ 2; 3; 1 ]
-      in
-      let rec restart base r =
-        if r >= params.restarts then None
-        else
-          match run_once ~params plaid g hier ~ii ~base ~rng:(Plaid_util.Rng.split rng) with
-          | Some m -> (
-            match Mapping.validate m with
-            | Ok () -> Some m
-            | Error msg -> invalid_arg ("Hier_mapper: invalid mapping: " ^ msg))
-          | None -> restart base (r + 1)
-      in
       let result =
+        Explain.with_attempt ~algo:"hier" ~ii ~mapped:Option.is_some @@ fun () ->
+        (* inter-PCU hops cost two cycles (result register + conveyor-belt
+           register), so prefer a schedule with a two-cycle budget per edge;
+           larger fabrics may need a third cycle of slack, and recurrence-
+           bound kernels fall back to the tight schedule *)
+        let schedules =
+          Explain.phase "schedule" @@ fun () ->
+          List.filter_map
+            (fun lat -> Schedule.compute ~lat g ~ii ~cap)
+            [ 2; 3; 1 ]
+        in
+        let rec restart base r =
+          if r >= params.restarts then None
+          else
+            match run_once ~params plaid g hier ~ii ~base ~rng:(Plaid_util.Rng.split rng) with
+            | Some m -> (
+              match Mapping.validate m with
+              | Ok () -> Some m
+              | Error msg -> invalid_arg ("Hier_mapper: invalid mapping: " ^ msg))
+            | None -> restart base (r + 1)
+        in
         List.fold_left
           (fun acc base -> match acc with Some _ -> acc | None -> restart base 0)
           None schedules

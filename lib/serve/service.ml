@@ -1,7 +1,23 @@
 let m_requests = Plaid_obs.Metrics.counter "serve_requests"
 let m_errors = Plaid_obs.Metrics.counter "serve_errors"
 let m_deadline = Plaid_obs.Metrics.counter "serve_deadline_exceeded"
-let h_request_ms = Plaid_obs.Metrics.histogram "serve_request_ms"
+
+(* Latency series use the bounded fixed-bucket mode: a long-running server
+   observes these on every request, and per-series memory must stay O(1). *)
+let h_request_ms = Plaid_obs.Metrics.histogram_bucketed "serve_request_ms"
+let h_queue_wait_ms = Plaid_obs.Metrics.histogram_bucketed "serve_queue_wait_ms"
+let h_cache_ms = Plaid_obs.Metrics.histogram_bucketed "serve_cache_ms"
+let h_compute_ms = Plaid_obs.Metrics.histogram_bucketed "serve_compute_ms"
+
+let h_batch_size =
+  Plaid_obs.Metrics.histogram_bucketed
+    ~buckets:(Plaid_obs.Metrics.log_buckets ~start:1.0 ~factor:2.0 ~count:10)
+    "serve_batch_size"
+
+let h_queue_depth =
+  Plaid_obs.Metrics.histogram_bucketed
+    ~buckets:(Plaid_obs.Metrics.log_buckets ~start:1.0 ~factor:2.0 ~count:10)
+    "serve_queue_depth"
 
 (* The same fabrics, by the same names, as `plaidc map -a`: responses must
    be byte-identical to what the one-shot CLI writes. *)
@@ -28,14 +44,21 @@ type t = {
   cache : Cache.t;
   pool : Plaid_util.Pool.t option;
   fabrics : (string * (Plaid_arch.Arch.t * Plaid_core.Pcu.t option)) list;
+  started : int64;  (* Clock.now_ns at create, for the health uptime *)
+  slow_ms : float;
+  (* always-live request/error tallies for the health line, independent of
+     whether the metrics registry is armed *)
+  n_requests : int Atomic.t;
+  n_errors : int Atomic.t;
 }
 
-let create ?pool ~cache () =
+let create ?pool ?(slow_ms = 1000.0) ~cache () =
   (* eager: pool tasks must never force a shared lazy concurrently *)
   let fabrics =
     List.map (fun n -> (n, Option.get (build_fabric n))) arch_names
   in
-  { cache; pool; fabrics }
+  { cache; pool; fabrics; started = Plaid_obs.Trace.Clock.now_ns (); slow_ms;
+    n_requests = Atomic.make 0; n_errors = Atomic.make 0 }
 
 let cache t = t.cache
 
@@ -44,6 +67,8 @@ type request =
   | Compile of { file : string; arch : string; seed : int; deadline_ms : int option }
   | Case of { file : string; deadline_ms : int option }
   | Stats
+  | Metrics
+  | Health
   | Evict of [ `All | `Key of string ]
   | Quit
 
@@ -121,6 +146,8 @@ let parse_request line =
     | None -> Error "case needs file=<corpus.case>"
     | Some file -> Ok (Case { file; deadline_ms }))
   | [ "stats" ] -> Ok Stats
+  | [ "metrics" ] -> Ok Metrics
+  | [ "health" ] -> Ok Health
   | [ "evict"; "all" ] -> Ok (Evict `All)
   | "evict" :: args ->
     let* kv = parse_kv args in
@@ -129,7 +156,9 @@ let parse_request line =
     | Some k -> Ok (Evict (`Key k))
     | None -> Error "evict needs 'all' or key=<hex>")
   | [ "quit" ] -> Ok Quit
-  | cmd :: _ -> err "unknown request %s (choose from map, compile, case, stats, evict, quit)" cmd
+  | cmd :: _ ->
+    err "unknown request %s (choose from map, compile, case, stats, metrics, health, evict, quit)"
+      cmd
 
 (* ------------------------------------------------------------- compute *)
 
@@ -196,32 +225,80 @@ let prepare t = function
         let seed = c.Plaid_check.Case.seed in
         let key = Fingerprint.key ~dfg ~arch ~mapper:(mapper_name ~pcu) ~seed in
         Ok (key, fun () -> blob_of_mapping (map_on_fabric ~arch ~pcu ~dfg ~seed))))
-  | Stats | Evict _ | Quit -> Error "not a compile request"
+  | Stats | Metrics | Health | Evict _ | Quit -> Error "not a compile request"
 
 let deadline_of = function
   | Map { deadline_ms; _ } | Compile { deadline_ms; _ } | Case { deadline_ms; _ } ->
     deadline_ms
-  | Stats | Evict _ | Quit -> None
+  | Stats | Metrics | Health | Evict _ | Quit -> None
 
-let handle t req =
+let verb_of = function
+  | Map _ -> "map"
+  | Compile _ -> "compile"
+  | Case _ -> "case"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Health -> "health"
+  | Evict _ -> "evict"
+  | Quit -> "quit"
+
+let health_line t =
+  let s = Cache.stats t.cache in
+  Printf.sprintf
+    "ok uptime_s=%.1f requests=%d errors=%d cache_mem_hits=%d cache_disk_hits=%d \
+     cache_misses=%d cache_corrupt=%d"
+    (Plaid_obs.Trace.Clock.seconds_since t.started)
+    (Atomic.get t.n_requests) (Atomic.get t.n_errors) s.Cache.hit_mem s.Cache.hit_disk
+    s.Cache.miss s.Cache.corrupt
+
+(* [queued_at] is when the request was read off the wire (or entered a
+   batch); the gap to now is time spent waiting for a worker. *)
+let handle ?queued_at t req =
   Plaid_obs.Metrics.incr m_requests;
+  Atomic.incr t.n_requests;
   let t0 = Plaid_obs.Trace.Clock.now_ns () in
+  (match queued_at with
+  | None -> ()
+  | Some tq ->
+    Plaid_obs.Metrics.observe h_queue_wait_ms
+      (Int64.to_float (Int64.sub t0 tq) /. 1e6));
   let finish resp =
-    Plaid_obs.Metrics.observe h_request_ms
-      (Plaid_obs.Trace.Clock.seconds_since t0 *. 1000.0);
+    let elapsed_ms = Plaid_obs.Trace.Clock.seconds_since t0 *. 1000.0 in
+    Plaid_obs.Metrics.observe h_request_ms elapsed_ms;
     (match resp with
-    | Failure _ -> Plaid_obs.Metrics.incr m_errors
+    | Failure _ ->
+      Plaid_obs.Metrics.incr m_errors;
+      Atomic.incr t.n_errors
     | Payload _ -> ());
+    if elapsed_ms > t.slow_ms then
+      Plaid_obs.Log.warn ~sub:"serve"
+        ~fields:
+          [
+            ("verb", verb_of req);
+            ("ms", Printf.sprintf "%.1f" elapsed_ms);
+            ("status", match resp with Payload _ -> "ok" | Failure _ -> "err");
+          ]
+        "slow request";
     resp
   in
   finish
   @@ Plaid_obs.Trace.with_span ~cat:"serve" "request"
+       ~args:[ ("verb", verb_of req) ]
+       ~result:(function
+         | Payload { source = Some s; _ } -> [ ("source", Cache.source_to_string s) ]
+         | Payload { source = None; _ } -> []
+         | Failure _ -> [ ("status", "err") ])
   @@ fun () ->
   match req with
   | Stats ->
     Payload
       { source = None;
         payload = Format.asprintf "%a" Cache.pp_stats (Cache.stats t.cache) }
+  | Metrics ->
+    Payload
+      { source = None;
+        payload = Plaid_obs.Export.openmetrics (Plaid_obs.Metrics.snapshot ()) }
+  | Health -> Payload { source = None; payload = health_line t }
   | Evict `All ->
     Cache.evict_all t.cache;
     Payload { source = None; payload = "evicted all" }
@@ -234,7 +311,27 @@ let handle t req =
     match prepare t req with
     | Error msg -> Failure msg
     | Ok (key, compute) -> (
-      let blob, source = Cache.get_or_compute t.cache ~key (fun () -> Some (compute ())) in
+      let computed_ms = ref 0.0 in
+      let timed_compute () =
+        let tc = Plaid_obs.Trace.Clock.now_ns () in
+        Fun.protect
+          ~finally:(fun () ->
+            computed_ms := Plaid_obs.Trace.Clock.seconds_since tc *. 1000.0;
+            Plaid_obs.Metrics.observe h_compute_ms !computed_ms)
+          (fun () ->
+            Plaid_obs.Trace.with_span ~cat:"serve" "compute" @@ fun () ->
+            Some (compute ()))
+      in
+      let tl = Plaid_obs.Trace.Clock.now_ns () in
+      let blob, source =
+        Plaid_obs.Trace.with_span ~cat:"serve" "cache"
+          ~result:(fun (_, s) -> [ ("source", Cache.source_to_string s) ])
+        @@ fun () -> Cache.get_or_compute t.cache ~key timed_compute
+      in
+      (* cache-lookup time = tier walk (and any coalesced wait), minus the
+         compute we timed separately *)
+      Plaid_obs.Metrics.observe h_cache_ms
+        (Float.max 0.0 ((Plaid_obs.Trace.Clock.seconds_since tl *. 1000.0) -. !computed_ms));
       let over_deadline =
         match deadline_of req with
         | None -> false
@@ -250,7 +347,10 @@ let handle t req =
         | Some payload -> Payload { source = Some source; payload }))
 
 let run_batch t reqs =
-  let tasks = List.map (fun r () -> handle t r) reqs in
+  Plaid_obs.Metrics.observe h_batch_size (float_of_int (List.length reqs));
+  Plaid_obs.Metrics.observe h_queue_depth (float_of_int (List.length reqs));
+  let queued_at = Plaid_obs.Trace.Clock.now_ns () in
+  let tasks = List.map (fun r () -> handle ~queued_at t r) reqs in
   match t.pool with
   | Some pool -> Plaid_util.Pool.run pool tasks
   | None -> List.map (fun f -> f ()) tasks

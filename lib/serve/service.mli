@@ -16,6 +16,8 @@
     compile file=<kernel.k> [arch=<plaid|st>] [seed=<n>] [deadline-ms=<n>]
     case file=<corpus.case> [deadline-ms=<n>]
     stats
+    metrics
+    health
     evict all | evict key=<hex>
     quit
     v}
@@ -32,13 +34,26 @@
     so repeats are hits.  Deadlines are cooperative: the elapsed time is
     checked when the mapping is ready, and a late response is replaced by
     [err deadline exceeded] (the blob still enters the cache for the next
-    caller). *)
+    caller).
+
+    {2 Telemetry}
+
+    Every request runs under a span and feeds bounded latency histograms
+    ([serve_request_ms], [serve_queue_wait_ms], [serve_cache_ms],
+    [serve_compute_ms]) plus batch-size/queue-depth series; [metrics]
+    answers the whole registry as OpenMetrics text ({!Plaid_obs.Export}),
+    and [health] answers a one-line liveness summary (uptime, request and
+    error tallies, cache hit/miss/corrupt counts).  A request slower than
+    the [slow_ms] threshold emits a structured [PLAID_LOG]-gated warning.
+    All of it is strictly out-of-band: payload bytes are identical with
+    telemetry armed or not. *)
 
 type t
 
-val create : ?pool:Plaid_util.Pool.t -> cache:Cache.t -> unit -> t
+val create : ?pool:Plaid_util.Pool.t -> ?slow_ms:float -> cache:Cache.t -> unit -> t
 (** Builds the named fabrics eagerly (so pool tasks never race a lazy) and
-    keeps [pool] for {!run_batch}. *)
+    keeps [pool] for {!run_batch}.  [slow_ms] (default 1000) is the
+    slow-request log threshold. *)
 
 val cache : t -> Cache.t
 
@@ -47,6 +62,8 @@ type request =
   | Compile of { file : string; arch : string; seed : int; deadline_ms : int option }
   | Case of { file : string; deadline_ms : int option }
   | Stats
+  | Metrics
+  | Health
   | Evict of [ `All | `Key of string ]
   | Quit
 
@@ -57,8 +74,10 @@ type response =
       (** [source] is [None] for administrative replies (stats, evict) *)
   | Failure of string
 
-val handle : t -> request -> response
-(** Serve one request on the calling domain ([Quit] answers [ok 0]). *)
+val handle : ?queued_at:int64 -> t -> request -> response
+(** Serve one request on the calling domain ([Quit] answers [ok 0]).
+    [queued_at] ({!Plaid_obs.Trace.Clock.now_ns} when the request was read
+    off the wire) feeds the queue-wait histogram. *)
 
 val run_batch : t -> request list -> response list
 (** Serve a batch: every request becomes a pool task (sequential without a

@@ -6,6 +6,7 @@
 module Metrics = Plaid_obs.Metrics
 module Trace = Plaid_obs.Trace
 module Json = Plaid_obs.Json
+module Export = Plaid_obs.Export
 
 let check = Alcotest.check
 
@@ -162,6 +163,176 @@ let test_json_value_roundtrip () =
   | Ok v' -> if v <> v' then Alcotest.fail "JSON value changed across print/parse"
   | Error e -> Alcotest.failf "re-parse failed: %s" e
 
+(* --- exposition --------------------------------------------------------- *)
+
+(* Whatever ends up in the registry, the OpenMetrics rendering must satisfy
+   the same line-level validator CI runs against a live [plaidc serve]:
+   TYPE before samples, [_total] counters, strictly increasing cumulative
+   buckets with a +Inf terminator agreeing with [_count], one [# EOF].
+   Names include characters outside the exposition alphabet to exercise
+   sanitization. *)
+let qc_openmetrics_validates =
+  QCheck.Test.make ~count:60 ~name:"openmetrics rendering passes the validator"
+    QCheck.(
+      triple (small_list small_nat)
+        (small_list (map (fun n -> float_of_int (n - 50)) small_nat))
+        (small_list (small_list small_nat)))
+    (fun (counts, gvals, hobs) ->
+      with_fresh_obs @@ fun () ->
+      List.iteri
+        (fun i n -> Metrics.add (Metrics.counter (Printf.sprintf "qc/c%d" i)) n)
+        counts;
+      List.iteri
+        (fun i v -> Metrics.set (Metrics.gauge (Printf.sprintf "qc/g%d" i)) v)
+        gvals;
+      List.iteri
+        (fun i obs ->
+          (* alternate exact and bucketed so both exposition paths render *)
+          let name = Printf.sprintf "qc/h%d" i in
+          let h =
+            if i mod 2 = 0 then Metrics.histogram name
+            else Metrics.histogram_bucketed name
+          in
+          List.iter (fun n -> Metrics.observe h (float_of_int n *. 0.37)) obs)
+        hobs;
+      let text = Export.openmetrics (Metrics.snapshot ()) in
+      match Export.check_openmetrics text with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "invalid OpenMetrics: %s\n%s" e text)
+
+(* Past the reservoir a bucketed percentile degrades to bucket resolution,
+   but never further: the estimate must land in the same bucket as the exact
+   nearest-rank answer computed from the full observation list. *)
+let qc_bucketed_percentile_within_bucket =
+  let bucket_of v =
+    let bounds = Metrics.default_ms_buckets in
+    let n = Array.length bounds in
+    let rec go i = if i >= n then n else if bounds.(i) >= v then i else go (i + 1) in
+    go 0
+  in
+  QCheck.Test.make ~count:15
+    ~name:"bucketed percentiles agree with exact within one bucket"
+    QCheck.(list_of_size Gen.(int_range 600 900) (int_bound 200_000))
+    (fun ms ->
+      (* > reservoir_capacity observations, so the exact path is off *)
+      QCheck.assume (List.length ms > Metrics.reservoir_capacity);
+      with_fresh_obs @@ fun () ->
+      let h = Metrics.histogram_bucketed "qc/pctl" in
+      List.iter (fun n -> Metrics.observe h (float_of_int n)) ms;
+      let stats = List.assoc "qc/pctl" (Metrics.snapshot ()).Metrics.histograms in
+      if stats.Metrics.count = Array.length stats.Metrics.values then
+        QCheck.Test.fail_report "reservoir did not overflow; exact path still on";
+      let sorted = Array.of_list (List.map float_of_int ms) in
+      Array.sort compare sorted;
+      List.for_all
+        (fun p ->
+          let rank =
+            Stdlib.max 1
+              (int_of_float (Float.ceil (p /. 100.0 *. float_of_int (Array.length sorted))))
+          in
+          let exact = sorted.(rank - 1) in
+          let est = Metrics.percentile stats p in
+          bucket_of est = bucket_of exact
+          || QCheck.Test.fail_reportf "p%g: estimate %g not in exact %g's bucket" p est
+               exact)
+        [ 50.0; 90.0; 99.0 ])
+
+(* A snapshot raced against a bumping domain must never tear: values stay in
+   [0, N], cumulative bucket counts never decrease within a snapshot, and a
+   snapshot after the join is exact. *)
+let test_snapshot_under_concurrent_bump () =
+  with_fresh_obs @@ fun () ->
+  let c = Metrics.counter "qc/race_c" in
+  let h = Metrics.histogram_bucketed "qc/race_h" in
+  let n = 200_000 in
+  let worker =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Metrics.incr c;
+          Metrics.observe h (float_of_int (i land 1023))
+        done)
+  in
+  let hist_ok snap =
+    match List.assoc_opt "qc/race_h" snap.Metrics.histograms with
+    | None -> Alcotest.fail "histogram missing mid-flight"
+    | Some st ->
+      if st.Metrics.count < 0 || st.Metrics.count > n then
+        Alcotest.failf "torn histogram count %d" st.Metrics.count;
+      let prev = ref 0 in
+      Array.iter
+        (fun (_, cum) ->
+          if cum < !prev then Alcotest.failf "bucket counts decreased (%d -> %d)" !prev cum;
+          prev := cum)
+        st.Metrics.buckets
+  in
+  for _ = 1 to 200 do
+    let snap = Metrics.snapshot () in
+    let v = counter_value snap "qc/race_c" in
+    if v < 0 || v > n then Alcotest.failf "torn counter value %d" v;
+    hist_ok snap
+  done;
+  Domain.join worker;
+  (* quiesced through the join: the merge is exact *)
+  let snap = Metrics.snapshot () in
+  check Alcotest.int "counter exact after join" n (counter_value snap "qc/race_c");
+  let st = List.assoc "qc/race_h" snap.Metrics.histograms in
+  check Alcotest.int "histogram count exact after join" n st.Metrics.count;
+  let _, inf_cum = st.Metrics.buckets.(Array.length st.Metrics.buckets - 1) in
+  check Alcotest.int "+Inf bucket = count" n inf_cum
+
+(* The validator must also reject broken expositions, or the CI gate that
+   uses it proves nothing. *)
+let test_validator_rejects_breakage () =
+  let reject label text =
+    match Export.check_openmetrics text with
+    | Ok () -> Alcotest.failf "validator accepted %s" label
+    | Error _ -> ()
+  in
+  reject "missing EOF" "# TYPE plaid_x counter\nplaid_x_total 1\n";
+  reject "sample before TYPE" "plaid_x_total 1\n# TYPE plaid_x counter\n# EOF\n";
+  reject "negative counter" "# TYPE plaid_x counter\nplaid_x_total -1\n# EOF\n";
+  reject "counter without _total" "# TYPE plaid_x counter\nplaid_x 1\n# EOF\n";
+  reject "content after EOF" "# EOF\n# TYPE plaid_x counter\n";
+  reject "non-increasing bounds"
+    "# TYPE plaid_h histogram\nplaid_h_bucket{le=\"2.0\"} 1\nplaid_h_bucket{le=\"1.0\"} \
+     2\nplaid_h_bucket{le=\"+Inf\"} 2\nplaid_h_sum 3.0\nplaid_h_count 2\n# EOF\n";
+  reject "non-cumulative buckets"
+    "# TYPE plaid_h histogram\nplaid_h_bucket{le=\"1.0\"} 3\nplaid_h_bucket{le=\"+Inf\"} \
+     2\nplaid_h_sum 3.0\nplaid_h_count 2\n# EOF\n";
+  reject "count disagrees with +Inf"
+    "# TYPE plaid_h histogram\nplaid_h_bucket{le=\"1.0\"} 1\nplaid_h_bucket{le=\"+Inf\"} \
+     2\nplaid_h_sum 3.0\nplaid_h_count 5\n# EOF\n";
+  reject "buckets without _count"
+    "# TYPE plaid_h histogram\nplaid_h_bucket{le=\"+Inf\"} 2\n# EOF\n";
+  match Export.check_openmetrics "# TYPE plaid_x counter\nplaid_x_total 1\n# EOF\n" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validator rejected a valid exposition: %s" e
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* Empty series render as '-' in the summary (distinguishable from a real
+   0.0) and are omitted from the exposition entirely. *)
+let test_empty_histogram_rendering () =
+  with_fresh_obs @@ fun () ->
+  ignore (Metrics.histogram "qc/never_observed");
+  let snap = Metrics.snapshot () in
+  let summary = Format.asprintf "%a" Metrics.pp_summary snap in
+  (match
+     List.find_opt
+       (fun l -> contains l "qc/never_observed")
+       (String.split_on_char '\n' summary)
+   with
+  | Some line ->
+    if not (contains line "p50=-") then
+      Alcotest.failf "empty series not rendered with '-': %s" line
+  | None -> Alcotest.fail "never-observed series missing from summary");
+  let text = Export.openmetrics snap in
+  if contains text "qc_never_observed" then
+    Alcotest.fail "empty histogram series leaked into the exposition"
+
 let suites =
   [
     ( "obs",
@@ -177,5 +348,16 @@ let suites =
           test_trace_json_roundtrip_and_nesting;
         Alcotest.test_case "raising span is recorded" `Quick test_span_records_exceptions;
         Alcotest.test_case "json print/parse round-trip" `Quick test_json_value_roundtrip;
+      ] );
+    ( "obs export",
+      [
+        Test_qc.to_alcotest qc_openmetrics_validates;
+        Test_qc.to_alcotest qc_bucketed_percentile_within_bucket;
+        Alcotest.test_case "snapshot under concurrent bump never tears" `Quick
+          test_snapshot_under_concurrent_bump;
+        Alcotest.test_case "validator rejects broken expositions" `Quick
+          test_validator_rejects_breakage;
+        Alcotest.test_case "empty histograms render as '-' and export nothing" `Quick
+          test_empty_histogram_rendering;
       ] );
   ]

@@ -346,6 +346,59 @@ let test_service_parse () =
   | Ok (Service.Evict `All) -> ()
   | _ -> Alcotest.fail "evict all did not parse"
 
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* The service-grade verbs: [metrics] must answer a valid OpenMetrics
+   exposition whose request-latency buckets and cache counters reflect the
+   traffic just served; [health] must answer the documented one-liner with
+   tallies agreeing with the cache stats. *)
+let test_service_metrics_and_health_verbs () =
+  let _, svc = dir_service () in
+  Plaid_obs.Metrics.reset ();
+  Plaid_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Plaid_obs.Metrics.set_enabled false;
+      Plaid_obs.Metrics.reset ())
+  @@ fun () ->
+  ignore (Service.handle svc (map_req "dwconv"));
+  ignore (Service.handle svc (map_req "dwconv"));
+  let text, source = payload_of (Service.handle svc Service.Metrics) in
+  check "metrics reply is administrative" (source = None) true;
+  (match Plaid_obs.Export.check_openmetrics text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "metrics payload is not valid OpenMetrics: %s\n%s" e text);
+  check "request latency buckets exported"
+    (contains text "plaid_serve_request_ms_bucket{le=")
+    true;
+  check "cache miss counter exported" (contains text "plaid_cache_miss_total 1") true;
+  check "cache mem-hit counter exported" (contains text "plaid_cache_hit_mem_total 1") true;
+  let line, hsource = payload_of (Service.handle svc Service.Health) in
+  check "health reply is administrative" (hsource = None) true;
+  Scanf.sscanf line
+    "ok uptime_s=%f requests=%d errors=%d cache_mem_hits=%d cache_disk_hits=%d \
+     cache_misses=%d cache_corrupt=%d"
+    (fun up reqs errs mem disk miss corrupt ->
+      check "uptime non-negative" (up >= 0.0) true;
+      (* two maps + the metrics verb + this health request *)
+      check "request tally counts every verb" (reqs = 4) true;
+      check "no errors" (errs = 0) true;
+      check "health agrees with cache stats"
+        (let s = Cache.stats (Service.cache svc) in
+         mem = s.Cache.hit_mem && disk = s.Cache.hit_disk && miss = s.Cache.miss
+         && corrupt = s.Cache.corrupt)
+        true);
+  (* both verbs parse off the wire *)
+  (match Service.parse_request "metrics" with
+  | Ok Service.Metrics -> ()
+  | _ -> Alcotest.fail "metrics verb did not parse");
+  match Service.parse_request "health" with
+  | Ok Service.Health -> ()
+  | _ -> Alcotest.fail "health verb did not parse"
+
 let test_service_batch_coalesces () =
   let _, svc = dir_service () in
   let reqs = [ map_req "dwconv"; map_req "dwconv"; map_req "dwconv" ] in
@@ -391,6 +444,8 @@ let suites =
         Alcotest.test_case "deadlines trip but still cache" `Slow test_service_deadline;
         Alcotest.test_case "request errors" `Quick test_service_errors;
         Alcotest.test_case "protocol parsing" `Quick test_service_parse;
+        Alcotest.test_case "metrics and health verbs" `Quick
+          test_service_metrics_and_health_verbs;
         Alcotest.test_case "batches coalesce" `Quick test_service_batch_coalesces;
       ] );
   ]

@@ -261,6 +261,105 @@ let () =
   let rc = sh "%s cache frobnicate > cbad.out 2> cbad.err" plaidc in
   if rc <> 2 then fail "unknown cache action: expected exit 2, got %d" rc
 
+(* --- service telemetry verbs ------------------------------------------- *)
+
+(* split a protocol transcript into (header, payload) frames *)
+let parse_frames out =
+  let n = String.length out in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match String.index_from_opt out i '\n' with
+      | None -> List.rev acc
+      | Some j -> (
+        let header = String.sub out i (j - i) in
+        match String.split_on_char ' ' header with
+        | "ok" :: len :: _ -> (
+          match int_of_string_opt len with
+          | Some l when j + 1 + l <= n ->
+            (* skip the payload bytes and their trailing newline *)
+            go (j + 1 + l + 1) ((header, String.sub out (j + 1) l) :: acc)
+          | _ -> List.rev ((header, "") :: acc))
+        | _ -> go (j + 1) ((header, "") :: acc))
+  in
+  go 0 []
+
+let () =
+  (* metrics and health answered mid-replay, over the store the previous
+     section populated: the exposition must validate and must carry the
+     request-latency buckets and the cache counters this very replay bumped *)
+  let oc = open_out "serve_tel.req" in
+  output_string oc "map kernel=gemm_u2 arch=st seed=2025\nmetrics\nhealth\nquit\n";
+  close_out oc;
+  let rc =
+    sh "%s serve --cache-dir srvcache --slow-ms 5000 < serve_tel.req > tel.out 2> tel.err"
+      plaidc
+  in
+  if rc <> 0 then fail "serve telemetry replay exited %d" rc;
+  (match parse_frames (read_file "tel.out") with
+  | [ (map_hdr, _); (_, metrics); (_, health); _quit ] ->
+    if not (contains ~needle:"source=" map_hdr) then
+      fail "replayed map response carries no source tag: %s" map_hdr;
+    (match Plaid_obs.Export.check_openmetrics metrics with
+    | Ok () -> ()
+    | Error e -> fail "serve metrics verb answered invalid OpenMetrics: %s" e);
+    List.iter
+      (fun needle ->
+        if not (contains ~needle metrics) then
+          fail "metrics exposition is missing %s" needle)
+      [
+        "plaid_serve_request_ms_bucket{le=";
+        "plaid_serve_request_ms_count";
+        "plaid_cache_hit_disk_total";
+        "plaid_cache_miss_total";
+      ];
+    if not (String.length health >= 2 && String.sub health 0 2 = "ok") then
+      fail "health verb did not answer ok: %s" health;
+    List.iter
+      (fun needle ->
+        if not (contains ~needle health) then fail "health line is missing %s" needle)
+      [ "uptime_s="; "requests="; "errors="; "cache_mem_hits=" ]
+  | fs -> fail "serve telemetry replay answered %d frames (want 4)" (List.length fs));
+  (* a positive --metrics-interval is accepted (the replay finishes before
+     the first tick; the flag's value validation is what's under test) *)
+  let rc = sh "%s serve --metrics-interval 5 < serve.req > /dev/null 2> /dev/null" plaidc in
+  if rc <> 0 then fail "serve --metrics-interval 5 exited %d" rc
+
+(* --- mapper explainability reports ------------------------------------- *)
+
+let () =
+  (* the report must not perturb the mapping pipeline: stdout is
+     byte-identical with and without --report, at -j 1 and -j 4 *)
+  let rc = sh "%s map -k doitgen_u2 -a st -j 1 > rep_off.out 2> /dev/null" plaidc in
+  if rc <> 0 then fail "map without --report exited %d" rc;
+  let rc =
+    sh "%s map -k doitgen_u2 -a st -j 1 --report rep.txt > rep_on.out 2> rep_err1.err" plaidc
+  in
+  if rc <> 0 then fail "map --report exited %d" rc;
+  if read_file "rep_off.out" <> read_file "rep_on.out" then
+    fail "--report changed the mapping pipeline's stdout";
+  let rc =
+    sh "%s map -k doitgen_u2 -a st -j 4 --report rep4.txt > rep_on4.out 2> /dev/null" plaidc
+  in
+  if rc <> 0 then fail "map --report -j 4 exited %d" rc;
+  if read_file "rep_off.out" <> read_file "rep_on4.out" then
+    fail "--report stdout differs at -j 4";
+  let rep = read_file "rep.txt" in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle rep) then fail "ASCII report is missing %s" needle)
+    [ "II search"; "phase totals"; "occupancy" ];
+  (* a .json report is machine-readable with the documented top-level keys *)
+  let rc = sh "%s map -k doitgen_u2 -a st --report rep.json > /dev/null 2> /dev/null" plaidc in
+  if rc <> 0 then fail "map --report rep.json exited %d" rc;
+  (match Plaid_obs.Json.of_string (String.trim (read_file "rep.json")) with
+  | Error e -> fail "JSON report does not parse: %s" e
+  | Ok doc ->
+    List.iter
+      (fun key ->
+        if Plaid_obs.Json.member key doc = None then fail "JSON report is missing %S" key)
+      [ "kernel"; "seed"; "fabric"; "mapped"; "attempts"; "phase_totals_ms" ])
+
 (* --- uniform bad-name handling ----------------------------------------- *)
 
 let () =
@@ -284,7 +383,23 @@ let () =
   let rc = sh "%s faults -k gemm_u2 -a st --faults=-1 > negf.out 2> negf.err" plaidc in
   if rc <> 2 then fail "negative fault count: expected exit 2, got %d" rc;
   let rc = sh "%s exp table2 -j 0 > jexp.out 2> jexp.err" plaidc in
-  if rc <> 2 then fail "exp -j 0: expected exit 2, got %d" rc
+  if rc <> 2 then fail "exp -j 0: expected exit 2, got %d" rc;
+  (* the telemetry flags take the same uniform path *)
+  let rc = sh "%s serve --metrics-interval 0 < /dev/null > mi0.out 2> mi0.err" plaidc in
+  if rc <> 2 then fail "serve --metrics-interval 0: expected exit 2, got %d" rc;
+  if String.trim (read_file "mi0.err") = "" then
+    fail "serve --metrics-interval 0 printed nothing on stderr";
+  let rc = sh "%s serve --metrics-interval=-1 < /dev/null > min.out 2> min.err" plaidc in
+  if rc <> 2 then fail "serve --metrics-interval -1: expected exit 2, got %d" rc;
+  let rc = sh "%s serve --slow-ms=-5 < /dev/null > sm.out 2> sm.err" plaidc in
+  if rc <> 2 then fail "serve --slow-ms -5: expected exit 2, got %d" rc;
+  let rc =
+    sh "%s map -k gemm_u2 -a st --report /nonexistent/dir/rep.txt > badrep.out 2> badrep.err"
+      plaidc
+  in
+  if rc <> 2 then fail "map --report to an unwritable path: expected exit 2, got %d" rc;
+  if String.trim (read_file "badrep.err") = "" then
+    fail "unwritable --report path printed nothing on stderr"
 
 let () =
   if !failures > 0 then exit 1;
