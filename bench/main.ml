@@ -243,6 +243,51 @@ let run_cache_cold_warm () =
     warm_stats.Plaid_serve.Cache.hit_disk t_warm (t_cold /. t_warm)
     (if t_cold /. t_warm >= 10.0 then "  (>= 10x: PASS)" else "  (< 10x: FAIL)")
 
+(* --- DSE campaigns: cold vs warm --------------------------------------- *)
+
+(* The acceptance number for Plaid_dse: an exhaustive sweep of the tiny
+   space over the quick suite, first against a cold store (every
+   candidate/kernel pair runs a real mapper) and then warm (every mapping
+   replayed from blobs, zero mapper invocations).  The two reports must be
+   byte-identical — cache state never leaks into the frontier — and the
+   warm pass throughput is what makes iterative space refinement cheap. *)
+let run_dse_cold_warm pool =
+  Plaid_exp.Ascii.heading "DSE campaign: cold vs warm (tiny space, quick suite)";
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_file "plaid_bench_dse" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) @@ fun () ->
+  let space = Option.get (Plaid_dse.Space.find_preset "tiny") in
+  let suite = Option.get (Plaid_dse.Eval.find_suite "quick") in
+  let pass () =
+    let cache = Plaid_serve.Cache.create ~dir () in
+    let t = Plaid_dse.Eval.create ~quick:true ~pool ~cache () in
+    let c =
+      Plaid_dse.Eval.run t ~space ~suite_name:"quick" ~suite
+        ~strategy:Plaid_dse.Search.Exhaustive
+    in
+    (Plaid_dse.Report.to_string c, Plaid_serve.Cache.stats cache)
+  in
+  let (cold, cold_stats), t_cold = time pass in
+  let (warm, warm_stats), t_warm = time pass in
+  if cold <> warm then failwith "dse bench: warm report differs from cold";
+  let n_cands = List.length space.Plaid_dse.Space.candidates in
+  let evals = n_cands * List.length suite in
+  Printf.printf
+    "  %d candidates x %d kernels (%d evals)\n  cold (computed %d)  %.2fs  (%.2f s/candidate)\n  warm (disk hits %d)  %.3fs  (%.3f s/candidate)\n  speedup     %.0fx%s\n"
+    n_cands (List.length suite) evals cold_stats.Plaid_serve.Cache.miss t_cold
+    (t_cold /. float_of_int n_cands)
+    warm_stats.Plaid_serve.Cache.hit_disk t_warm
+    (t_warm /. float_of_int n_cands)
+    (t_cold /. t_warm)
+    (if t_cold /. t_warm >= 10.0 then "  (>= 10x: PASS)" else "  (< 10x: FAIL)")
+
 (* --- observability overhead -------------------------------------------- *)
 
 (* Same portfolio, tracing + metrics off vs on.  Off is the shipping
@@ -334,6 +379,7 @@ let () =
   Plaid_util.Pool.with_pool ~size:jobs run_experiments;
   run_speedup ();
   run_cache_cold_warm ();
+  Plaid_util.Pool.with_pool ~size:jobs run_dse_cold_warm;
   run_fault_repair ();
   run_obs_overhead ();
   run_serve_obs_overhead ();

@@ -5,6 +5,7 @@
      map -k <kernel> -a <arch>    compile one kernel and report the mapping
      motifs -k <kernel>           run motif generation, dump DOT with clusters
      exp [-e <name>]              regenerate the paper's tables and figures
+     dse                          explore an architecture space, report the Pareto frontier
      serve                        batch compile daemon over the mapping cache
      cache <action>               operate the on-disk mapping cache *)
 
@@ -946,6 +947,134 @@ let serve_cmd =
       const run $ cache_dir_arg $ mem_budget_arg $ socket_arg $ interval_arg $ slow_ms_arg
       $ jobs_arg $ trace_arg $ metrics_arg)
 
+let dse_cmd =
+  let strategies = [ "exhaustive"; "random"; "halving" ] in
+  let space_arg =
+    Arg.(
+      value
+      & opt string "paper"
+      & info [ "space" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Architecture space to explore: a preset (%s) or @FILE for a user-defined \
+                axis-product space."
+               (String.concat ", " Plaid_dse.Space.preset_names)))
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt string "paper"
+      & info [ "suite" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Workload suite every candidate maps: %s."
+               (String.concat ", " Plaid_dse.Eval.suite_names)))
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt string "exhaustive"
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Search strategy: %s.  Random samples --budget candidates; halving starts \
+                on a --budget-kernel prefix and prunes only candidates whose optimistic \
+                bound is already dominated, so the frontier matches the exhaustive one."
+               (String.concat ", " strategies)))
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Strategy budget: candidates to sample (random) or kernels in the first rung \
+             (halving).  Rejected with --strategy exhaustive.")
+  in
+  let quick_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "quick" ]
+          ~doc:"Reduced-effort mapper parameters (CI-sized campaigns; IIs may be looser).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the JSON campaign report to $(docv) ('-' for stdout, replacing the \
+                ASCII report).")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persistent mapping cache: every (candidate, kernel) mapping is fingerprinted \
+             and stored under $(docv), so campaigns are resumable and a warm re-run \
+             performs zero mapper invocations.  Report bytes are identical with the cache \
+             cold, warm, or absent.")
+  in
+  let run space suite strategy budget quick json cache seed jobs trace metrics =
+    (match budget with
+    | Some n when n < 1 -> die_bad_arg ~what:"budget" n ~expected:"a positive integer"
+    | _ -> ());
+    let strategy =
+      match (strategy, budget) with
+      | "exhaustive", Some _ ->
+        Printf.eprintf
+          "plaidc: --budget conflicts with --strategy exhaustive (use random or halving)\n";
+        exit 2
+      | "exhaustive", None -> Plaid_dse.Search.Exhaustive
+      | "random", b -> Plaid_dse.Search.Random { samples = Option.value b ~default:8 }
+      | "halving", b -> Plaid_dse.Search.Halving { rung = Option.value b ~default:2 }
+      | other, _ -> die_unknown ~what:"strategy" other strategies
+    in
+    let space =
+      if String.length space > 0 && space.[0] = '@' then
+        match Plaid_dse.Space.of_file (String.sub space 1 (String.length space - 1)) with
+        | Ok s -> s
+        | Error e ->
+          Printf.eprintf "plaidc: space file: %s\n" e;
+          exit 2
+      else
+        match Plaid_dse.Space.find_preset space with
+        | Some s -> s
+        | None -> die_unknown ~what:"space" space Plaid_dse.Space.preset_names
+    in
+    let suite_name = suite in
+    let suite =
+      match Plaid_dse.Eval.find_suite suite_name with
+      | Some s -> s
+      | None -> die_unknown ~what:"suite" suite_name Plaid_dse.Eval.suite_names
+    in
+    with_obs ~trace ~metrics @@ fun () ->
+    with_jobs jobs @@ fun pool ->
+    let cache = Option.map (fun dir -> Plaid_serve.Cache.create ~dir ()) cache in
+    let t = Plaid_dse.Eval.create ~seed ~quick ~pool ?cache () in
+    let campaign = Plaid_dse.Eval.run t ~space ~suite_name ~suite ~strategy in
+    (match json with
+    | Some "-" -> print_endline (Plaid_dse.Report.to_json_string campaign)
+    | Some path ->
+      print_string (Plaid_dse.Report.to_string campaign);
+      let oc = open_out path in
+      output_string oc (Plaid_dse.Report.to_json_string campaign);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+    | None -> print_string (Plaid_dse.Report.to_string campaign));
+    0
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Explore an architecture space: map a workload suite on every candidate fabric and \
+          report the area x energy/op x II Pareto frontier")
+    Term.(
+      const run $ space_arg $ suite_arg $ strategy_arg $ budget_arg $ quick_arg $ json_arg
+      $ cache_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
+
 let cache_cmd =
   let actions = [ "stats"; "gc"; "clear"; "verify" ] in
   let action_arg =
@@ -1008,7 +1137,7 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ list_cmd; map_cmd; run_cmd; motifs_cmd; compile_cmd; rtl_cmd; faults_cmd;
-           fuzz_cmd; exp_cmd; serve_cmd; cache_cmd ])
+           fuzz_cmd; exp_cmd; dse_cmd; serve_cmd; cache_cmd ])
   in
   (* Cmdliner reports unknown subcommands and malformed flags with its own
      CLI-error code; fold that into the uniform "bad name -> exit 2"

@@ -1,0 +1,36 @@
+type point = {
+  p_area : float;
+  p_epo : float;
+  p_ii : float;
+  p_fail : float;
+}
+
+let dominates a b =
+  a.p_area <= b.p_area && a.p_epo <= b.p_epo && a.p_ii <= b.p_ii
+  && a.p_fail <= b.p_fail
+  && (a.p_area < b.p_area || a.p_epo < b.p_epo || a.p_ii < b.p_ii
+      || a.p_fail < b.p_fail)
+
+let frontier_flags pts =
+  let n = Array.length pts in
+  Array.init n (fun i ->
+      let rec undominated j =
+        j >= n || ((j = i || not (dominates pts.(j) pts.(i))) && undominated (j + 1))
+      in
+      undominated 0)
+
+let classify entries =
+  let pts = Array.of_list (List.map snd entries) in
+  let tags = Array.of_list (List.map fst entries) in
+  let flags = frontier_flags pts in
+  let frontier = ref [] and dominated = ref [] in
+  Array.iteri
+    (fun i p ->
+      if flags.(i) then frontier := (tags.(i), p) :: !frontier
+      else
+        let rec witness j =
+          if flags.(j) && dominates pts.(j) p then tags.(j) else witness (j + 1)
+        in
+        dominated := (tags.(i), p, witness 0) :: !dominated)
+    pts;
+  (List.rev !frontier, List.rev !dominated)

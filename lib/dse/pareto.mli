@@ -1,0 +1,29 @@
+(** Pareto dominance over the DSE objective vector.
+
+    Four minimized objectives: system area (um^2), energy per operation
+    (pJ/op, penalty-charged geomean over the whole suite), geomean II
+    (penalty-charged), and the number of unmapped kernels.  Point [a]
+    dominates [b] when it is no worse on every objective and strictly
+    better on at least one; this is a strict partial order (irreflexive,
+    antisymmetric, transitive), which the property tests pin. *)
+
+type point = {
+  p_area : float;
+  p_epo : float;
+  p_ii : float;
+  p_fail : float;
+}
+
+val dominates : point -> point -> bool
+
+val frontier_flags : point array -> bool array
+(** [flags.(i)] is true iff no other point dominates point [i].  Equal
+    points do not dominate each other, so duplicates all stay on the
+    frontier.  Membership is independent of array order. *)
+
+val classify :
+  ('a * point) list -> ('a * point) list * ('a * point * 'a) list
+(** Split into (frontier, dominated-with-witness), both preserving input
+    order.  The witness is the first frontier element (in input order)
+    dominating the point; callers wanting stable witnesses sort the input
+    canonically first. *)

@@ -1,0 +1,14 @@
+(** Campaign rendering: the frontier table, an ASCII Pareto scatter, and a
+    machine-readable JSON form (embedding {!Plaid_model.Export} breakdowns).
+
+    Both renderings are pure functions of the {!Eval.campaign} value — no
+    timings, cache statistics, or worker counts — so reports are
+    byte-identical at any [-j], with tracing on or off, and cold vs warm
+    cache.  Candidates are lettered in ascending-area order; frontier
+    members are uppercase in the scatter and marked in the table. *)
+
+val to_string : Eval.campaign -> string
+
+val to_json : Eval.campaign -> Plaid_obs.Json.t
+
+val to_json_string : Eval.campaign -> string

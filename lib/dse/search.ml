@@ -1,0 +1,156 @@
+type kernel_eval = {
+  ke_ok : bool;
+  ke_ii : float;
+  ke_epo : float;
+}
+
+type 'c oracle = {
+  n_kernels : int;
+  area : 'c -> float;
+  eval : ('c * int) list -> kernel_eval list;
+  bound : 'c -> int -> kernel_eval;
+}
+
+type strategy =
+  | Exhaustive
+  | Random of { samples : int }
+  | Halving of { rung : int }
+
+let strategy_to_string = function
+  | Exhaustive -> "exhaustive"
+  | Random { samples } -> Printf.sprintf "random:%d" samples
+  | Halving { rung } -> Printf.sprintf "halving:%d" rung
+
+(* Penalty constants charged for an unmapped kernel: any value above every
+   achievable II / energy-per-op keeps the objective ordering; these are
+   orders of magnitude above both. *)
+let fail_ii = 1e4
+let fail_epo = 1e6
+
+let geomean_by f arr =
+  let n = Array.length arr in
+  if n = 0 then 1.
+  else
+    exp (Array.fold_left (fun acc x -> acc +. log (Float.max 1e-9 (f x))) 0. arr
+         /. float_of_int n)
+
+let point_of ~area evals =
+  let fails = Array.fold_left (fun n e -> if e.ke_ok then n else n + 1) 0 evals in
+  { Pareto.p_area = area;
+    p_epo = geomean_by (fun e -> if e.ke_ok then e.ke_epo else fail_epo) evals;
+    p_ii = geomean_by (fun e -> if e.ke_ok then e.ke_ii else fail_ii) evals;
+    p_fail = float_of_int fails }
+
+type 'c result = {
+  sr_cand : 'c;
+  sr_evals : kernel_eval array;
+  sr_point : Pareto.point;
+}
+
+type 'c outcome = {
+  results : 'c result list;
+  pruned : 'c list;
+  kernel_evals : int;
+}
+
+let run ~oracle ~strategy ~seed cands =
+  let cands = Array.of_list cands in
+  let n = Array.length cands in
+  let k = oracle.n_kernels in
+  let evals = Array.init n (fun _ -> Array.make k None) in
+  let count = ref 0 in
+  (* Fetch missing (candidate index, kernel index) pairs in one oracle
+     batch — the parallelism seam. *)
+  let fetch pairs =
+    let missing = List.filter (fun (i, j) -> evals.(i).(j) = None) pairs in
+    match missing with
+    | [] -> ()
+    | _ ->
+      let res = oracle.eval (List.map (fun (i, j) -> (cands.(i), j)) missing) in
+      count := !count + List.length missing;
+      List.iter2 (fun (i, j) e -> evals.(i).(j) <- Some e) missing res
+  in
+  let all_kernels i = List.init k (fun j -> (i, j)) in
+  let eval_full is = fetch (List.concat_map all_kernels is) in
+  let full_point i =
+    point_of ~area:(oracle.area cands.(i)) (Array.map Option.get evals.(i))
+  in
+  let finish evaluated pruned =
+    { results =
+        List.map
+          (fun i ->
+            { sr_cand = cands.(i); sr_evals = Array.map Option.get evals.(i);
+              sr_point = full_point i })
+          evaluated;
+      pruned = List.map (fun i -> cands.(i)) pruned;
+      kernel_evals = !count }
+  in
+  let indices = List.init n Fun.id in
+  match strategy with
+  | Exhaustive ->
+    eval_full indices;
+    finish indices []
+  | Random { samples } ->
+    let order = Array.init n Fun.id in
+    Plaid_util.Rng.shuffle (Plaid_util.Rng.derive (Plaid_util.Rng.create seed) 0xd5e) order;
+    let take = min (max 1 samples) n in
+    let chosen =
+      Array.sub order 0 take |> Array.to_list |> List.sort compare
+    in
+    let skipped = List.filter (fun i -> not (List.mem i chosen)) indices in
+    eval_full chosen;
+    finish chosen skipped
+  | Halving { rung } ->
+    let alive = ref indices and paused = ref [] in
+    let prefix = ref (max 1 (min rung k)) in
+    (* A candidate's partial score over the evaluated prefix: the product
+       of the positive objectives (plus a failure term) — a scalarization
+       used only for *ranking* within a rung, never for pruning. *)
+    let scalar i p =
+      let pt =
+        point_of ~area:(oracle.area cands.(i))
+          (Array.init p (fun j -> Option.get evals.(i).(j)))
+      in
+      pt.Pareto.p_area *. pt.p_epo *. pt.p_ii *. (1. +. pt.p_fail)
+    in
+    while !prefix < k && List.length !alive > 1 do
+      fetch
+        (List.concat_map
+           (fun i -> List.init !prefix (fun j -> (i, j)))
+           !alive);
+      let ranked =
+        List.map (fun i -> (scalar i !prefix, i)) !alive
+        |> List.sort compare
+      in
+      let keep_n = (List.length ranked + 1) / 2 in
+      let keep, drop =
+        ( List.filteri (fun idx _ -> idx < keep_n) ranked,
+          List.filteri (fun idx _ -> idx >= keep_n) ranked )
+      in
+      paused := !paused @ List.map snd drop;
+      alive := List.sort compare (List.map snd keep);
+      prefix := min k (!prefix * 2)
+    done;
+    eval_full !alive;
+    (* Resurrection pass: a paused candidate stays pruned only when some
+       fully-evaluated final point dominates its *optimistic* point
+       (actual prefix evaluations, oracle bounds for the rest); otherwise
+       it is evaluated after all.  See the .mli for the soundness
+       argument. *)
+    let evaluated = ref !alive and pruned = ref [] in
+    List.iter
+      (fun i ->
+        let optimistic =
+          Array.init k (fun j ->
+              match evals.(i).(j) with
+              | Some e -> e
+              | None -> oracle.bound cands.(i) j)
+        in
+        let opt_pt = point_of ~area:(oracle.area cands.(i)) optimistic in
+        if List.exists (fun j -> Pareto.dominates (full_point j) opt_pt) !evaluated
+        then pruned := i :: !pruned
+        else (
+          eval_full [ i ];
+          evaluated := !evaluated @ [ i ]))
+      (List.sort compare !paused);
+    finish (List.sort compare !evaluated) (List.sort compare !pruned)

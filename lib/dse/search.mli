@@ -1,0 +1,73 @@
+(** Search strategies over a candidate space.
+
+    The search is written against an abstract {!oracle} so the property
+    tests can drive it with synthetic workloads; {!Eval} provides the real
+    one.  All three strategies are deterministic functions of (oracle,
+    strategy, seed, candidate list).
+
+    {2 Objectives and soundness of pruning}
+
+    Per (candidate, kernel) the oracle returns {!kernel_eval}: whether the
+    kernel mapped, the achieved II, and energy per operation.  A
+    candidate's objective point charges every *unmapped* kernel fixed
+    penalties ({!fail_ii}, {!fail_epo}) inside the geomeans and counts it
+    in [p_fail] — so each objective is monotone in the per-kernel values,
+    and a per-kernel *optimistic bound* (an evaluation at least as good as
+    any achievable outcome) yields an objective point at least as good as
+    the truth.
+
+    Successive halving exploits this: rungs rank candidates on a prefix of
+    the kernel list and pause the losing half, doubling the prefix each
+    rung.  After the survivors are fully evaluated, a single *resurrection*
+    pass re-examines every paused candidate: it stays pruned only if some
+    fully-evaluated candidate's final point dominates its optimistic point
+    (actual prefix evaluations plus {!oracle.bound} for the rest) —
+    otherwise it is fully evaluated after all.  A pruned candidate is
+    therefore genuinely dominated, and by transitivity anything it would
+    dominate is dominated by its dominator, so the frontier of the
+    evaluated set equals the frontier of the full space — the property the
+    QCheck suite pins against the exhaustive strategy. *)
+
+type kernel_eval = {
+  ke_ok : bool;
+  ke_ii : float;
+  ke_epo : float;
+}
+
+type 'c oracle = {
+  n_kernels : int;
+  area : 'c -> float;
+  eval : ('c * int) list -> kernel_eval list;
+  (** Batch-evaluate (candidate, kernel index) pairs; results in request
+      order.  Batching is the parallelism seam. *)
+  bound : 'c -> int -> kernel_eval;
+  (** Optimistic per-kernel bound, computable without mapping: [ke_ok]
+      true, [ke_ii] / [ke_epo] no greater than any achievable outcome
+      (and than the penalties). *)
+}
+
+type strategy =
+  | Exhaustive
+  | Random of { samples : int }
+  | Halving of { rung : int }  (** kernels evaluated in the first rung *)
+
+val strategy_to_string : strategy -> string
+
+val fail_ii : float
+val fail_epo : float
+
+val point_of : area:float -> kernel_eval array -> Pareto.point
+
+type 'c result = {
+  sr_cand : 'c;
+  sr_evals : kernel_eval array;  (** length [n_kernels] *)
+  sr_point : Pareto.point;
+}
+
+type 'c outcome = {
+  results : 'c result list;  (** fully evaluated, in input order *)
+  pruned : 'c list;          (** skipped without full evaluation, input order *)
+  kernel_evals : int;        (** (candidate, kernel) evaluations requested *)
+}
+
+val run : oracle:'c oracle -> strategy:strategy -> seed:int -> 'c list -> 'c outcome

@@ -134,6 +134,40 @@ let check_cache_invariance pool =
   if plain_summaries <> cached_summaries || plain_bytes <> cached_bytes then
     fail "experiment report changes when a cache is attached (-j %d)" jobs
 
+(* --------------------------------------------------- DSE campaign identity *)
+
+(* A DSE campaign composes every seam above — pooled mapping, the blob
+   cache, per-candidate RNG streams — so its rendered reports must be
+   byte-identical sequential vs -j N, cache-free vs cold vs warm, and for
+   pruning strategies as well as exhaustive sweeps. *)
+let check_dse pool =
+  let dir = Filename.temp_file "plaid_det_dse" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) @@ fun () ->
+  let space = Option.get (Plaid_dse.Space.find_preset "tiny") in
+  let suite = Option.get (Plaid_dse.Eval.find_suite "quick") in
+  let render ?pool ?cache strategy =
+    let t = Plaid_dse.Eval.create ~quick:true ?pool ?cache () in
+    let c = Plaid_dse.Eval.run t ~space ~suite_name:"quick" ~suite ~strategy in
+    (Plaid_dse.Report.to_string c, Plaid_dse.Report.to_json_string c)
+  in
+  let seq = render Plaid_dse.Search.Exhaustive in
+  let par = render ~pool Plaid_dse.Search.Exhaustive in
+  if seq <> par then fail "dse report differs between sequential and -j %d" jobs;
+  let cold = render ~pool ~cache:(Plaid_serve.Cache.create ~dir ()) Plaid_dse.Search.Exhaustive in
+  let warm = render ~pool ~cache:(Plaid_serve.Cache.create ~dir ()) Plaid_dse.Search.Exhaustive in
+  if cold <> seq then fail "dse report differs with a cold cache (-j %d)" jobs;
+  if warm <> seq then fail "dse report differs with a warm cache (-j %d)" jobs;
+  let probe = Plaid_serve.Cache.create ~dir () in
+  let stats = Plaid_serve.Store.stats (Option.get (Plaid_serve.Cache.store probe)) in
+  if stats.Plaid_serve.Store.entries = 0 then
+    fail "dse cache check ran against an empty store (nothing was cached)";
+  let halving = Plaid_dse.Search.Halving { rung = 1 } in
+  let h_seq = render halving in
+  let h_par = render ~pool halving in
+  if h_seq <> h_par then
+    fail "dse halving report differs between sequential and -j %d" jobs
+
 (* ------------------------------------------- tracing stays out-of-band *)
 
 (* Arming tracing + metrics must not change a single mapper decision or
@@ -179,7 +213,9 @@ let () =
       check_mapper pool;
       check_experiments pool;
       check_cache_invariance pool;
+      check_dse pool;
       check_obs_invariance pool);
   if !failures > 0 then exit 1;
   Printf.printf
-    "determinism: sequential and -j %d agree (tracing on and off, cache cold and warm)\n" jobs
+    "determinism: sequential and -j %d agree (tracing on and off, cache cold and warm, dse campaigns)\n"
+    jobs

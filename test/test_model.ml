@@ -105,6 +105,73 @@ let test_energy_scales_with_cycles () =
   check (Alcotest.float 1e-6) "linear" (2.0 *. e1) e2;
   check Alcotest.bool "fabric energy positive" true (Plaid_model.Energy.fabric_energy st > 0.0)
 
+(* ---------------------------------------------------------- JSON export *)
+
+(* The machine-readable export must agree with the ASCII model to the last
+   bit: parse the serialized JSON back and compare every category against a
+   direct model call, then pin the known fabric's totals. *)
+let json_num path j =
+  let rec go j = function
+    | [] -> Plaid_obs.Json.num j
+    | k :: rest -> Option.bind (Plaid_obs.Json.member k j) (fun v -> go v rest)
+  in
+  match go j path with
+  | Some v -> v
+  | None -> Alcotest.failf "missing JSON field %s" (String.concat "." path)
+
+let test_export_area_matches_model () =
+  let arch = Lazy.force plaid2 in
+  let s = Plaid_obs.Json.to_string (Plaid_model.Export.area_json arch ~spm_kb:16) in
+  match Plaid_obs.Json.of_string s with
+  | Error e -> Alcotest.fail ("area JSON does not parse: " ^ e)
+  | Ok j ->
+    let r = Plaid_model.Area.fabric arch in
+    List.iter
+      (fun c ->
+        check (Alcotest.float 1e-9) c (Plaid_model.Report.get r c)
+          (json_num [ "fabric"; "categories"; c ] j))
+      [ "compute"; "compute_config"; "comm"; "comm_config"; "regs" ];
+    check (Alcotest.float 1e-9) "fabric total" (Plaid_model.Report.total r)
+      (json_num [ "fabric"; "total" ] j);
+    check (Alcotest.float 1e-9) "spm" (Plaid_model.Area.spm ~kb:16)
+      (json_num [ "spm_um2" ] j);
+    check (Alcotest.float 1e-9) "system" (Plaid_model.Area.system arch ~spm_kb:16)
+      (json_num [ "system_um2" ] j)
+
+let test_export_pins_plaid_fabric () =
+  (* the calibration anchor, now machine-readable: the 2x2 Plaid fabric's
+     exported area sits in the paper's 33,366 um^2 band and the category
+     totals add up *)
+  let j = Plaid_model.Export.area_json (Lazy.force plaid2) ~spm_kb:16 in
+  let total = json_num [ "fabric"; "total" ] j in
+  if total < 28000.0 || total > 40000.0 then
+    Alcotest.failf "exported plaid fabric area %.0f out of calibration band" total;
+  let sum =
+    List.fold_left
+      (fun acc c -> acc +. json_num [ "fabric"; "categories"; c ] j)
+      0.0
+      [ "compute"; "compute_config"; "comm"; "comm_config"; "regs" ]
+  in
+  check (Alcotest.float 1e-6) "categories sum to total" total sum;
+  check (Alcotest.float 1e-6) "system = fabric + spm"
+    (total +. json_num [ "spm_um2" ] j)
+    (json_num [ "system_um2" ] j)
+
+let test_export_power_energy () =
+  let st, _ = Lazy.force mapped_pair in
+  let jp = Plaid_model.Export.power_json st ~spm_kb:16 in
+  check (Alcotest.float 1e-9) "power total"
+    (Plaid_model.Power.fabric_total st)
+    (json_num [ "fabric"; "total" ] jp);
+  check (Alcotest.float 1e-9) "system power"
+    (Plaid_model.Power.system st ~spm_kb:16)
+    (json_num [ "system_uw" ] jp);
+  let je = Plaid_model.Export.energy_json st ~spm_kb:16 ~cycles:1000 in
+  check (Alcotest.float 1e-9) "fabric energy"
+    (Plaid_model.Tech.energy_pj ~power_uw:(Plaid_model.Power.fabric_total st) ~cycles:1000)
+    (json_num [ "fabric_pj" ] je);
+  check (Alcotest.float 1e-9) "cycles" 1000.0 (json_num [ "cycles" ] je)
+
 (* ------------------------------------------------------------- workloads *)
 
 let test_suite_has_30_dfgs () = check Alcotest.int "30 DFGs" 30 (List.length Suite.table2)
@@ -160,6 +227,12 @@ let suites =
         Alcotest.test_case "plaid lower comm config" `Quick test_power_plaid_lower_comm;
         Alcotest.test_case "spatial clock gating" `Quick test_spatial_clock_gating;
         Alcotest.test_case "energy linear in cycles" `Quick test_energy_scales_with_cycles;
+      ] );
+    ( "model-export",
+      [
+        Alcotest.test_case "area JSON matches the model" `Quick test_export_area_matches_model;
+        Alcotest.test_case "pins the plaid fabric numbers" `Quick test_export_pins_plaid_fabric;
+        Alcotest.test_case "power and energy JSON" `Quick test_export_power_energy;
       ] );
     ( "workloads",
       [

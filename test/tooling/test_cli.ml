@@ -20,6 +20,10 @@
    - `plaidc fuzz` must exit 0 on a clean campaign, produce byte-identical
      reports at every worker count, and dump one replayable case file per
      trial under --dump-cases;
+   - `plaidc dse` must run a tiny campaign deterministically (byte-equal
+     reports at -j 1 and -j 4, valid JSON with --json -), and reject bad
+     space/suite/strategy names, malformed budgets, conflicting strategy
+     flags, and unreadable space files with one stderr line and exit 2;
    - unknown subcommands, unknown flags, and out-of-range argument values
      (negative counts, -j 0) must exit 2 with a diagnostic on stderr. *)
 
@@ -360,6 +364,51 @@ let () =
         if Plaid_obs.Json.member key doc = None then fail "JSON report is missing %S" key)
       [ "kernel"; "seed"; "fabric"; "mapped"; "attempts"; "phase_totals_ms" ])
 
+(* --- design-space exploration ------------------------------------------ *)
+
+(* one diagnostic line on stderr, clean stdout, exit 2 *)
+let expect_dse_reject ~what args =
+  let out = Printf.sprintf "dse_%s.out" what and err = Printf.sprintf "dse_%s.err" what in
+  let rc = sh "%s dse %s > %s 2> %s" plaidc args out err in
+  if rc <> 2 then fail "dse %s: expected exit 2, got %d" what rc;
+  if String.trim (read_file out) <> "" then fail "dse %s: diagnostic leaked to stdout" what;
+  match String.split_on_char '\n' (String.trim (read_file err)) with
+  | [ line ] ->
+    if not (String.length line >= 7 && String.sub line 0 7 = "plaidc:") then
+      fail "dse %s: diagnostic is not prefixed 'plaidc:': %s" what line
+  | lines -> fail "dse %s: expected one stderr line, got %d" what (List.length lines)
+
+let () =
+  expect_dse_reject ~what:"bad_space" "--space nosuch --quick";
+  expect_dse_reject ~what:"bad_suite" "--space tiny --suite nosuch --quick";
+  expect_dse_reject ~what:"bad_strategy" "--space tiny --strategy nosuch --quick";
+  expect_dse_reject ~what:"bad_budget" "--space tiny --strategy random --budget 0 --quick";
+  expect_dse_reject ~what:"conflict" "--space tiny --strategy exhaustive --budget 4 --quick";
+  expect_dse_reject ~what:"j0" "--space tiny --quick -j 0";
+  expect_dse_reject ~what:"missing_file" "--space @nonexistent.space --quick";
+  let oc = open_out "bad.space" in
+  output_string oc "family mesh\nrows four\n";
+  close_out oc;
+  expect_dse_reject ~what:"bad_file" "--space @bad.space --quick";
+  (* a real tiny campaign: exit 0, frontier present, worker-count invariant *)
+  let rc = sh "%s dse --space tiny --suite quick --quick -j 1 > dse1.out 2> dse1.err" plaidc in
+  if rc <> 0 then fail "dse tiny campaign exited %d" rc;
+  let out = read_file "dse1.out" in
+  if not (contains ~needle:"frontier" out) then fail "dse report names no frontier";
+  if not (contains ~needle:"plaid2x2" out) then fail "dse report is missing the plaid candidates";
+  let _ = sh "%s dse --space tiny --suite quick --quick -j 4 > dse4.out 2> /dev/null" plaidc in
+  if read_file "dse4.out" <> out then fail "dse report differs between -j 1 and -j 4";
+  (* --json - emits machine-readable output with the documented keys *)
+  let rc = sh "%s dse --space tiny --suite quick --quick --json - > dse.json 2> dsej.err" plaidc in
+  if rc <> 0 then fail "dse --json - exited %d" rc;
+  (match Plaid_obs.Json.of_string (String.trim (read_file "dse.json")) with
+  | Error e -> fail "dse JSON report does not parse: %s" e
+  | Ok doc ->
+    List.iter
+      (fun key ->
+        if Plaid_obs.Json.member key doc = None then fail "dse JSON report is missing %S" key)
+      [ "space"; "suite"; "strategy"; "seed"; "frontier"; "candidates" ])
+
 (* --- uniform bad-name handling ----------------------------------------- *)
 
 let () =
@@ -404,4 +453,4 @@ let () =
 let () =
   if !failures > 0 then exit 1;
   print_endline
-    "cli gate: trace/metrics, fault campaigns, fuzz campaigns, serve/cache, and error handling OK"
+    "cli gate: trace/metrics, fault campaigns, fuzz campaigns, serve/cache, dse, and error handling OK"
