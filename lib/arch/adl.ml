@@ -48,6 +48,7 @@ let of_string text =
           | "clock_gated" -> p := { !p with Mesh.clock_gated = bool_of line v }
           | "mem_cols" -> p := { !p with Mesh.mem_cols = int_of line v }
           | "mem_stripes" -> p := { !p with Mesh.mem_stripes = bool_of line v }
+          | "bypass" -> p := { !p with Mesh.bypass = bool_of line v }
           | other -> fail line "unknown mesh key %s" other)
         kvs;
       if !p.Mesh.rows < 1 || !p.Mesh.cols < 1 then

@@ -26,6 +26,22 @@ type fault =
   | Stuck_config of int * int
   | Faulty_spm of string
 
+(* Derived routing acceleration tables, built lazily from the (faulted)
+   adjacency and shared by every mapper thread.  [rt_hop]/[rt_lat] are
+   all-pairs lower bounds indexed [dst * rt_n + res]; byte 255 means
+   "unreachable or >= 255" (the router's max detour is far below 255, so
+   the clamp never weakens a usable bound).  [rt_adj_*] is the out-link
+   adjacency flattened to CSR form, preserving list order, so the search
+   hot loop touches contiguous int arrays instead of chasing list cells. *)
+type route_tables = {
+  rt_n : int;
+  rt_hop : Bytes.t;
+  rt_lat : Bytes.t;
+  rt_adj_idx : int array;
+  rt_adj_dst : int array;
+  rt_adj_lat : int array;
+}
+
 type t = {
   name : string;
   resources : resource array;
@@ -39,6 +55,8 @@ type t = {
   faults : fault list;
   f_res : bool array;           (* resource entirely unusable *)
   f_stuck : int list array;     (* stuck configuration entries per resource *)
+  rt_cache : route_tables option Atomic.t;
+      (* never compared or fingerprinted; fresh per fault set *)
 }
 
 type builder = {
@@ -127,7 +145,8 @@ let freeze b =
   in
   { name = b.bname; resources; links; out_links; in_links; fus; mem_fus;
     config = b.bconfig; allow_fu_routethrough = b.broutethrough;
-    faults = []; f_res = Array.make n false; f_stuck = Array.make n [] }
+    faults = []; f_res = Array.make n false; f_stuck = Array.make n [];
+    rt_cache = Atomic.make None }
 
 let resource t id = t.resources.(id)
 
@@ -212,7 +231,10 @@ let set_faults t fault_list =
     t.links;
   Array.iteri (fun i l -> out_links.(i) <- List.rev l) out_links;
   Array.iteri (fun i l -> in_links.(i) <- List.rev l) in_links;
-  { t with faults = fault_list; f_res; f_stuck; out_links; in_links }
+  (* Adjacency changed, so any cached routing tables are stale; the faulted
+     copy gets its own (empty) cache rather than sharing the pristine one. *)
+  { t with faults = fault_list; f_res; f_stuck; out_links; in_links;
+    rt_cache = Atomic.make None }
 
 let fu_supports t id op =
   (not t.f_res.(id))
@@ -241,6 +263,69 @@ let base_route_cost t id =
   | Fu _ -> 4.0  (* route-through burns an issue slot *)
   | Port -> 1.0
   | Reg -> 1.2
+
+(* ------------------------------------------------- routing tables *)
+
+let unreachable = 255
+
+let build_route_tables t =
+  let n = Array.length t.resources in
+  (* CSR adjacency in out_links list order (the router's exploration order
+     is part of the deterministic contract, so the flattening must not
+     reorder). *)
+  let degrees = Array.map List.length t.out_links in
+  let rt_adj_idx = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    rt_adj_idx.(i + 1) <- rt_adj_idx.(i) + degrees.(i)
+  done;
+  let m = rt_adj_idx.(n) in
+  let rt_adj_dst = Array.make m 0 and rt_adj_lat = Array.make m 0 in
+  Array.iteri
+    (fun i links ->
+      List.iteri
+        (fun j (dst, lat) ->
+          rt_adj_dst.(rt_adj_idx.(i) + j) <- dst;
+          rt_adj_lat.(rt_adj_idx.(i) + j) <- lat)
+        links)
+    t.out_links;
+  (* Per destination, relax backwards over in_links.  Hops weight every
+     link 1; latency uses the link's 0/1 weight.  A work-list relaxation is
+     plenty: tables are built once per (arch, fault set) and shared. *)
+  let rt_hop = Bytes.make (n * n) (Char.chr unreachable) in
+  let rt_lat = Bytes.make (n * n) (Char.chr unreachable) in
+  let sweep table ~weight =
+    for dst = 0 to n - 1 do
+      let base = dst * n in
+      Bytes.unsafe_set table (base + dst) '\000';
+      let q = Queue.create () in
+      Queue.add dst q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        let dv = Char.code (Bytes.unsafe_get table (base + v)) in
+        List.iter
+          (fun (u, lat) ->
+            let du = min unreachable (dv + weight lat) in
+            if du < Char.code (Bytes.unsafe_get table (base + u)) then begin
+              Bytes.unsafe_set table (base + u) (Char.unsafe_chr du);
+              Queue.add u q
+            end)
+          t.in_links.(v)
+      done
+    done
+  in
+  sweep rt_hop ~weight:(fun _ -> 1);
+  sweep rt_lat ~weight:(fun lat -> lat);
+  { rt_n = n; rt_hop; rt_lat; rt_adj_idx; rt_adj_dst; rt_adj_lat }
+
+(* Lazy shared build: losing a publication race only wastes the duplicate
+   work — both results are identical pure functions of the adjacency. *)
+let route_tables t =
+  match Atomic.get t.rt_cache with
+  | Some rt -> rt
+  | None ->
+    let rt = build_route_tables t in
+    if Atomic.compare_and_set t.rt_cache None (Some rt) then rt
+    else (match Atomic.get t.rt_cache with Some rt -> rt | None -> rt)
 
 let config_bits_per_entry t = t.config.compute_bits + t.config.comm_bits
 

@@ -65,6 +65,22 @@ type config_profile = {
   clock_gated : bool;  (** spatial CGRAs freeze config after loading *)
 }
 
+(** Derived routing acceleration tables (see {!route_tables}).
+    [rt_hop]/[rt_lat] hold all-pairs lower bounds indexed [dst * rt_n + res]
+    — minimum link count, respectively minimum cycle latency, of any path
+    from [res] to [dst] over the faulted adjacency; byte 255 means
+    unreachable (or clamped, far beyond the router's maximum detour).
+    [rt_adj_idx]/[rt_adj_dst]/[rt_adj_lat] are [out_links] flattened to CSR
+    form in list order. *)
+type route_tables = private {
+  rt_n : int;
+  rt_hop : Bytes.t;
+  rt_lat : Bytes.t;
+  rt_adj_idx : int array;
+  rt_adj_dst : int array;
+  rt_adj_lat : int array;
+}
+
 type t = private {
   name : string;
   resources : resource array;
@@ -79,6 +95,8 @@ type t = private {
   faults : fault list;
   f_res : bool array;                  (** resource entirely unusable *)
   f_stuck : int list array;            (** stuck config entries per resource *)
+  rt_cache : route_tables option Atomic.t;
+      (** lazily built routing tables; derived state, never fingerprinted *)
 }
 
 (** {1 Building} *)
@@ -120,6 +138,13 @@ val alsu_class : fu_class
 val base_route_cost : t -> int -> float
 (** Router cost of occupying a resource: cheap for ports and registers,
     expensive for FU route-throughs (they burn an issue slot). *)
+
+val route_tables : t -> route_tables
+(** The all-pairs hop/latency lower bounds and CSR adjacency for this
+    architecture's current (faulted) wiring, built on first use and cached
+    on the value — repeated calls are O(1) and safe from any domain.
+    {!set_faults} returns a copy with an empty cache (the adjacency
+    changed); {!set_config} shares the cache (it doesn't). *)
 
 val config_bits_per_entry : t -> int
 

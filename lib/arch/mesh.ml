@@ -6,12 +6,13 @@ type params = {
   clock_gated : bool;
   mem_cols : int;
   mem_stripes : bool;
+  bypass : bool;
   pruned_ops : Plaid_ir.Op.t list option;
 }
 
 let spatio_temporal_4x4 =
   { rows = 4; cols = 4; regs_per_pe = 4; config_entries = 16; clock_gated = false; mem_cols = 1;
-    mem_stripes = false; pruned_ops = None }
+    mem_stripes = false; bypass = true; pruned_ops = None }
 
 let spatio_temporal_6x6 = { spatio_temporal_4x4 with rows = 6; cols = 6 }
 
@@ -24,19 +25,32 @@ let spatial_4x4 =
 
 (* Resource layout per PE, in creation order:
    fu, in_N, in_S, in_E, in_W, out_N, out_S, out_E, out_W,
-   byp_N, byp_S, byp_E, byp_W, reg_0..reg_{k-1}.
+   [byp_N, byp_S, byp_E, byp_W,] reg_0..reg_{k-1}.
    Each direction owns an output register with its own source mux — the
    "adequate degrees of freedom" provisioning of typical spatio-temporal
    CGRAs that Plaid calls out as overprovisioned.  The byp_* ports are
    HyCUBE-style single-cycle multi-hop wires: a value may continue straight
    through a PE combinationally (no register), so long straight routes cost
    one cycle; turns must take the registered crossbar.  Straight-only
-   bypasses cannot form a combinational loop. *)
-let per_pe p = 13 + p.regs_per_pe
+   bypasses cannot form a combinational loop.  A [bypass = false] fabric
+   omits the byp_* ports and their wires entirely (every hop registers). *)
+let per_pe p = (if p.bypass then 13 else 9) + p.regs_per_pe
 
 let pe_base p ~row ~col = ((row * p.cols) + col) * per_pe p
 
 let fu_of_pe p ~row ~col = pe_base p ~row ~col
+
+(* Total directional lookup: the port lists are built from the same
+   4-element direction list, but a malformed candidate must surface as a
+   typed build error, not a bare [Failure "nth"] mid-campaign. *)
+let nth4 what l d =
+  let i = match d with "n" -> 0 | "s" -> 1 | "e" -> 2 | "w" -> 3 | _ -> assert false in
+  match List.nth_opt l i with
+  | Some x -> x
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Mesh.build: %s list has %d ports, need 4 (missing %s)" what
+         (List.length l) d)
 
 let build p ~name =
   let dummy_config =
@@ -74,6 +88,18 @@ let build p ~name =
               ~area_class:"out_reg")
           [ "n"; "s"; "e"; "w" ]
       in
+      (* Bypass ports must be created before the register file so their
+         resource ids match the documented per-PE offsets 9-12 used by the
+         inter-PE wiring below. *)
+      let byps =
+        if not p.bypass then []
+        else
+          List.map
+            (fun d ->
+              Arch.add_resource b ~name:(Printf.sprintf "%s.byp_%s" pe d) ~kind:Arch.Port ~tile
+                ~area_class:"router_port")
+            [ "n"; "s"; "e"; "w" ]
+      in
       let regs =
         List.init p.regs_per_pe (fun i ->
             Arch.add_resource b ~name:(Printf.sprintf "%s.r%d" pe i) ~kind:Arch.Reg ~tile
@@ -104,20 +130,15 @@ let build p ~name =
         outregs;
       (* Straight-through bypasses: arriving from one side may leave through
          the opposite side within the same cycle. *)
-      let byps =
-        List.map
-          (fun d ->
-            Arch.add_resource b ~name:(Printf.sprintf "%s.byp_%s" pe d) ~kind:Arch.Port ~tile
-              ~area_class:"router_port")
-          [ "n"; "s"; "e"; "w" ]
-      in
-      let ip d = List.nth inports (match d with "n" -> 0 | "s" -> 1 | "e" -> 2 | _ -> 3) in
-      let bp d = List.nth byps (match d with "n" -> 0 | "s" -> 1 | "e" -> 2 | _ -> 3) in
-      (* data entering from the south continues north, etc. *)
-      Arch.add_link b ~src:(ip "s") ~dst:(bp "n") ~latency:0;
-      Arch.add_link b ~src:(ip "n") ~dst:(bp "s") ~latency:0;
-      Arch.add_link b ~src:(ip "w") ~dst:(bp "e") ~latency:0;
-      Arch.add_link b ~src:(ip "e") ~dst:(bp "w") ~latency:0
+      if p.bypass then begin
+        let ip d = nth4 "inport" inports d in
+        let bp d = nth4 "bypass" byps d in
+        (* data entering from the south continues north, etc. *)
+        Arch.add_link b ~src:(ip "s") ~dst:(bp "n") ~latency:0;
+        Arch.add_link b ~src:(ip "n") ~dst:(bp "s") ~latency:0;
+        Arch.add_link b ~src:(ip "w") ~dst:(bp "e") ~latency:0;
+        Arch.add_link b ~src:(ip "e") ~dst:(bp "w") ~latency:0
+      end
     done
   done;
   (* Mesh: each direction's output register drives the facing input port of
@@ -138,7 +159,7 @@ let build p ~name =
     for col = 0 to p.cols - 1 do
       let wire d ~dst =
         Arch.add_link b ~src:(out_of ~row ~col d) ~dst ~latency:0;
-        Arch.add_link b ~src:(byp_of ~row ~col d) ~dst ~latency:0
+        if p.bypass then Arch.add_link b ~src:(byp_of ~row ~col d) ~dst ~latency:0
       in
       if row > 0 then wire "n" ~dst:(inport_of ~row:(row - 1) ~col "s");
       if row < p.rows - 1 then wire "s" ~dst:(inport_of ~row:(row + 1) ~col "n");

@@ -20,6 +20,9 @@ type params = {
           (the spatial baseline: spatial dataflow needs its access points
           spread across the fabric, while compute PEs stay vertically
           adjacent for recurrence rings) *)
+  bypass : bool;
+      (** HyCUBE-style straight-through bypass ports; [false] omits them,
+          so every inter-PE hop must take a registered output port *)
   pruned_ops : Plaid_ir.Op.t list option;
       (** domain-pruned ALU operation set (REVAMP-style ST-ML baseline);
           [None] keeps the full 15-operation ALU *)

@@ -20,7 +20,8 @@ let build spec =
   | Mesh { rows; cols; regs; entries; mem_cols } ->
     let params =
       { Plaid_arch.Mesh.rows; cols; regs_per_pe = regs; config_entries = entries;
-        clock_gated = false; mem_cols; mem_stripes = false; pruned_ops = None }
+        clock_gated = false; mem_cols; mem_stripes = false; bypass = true;
+        pruned_ops = None }
     in
     (Plaid_arch.Mesh.build params ~name:(name spec), None)
   | Plaid { rows; cols } ->

@@ -14,16 +14,17 @@ type candidate = {
 
 let normalize c =
   match c.family with
-  | Mesh -> { c with bypass = true }
+  | Mesh -> c
   | Plaid -> { c with regs_per_pe = 0; mem_cols = 0; pruned = false }
 
 let name c =
   let c = normalize c in
   match c.family with
   | Mesh ->
-    Printf.sprintf "mesh%dx%d_c%d_r%d_m%d%s_spm%d" c.rows c.cols
+    Printf.sprintf "mesh%dx%d_c%d_r%d_m%d%s%s_spm%d" c.rows c.cols
       c.config_entries c.regs_per_pe c.mem_cols
       (if c.pruned then "_pruned" else "")
+      (if c.bypass then "" else "_nobyp")
       c.spm_kb
   | Plaid ->
     Printf.sprintf "plaid%dx%d_c%d%s_spm%d" c.rows c.cols c.config_entries
@@ -58,6 +59,7 @@ let build c =
       { Plaid_arch.Mesh.rows = c.rows; cols = c.cols;
         regs_per_pe = c.regs_per_pe; config_entries = c.config_entries;
         clock_gated = false; mem_cols = c.mem_cols; mem_stripes = false;
+        bypass = c.bypass;
         pruned_ops = (if c.pruned then Some Plaid_core.Specialize.ml_ops else None) }
     in
     { arch = Plaid_arch.Mesh.build params ~name:nm; pcu = None }
@@ -98,9 +100,9 @@ let make space_name cands =
   go [] cands
 
 let mesh ?(rows = 4) ?(cols = 4) ?(entries = 16) ?(regs = 4) ?(mem = 1)
-    ?(pruned = false) ?(spm = 16) () =
+    ?(bypass = true) ?(pruned = false) ?(spm = 16) () =
   { family = Mesh; rows; cols; config_entries = entries; regs_per_pe = regs;
-    mem_cols = mem; bypass = true; pruned; spm_kb = spm }
+    mem_cols = mem; bypass; pruned; spm_kb = spm }
 
 let plaid ?(rows = 2) ?(cols = 2) ?(entries = 16) ?(bypass = true) ?(spm = 16) () =
   { family = Plaid; rows; cols; config_entries = entries; regs_per_pe = 0;

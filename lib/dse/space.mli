@@ -28,7 +28,8 @@ type candidate = {
   config_entries : int;
   regs_per_pe : int;   (** mesh only; normalized to 0 for Plaid *)
   mem_cols : int;      (** mesh only; normalized to 0 for Plaid *)
-  bypass : bool;       (** Plaid only; normalized to true for meshes *)
+  bypass : bool;       (** straight-through bypass wires (mesh byp_* ports /
+                           the Plaid inter-ALU ablation switch) *)
   pruned : bool;       (** mesh only (ML-pruned ALU); false for Plaid *)
   spm_kb : int;
 }

@@ -50,7 +50,11 @@ let min_latency_to arch ~dst_fu =
    only advances the sequence after releasing the previous candidate. *)
 let enum_paths mrrg ~src_fu ~src_node ~t_src ~dst_fu ~length ~min_lat ~tick :
     Route.path Seq.t =
-  if length < 1 || length > Route.max_detour then Seq.empty
+  if length < 0 || length > Route.max_detour then Seq.empty
+  else if length = 0 then
+    (* Same-FU zero-elapsed edge: exactly one route, the empty path (the
+       same length-0 contract as [Route.find]). *)
+    if src_fu = dst_fu then Seq.return [] else Seq.empty
   else begin
     let arch = Mrrg.arch mrrg in
     let ii = Mrrg.ii mrrg in

@@ -39,10 +39,18 @@ let check_placement m =
     go 0
   end
 
+(* Data edges may be zero-length when producer and consumer share the FU
+   (the value is read the cycle it is produced — representable after
+   retiming); ordering edges model SPM serialization and always need at
+   least one cycle. *)
 let check_schedule m =
   let bad =
     Array.to_list m.dfg.Dfg.edges
-    |> List.find_opt (fun (e : Dfg.edge) -> edge_length m e < 1)
+    |> List.find_opt (fun (e : Dfg.edge) ->
+           let len = edge_length m e in
+           len < 1
+           && not
+                (len = 0 && (not (Dfg.is_ordering e)) && m.place.(e.src) = m.place.(e.dst)))
   in
   match bad with
   | None -> Ok ()
@@ -76,7 +84,12 @@ let check_route m (r : route_entry) =
           (Plaid_arch.Arch.resource arch prev).rname (Plaid_arch.Arch.resource arch res).rname lat
       else walk res elapsed rest
   in
-  if need < 1 then err "edge %d->%d: need %d < 1" e.src e.dst need
+  if need < 0 then err "edge %d->%d: need %d < 0" e.src e.dst need
+  else if need = 0 then
+    (* Zero-length: no hop at all — legal only as the empty path on a
+       shared FU (matches [Route.find]'s length-0 contract). *)
+    if r.re_path = [] && m.place.(e.src) = m.place.(e.dst) then Ok ()
+    else err "edge %d->%d: zero-length route must be empty on a shared FU" e.src e.dst
   else walk m.place.(e.src) 0 r.re_path
 
 (* Rebuild full occupancy, enforcing exclusivity/sharing rules. *)

@@ -5,12 +5,21 @@ type cell = {
   mutable signals : (signal * int) list;  (* signal -> refcount *)
 }
 
+(* Extension slot: lets higher layers (the router's memo) attach per-MRRG
+   state without introducing a dependency cycle. *)
+type ext = ..
+
+type ext += Ext_none
+
 type t = {
   m_arch : Plaid_arch.Arch.t;
   m_ii : int;
   exclusive : bool;
   cells : cell array array;    (* [resource].[slot]; one slot when exclusive *)
   blocked : bool array array;  (* faulted cells: never free, never usable *)
+  ov_cells : (int, unit) Hashtbl.t;  (* cell index -> (), iff presence >= 2 *)
+  mutable ov_total : int;            (* sum over cells of max 0 (presence-1) *)
+  mutable m_ext : ext;
 }
 
 (* A clock-gated (spatial) fabric freezes its configuration for the whole
@@ -33,7 +42,8 @@ let create arch ~ii =
           Array.init slots (fun slot -> Plaid_arch.Arch.cell_faulty arch ~res ~slot))
   in
   { m_arch = arch; m_ii = ii; exclusive; blocked;
-    cells = Array.init n (fun _ -> Array.init slots (fun _ -> { exec = None; signals = [] })) }
+    cells = Array.init n (fun _ -> Array.init slots (fun _ -> { exec = None; signals = [] }));
+    ov_cells = Hashtbl.create 64; ov_total = 0; m_ext = Ext_none }
 
 let arch t = t.m_arch
 
@@ -41,11 +51,35 @@ let ii t = t.m_ii
 
 let exclusive t = t.exclusive
 
+let slots t = if t.exclusive then 1 else t.m_ii
+
 let slot_mod t slot = ((slot mod t.m_ii) + t.m_ii) mod t.m_ii
 
-let cell t res slot = t.cells.(res).(if t.exclusive then 0 else slot_mod t slot)
+let eff_slot t slot = if t.exclusive then 0 else slot_mod t slot
 
-let blocked t ~res ~slot = t.blocked.(res).(if t.exclusive then 0 else slot_mod t slot)
+let cell t res slot = t.cells.(res).(eff_slot t slot)
+
+let cell_index t ~res ~slot = (res * slots t) + eff_slot t slot
+
+let blocked t ~res ~slot = t.blocked.(res).(eff_slot t slot)
+
+let presence_of c = List.length c.signals + match c.exec with Some _ -> 1 | None -> 0
+
+(* Every occupancy mutation is funneled through [mutating], which keeps the
+   O(1) overuse counter and the overused-cell set exact whatever the
+   before/after presences are. *)
+let mutating t ~res ~slot f =
+  let eff = eff_slot t slot in
+  let c = t.cells.(res).(eff) in
+  let before = presence_of c in
+  f c;
+  let after = presence_of c in
+  if after <> before then begin
+    t.ov_total <- t.ov_total + max 0 (after - 1) - max 0 (before - 1);
+    let idx = (res * slots t) + eff in
+    if after >= 2 then (if before < 2 then Hashtbl.replace t.ov_cells idx ())
+    else if before >= 2 then Hashtbl.remove t.ov_cells idx
+  end
 
 let fu_free t ~fu ~slot =
   let c = cell t fu slot in
@@ -56,18 +90,18 @@ let place_node t ~node ~fu ~slot =
     invalid_arg
       (Printf.sprintf "Mrrg.place_node: %s slot %d is faulted"
          (Plaid_arch.Arch.resource t.m_arch fu).rname (slot_mod t slot));
-  let c = cell t fu slot in
-  if c.exec <> None || c.signals <> [] then
-    invalid_arg
-      (Printf.sprintf "Mrrg.place_node: %s slot %d busy"
-         (Plaid_arch.Arch.resource t.m_arch fu).rname (slot_mod t slot));
-  c.exec <- Some node
+  mutating t ~res:fu ~slot (fun c ->
+      if c.exec <> None || c.signals <> [] then
+        invalid_arg
+          (Printf.sprintf "Mrrg.place_node: %s slot %d busy"
+             (Plaid_arch.Arch.resource t.m_arch fu).rname (slot_mod t slot));
+      c.exec <- Some node)
 
 let unplace_node t ~node ~fu ~slot =
-  let c = cell t fu slot in
-  match c.exec with
-  | Some n when n = node -> c.exec <- None
-  | _ -> invalid_arg "Mrrg.unplace_node: node not placed there"
+  mutating t ~res:fu ~slot (fun c ->
+      match c.exec with
+      | Some n when n = node -> c.exec <- None
+      | _ -> invalid_arg "Mrrg.unplace_node: node not placed there")
 
 let node_at t ~fu ~slot = (cell t fu slot).exec
 
@@ -81,39 +115,41 @@ let can_use t ~res ~slot signal =
      | _ :: _ :: _ -> false)
 
 let occupy t ~res ~slot signal =
-  let c = cell t res slot in
-  let rec bump = function
-    | [] -> [ (signal, 1) ]
-    | (s, n) :: rest when s = signal -> (s, n + 1) :: rest
-    | sn :: rest -> sn :: bump rest
-  in
-  c.signals <- bump c.signals
+  mutating t ~res ~slot (fun c ->
+      let rec bump = function
+        | [] -> [ (signal, 1) ]
+        | (s, n) :: rest when s = signal -> (s, n + 1) :: rest
+        | sn :: rest -> sn :: bump rest
+      in
+      c.signals <- bump c.signals)
 
 let release t ~res ~slot signal =
-  let c = cell t res slot in
-  let rec drop = function
-    | [] -> invalid_arg "Mrrg.release: signal not present"
-    | (s, 1) :: rest when s = signal -> rest
-    | (s, n) :: rest when s = signal -> (s, n - 1) :: rest
-    | sn :: rest -> sn :: drop rest
-  in
-  c.signals <- drop c.signals
+  mutating t ~res ~slot (fun c ->
+      let rec drop = function
+        | [] -> invalid_arg "Mrrg.release: signal not present"
+        | (s, 1) :: rest when s = signal -> rest
+        | (s, n) :: rest when s = signal -> (s, n - 1) :: rest
+        | sn :: rest -> sn :: drop rest
+      in
+      c.signals <- drop c.signals)
 
-let presence t ~res ~slot =
-  let c = cell t res slot in
-  List.length c.signals + match c.exec with Some _ -> 1 | None -> 0
+let presence t ~res ~slot = presence_of (cell t res slot)
 
-let overuse t =
-  Array.fold_left
-    (fun acc row ->
-      Array.fold_left
-        (fun acc c ->
-          let p = List.length c.signals + match c.exec with Some _ -> 1 | None -> 0 in
-          acc + max 0 (p - 1))
-        acc row)
-    0 t.cells
+let overuse t = t.ov_total
 
-let slots t = if t.exclusive then 1 else t.m_ii
+let n_overused_cells t = Hashtbl.length t.ov_cells
+
+(* Sorted by cell index so congestion-driven iteration (history updates,
+   dirty-edge detection, kick targeting) is deterministic. *)
+let overused_cells t =
+  let ns = slots t in
+  Hashtbl.fold (fun idx () acc -> idx :: acc) t.ov_cells []
+  |> List.sort compare
+  |> List.map (fun idx ->
+         let res = idx / ns and slot = idx mod ns in
+         (res, slot, presence_of t.cells.(res).(slot)))
+
+let overused_mem t ~res ~slot = Hashtbl.mem t.ov_cells (cell_index t ~res ~slot)
 
 let clear t =
   Array.iter
@@ -123,4 +159,10 @@ let clear t =
           c.exec <- None;
           c.signals <- [])
         row)
-    t.cells
+    t.cells;
+  Hashtbl.reset t.ov_cells;
+  t.ov_total <- 0
+
+let get_ext t = t.m_ext
+
+let set_ext t e = t.m_ext <- e

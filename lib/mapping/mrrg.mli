@@ -15,6 +15,23 @@
 
 type signal = { s_node : int; s_elapsed : int }
 
+type cell = {
+  mutable exec : int option;              (** node executing on this FU slot *)
+  mutable signals : (signal * int) list;  (** signal -> refcount *)
+}
+(** Raw occupancy of one (resource, slot) cell.  Exposed read-only in
+    spirit: all mutation must go through {!place_node} / {!occupy} /
+    {!release} so the overuse bookkeeping stays exact.  Signal lists are
+    immutable values (mutators replace the list), so holding a reference is
+    a faithful snapshot — the router's memo depends on this. *)
+
+type ext = ..
+(** Open extension slot: higher layers attach per-MRRG state (e.g. the
+    router's query memo) without a dependency cycle.  One slot per MRRG;
+    the last {!set_ext} wins. *)
+
+type ext += Ext_none
+
 type t
 
 val create : Plaid_arch.Arch.t -> ii:int -> t
@@ -62,11 +79,30 @@ val occupy : t -> res:int -> slot:int -> signal -> unit
 
 val release : t -> res:int -> slot:int -> signal -> unit
 
+val cell : t -> int -> int -> cell
+(** [cell t res slot] with the slot normalized modulo II (collapsed to the
+    single cell when exclusive).  Do not mutate directly. *)
+
 val presence : t -> res:int -> slot:int -> int
 (** Number of distinct signals (plus 1 if a node executes there). *)
 
 val overuse : t -> int
 (** Total capacity violations across the whole MRRG: sum over (res, slot) of
-    max(0, presence - 1). *)
+    max(0, presence - 1).  O(1): the count is maintained incrementally by
+    every occupancy mutation. *)
+
+val n_overused_cells : t -> int
+(** Number of distinct cells with presence >= 2.  O(1). *)
+
+val overused_cells : t -> (int * int * int) list
+(** The over-subscribed cells as [(res, slot, presence)], sorted by
+    (res, slot) for deterministic iteration.  O(overused cells). *)
+
+val overused_mem : t -> res:int -> slot:int -> bool
+(** Whether the (resource, slot) cell currently has presence >= 2.  O(1). *)
 
 val clear : t -> unit
+
+val get_ext : t -> ext
+
+val set_ext : t -> ext -> unit

@@ -3,6 +3,8 @@ module Obs = Plaid_obs
 
 let m_iterations = Obs.Metrics.counter "pf/iterations"
 let m_ripups = Obs.Metrics.counter "pf/ripups"
+let m_rerouted = Obs.Metrics.counter "pf/rerouted_edges"
+let m_kept = Obs.Metrics.counter "pf/kept_edges"
 let h_overuse = Obs.Metrics.histogram "pf/overuse"
 
 type params = {
@@ -21,49 +23,34 @@ let slot_mod ii t = ((t mod ii) + ii) mod ii
 
 let manhattan (r1, c1) (r2, c2) = abs (r1 - r2) + abs (c1 - c2)
 
-(* Route all edges in soft mode; wires may overuse, placements are pinned. *)
-let route_all mrrg g ~times ~place ~mode =
-  let ii = Mrrg.ii mrrg in
-  Array.map
-    (fun (e : Dfg.edge) ->
-      let length = times.(e.dst) - times.(e.src) + (e.dist * ii) in
-      if Dfg.is_ordering e then (if length >= 1 then Some [] else None)
-      else
-        match
-          Route.find mrrg ~src_fu:place.(e.src) ~src_node:e.src ~t_src:times.(e.src)
-            ~dst_fu:place.(e.dst) ~length ~mode
-        with
-        | None -> None
-        | Some (path, _cost) ->
-          Route.occupy_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
-          Some path)
-    g.Dfg.edges
-
+(* Hottest over-subscribed cell; ties keep the smallest (res, slot), which
+   [Mrrg.overused_cells]'s sort order gives for free. *)
 let most_contested mrrg =
-  let arch = Mrrg.arch mrrg in
-  let best = ref None in
-  for res = 0 to Plaid_arch.Arch.n_resources arch - 1 do
-    for slot = 0 to Mrrg.ii mrrg - 1 do
-      let p = Mrrg.presence mrrg ~res ~slot in
-      match !best with
-      | Some (bp, _, _) when bp >= p -> ()
-      | _ -> if p > 1 then best := Some (p, res, slot)
-    done
-  done;
-  !best
+  List.fold_left
+    (fun best (res, slot, p) ->
+      match best with
+      | Some (bp, _, _) when bp >= p -> best
+      | _ -> Some (p, res, slot))
+    None (Mrrg.overused_cells mrrg)
 
 let update_history mrrg history ~increment =
-  let arch = Mrrg.arch mrrg in
-  for res = 0 to Plaid_arch.Arch.n_resources arch - 1 do
-    for slot = 0 to Mrrg.ii mrrg - 1 do
-      if Mrrg.presence mrrg ~res ~slot > 1 then
-        history.(res).(slot) <- history.(res).(slot) +. increment
-    done
-  done
+  let ii = Mrrg.ii mrrg in
+  let exclusive = Mrrg.exclusive mrrg in
+  List.iter
+    (fun (res, slot, _) ->
+      (* an exclusive (clock-gated) cell stands for every modulo slot, and
+         the router prices history per actual slot *)
+      if exclusive then
+        for s = 0 to ii - 1 do
+          history.(res).(s) <- history.(res).(s) +. increment
+        done
+      else history.(res).(slot) <- history.(res).(slot) +. increment)
+    (Mrrg.overused_cells mrrg)
 
 (* Move [node] to a compatible free FU, preferring tiles whose Manhattan
-   distance to [other_tile] best matches the edge's cycle budget. *)
-let replace_towards mrrg g ~place ~node ~slot ~other_tile ~budget ~rng =
+   distance to [other_tile] best matches the edge's cycle budget.  [touch]
+   rips the routes incident to a node that actually moves. *)
+let replace_towards mrrg g ~place ~node ~slot ~other_tile ~budget ~touch ~rng =
   let arch = Mrrg.arch mrrg in
   Mrrg.unplace_node mrrg ~node ~fu:place.(node) ~slot;
   let cands = Greedy.compatible_fus mrrg g ~node ~slot in
@@ -83,21 +70,26 @@ let replace_towards mrrg g ~place ~node ~slot ~other_tile ~budget ~rng =
         cands
       |> snd
     in
+    if best <> place.(node) then touch node;
     Mrrg.place_node mrrg ~node ~fu:best ~slot;
     place.(node) <- best
 
-(* Move one node one cycle later if its FU slot allows. *)
-let shift_node mrrg ~times ~place ~node ~ii =
+(* Move one node one cycle later if its FU slot allows.  [touch] runs
+   before the time changes so incident routes are released against the
+   producer times they were occupied under. *)
+let shift_node mrrg ~times ~place ~node ~ii ~touch =
   let t = times.(node) in
   let fu = place.(node) in
   let old_slot = slot_mod ii t and new_slot = slot_mod ii (t + 1) in
   if new_slot = old_slot then begin
+    touch node;
     times.(node) <- t + 1;
     true
   end
   else begin
     Mrrg.unplace_node mrrg ~node ~fu ~slot:old_slot;
     if Mrrg.fu_free mrrg ~fu ~slot:new_slot then begin
+      touch node;
       Mrrg.place_node mrrg ~node ~fu ~slot:new_slot;
       times.(node) <- t + 1;
       true
@@ -111,10 +103,10 @@ let shift_node mrrg ~times ~place ~node ~ii =
 (* Give the consumer one more cycle of routing budget.  When downstream
    nodes pin its slack, push them later first (bounded cascade along the
    chain — the sink of the chain always has open slack). *)
-let rec retime_later mrrg g ~times ~place ~node ~ii ~depth =
+let rec retime_later mrrg g ~times ~place ~node ~ii ~depth ~touch =
   let _, hi = Schedule.slack g ~times ~ii ~node in
   let t = times.(node) in
-  if t + 1 <= hi then shift_node mrrg ~times ~place ~node ~ii
+  if t + 1 <= hi then shift_node mrrg ~times ~place ~node ~ii ~touch
   else if depth = 0 then false
   else begin
     (* push every successor that makes the deadline tight *)
@@ -125,19 +117,19 @@ let rec retime_later mrrg g ~times ~place ~node ~ii ~depth =
           else begin
             let deadline = times.(e.dst) - 1 + (e.dist * ii) in
             if deadline <= t then
-              acc && retime_later mrrg g ~times ~place ~node:e.dst ~ii ~depth:(depth - 1)
+              acc && retime_later mrrg g ~times ~place ~node:e.dst ~ii ~depth:(depth - 1) ~touch
             else acc
           end)
         true (Dfg.succs g node)
     in
     if pushed_all then begin
       let _, hi = Schedule.slack g ~times ~ii ~node in
-      t + 1 <= hi && shift_node mrrg ~times ~place ~node ~ii
+      t + 1 <= hi && shift_node mrrg ~times ~place ~node ~ii ~touch
     end
     else false
   end
 
-let repair_unrouted mrrg g ~times ~place ~paths ~rng =
+let repair_unrouted mrrg g ~times ~place ~paths ~touch ~rng =
   let arch = Mrrg.arch mrrg in
   let ii = Mrrg.ii mrrg in
   Array.iteri
@@ -151,14 +143,30 @@ let repair_unrouted mrrg g ~times ~place ~paths ~rng =
         match Plaid_util.Rng.int rng 3 with
         | 0 ->
           replace_towards mrrg g ~place ~node:e.dst ~slot:(slot_mod ii times.(e.dst))
-            ~other_tile:src_tile ~budget ~rng
+            ~other_tile:src_tile ~budget ~touch ~rng
         | 1 when e.src <> e.dst ->
           replace_towards mrrg g ~place ~node:e.src ~slot:(slot_mod ii times.(e.src))
-            ~other_tile:dst_tile ~budget ~rng
-        | _ -> ignore (retime_later mrrg g ~times ~place ~node:e.dst ~ii ~depth:8)
+            ~other_tile:dst_tile ~budget ~touch ~rng
+        | _ -> ignore (retime_later mrrg g ~times ~place ~node:e.dst ~ii ~depth:8 ~touch)
       end)
     paths
 
+(* Negotiation is incremental: placements and routed paths persist across
+   iterations.  An edge is re-routed only when it is dirty —
+
+   - it was never routed (or its last attempt failed);
+   - its current path crosses a (resource, slot) cell that is
+     over-subscribed at the top of the iteration (classic PathFinder
+     rip-up, restricted to the contested cells); or
+   - a repair moved or retimed one of its endpoints ([touch] below rips
+     incident routes *before* the placement/time mutation so release uses
+     the producer time the path was occupied under).
+
+   Clean edges keep their wires and their occupancy; with congestion
+   typically local, late rounds re-route a handful of edges instead of
+   every edge, which is where the mapper's hot-path speedup comes from.
+   Both router search cores run under this same negotiation, so the
+   differential gate compares exactly the search cores. *)
 let map_at_ii arch g ~ii ~times ~params ~rng =
   Obs.Trace.with_span ~cat:"pf" "pf.map_at_ii"
     ~args:[ ("ii", string_of_int ii) ]
@@ -171,7 +179,26 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
   | Some place ->
     Explain.phase "route" @@ fun () ->
     let n_res = Plaid_arch.Arch.n_resources arch in
+    let exclusive = Mrrg.exclusive mrrg in
     let history = Array.make_matrix n_res ii 0.0 in
+    let ne = Array.length g.Dfg.edges in
+    let paths : Route.path option array = Array.make ne None in
+    let incident = Array.make (Dfg.n_nodes g) [] in
+    Array.iteri
+      (fun i (e : Dfg.edge) ->
+        incident.(e.src) <- i :: incident.(e.src);
+        if e.dst <> e.src then incident.(e.dst) <- i :: incident.(e.dst))
+      g.Dfg.edges;
+    let release_edge i =
+      match paths.(i) with
+      | None -> ()
+      | Some p ->
+        let e = g.Dfg.edges.(i) in
+        if not (Dfg.is_ordering e) then
+          Route.release_path mrrg ~src_node:e.src ~t_src:times.(e.src) p;
+        paths.(i) <- None
+    in
+    let touch v = List.iter release_edge incident.(v) in
     let result = ref None in
     let stall = ref 0 in
     let best_score = ref max_int in
@@ -181,21 +208,67 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
     let since_best = ref 0 in
     while !result = None && !iter < params.max_iters && !since_best < hopeless do
       incr iter;
-      (* wipe wires, keep placements *)
-      Mrrg.clear mrrg;
-      Array.iteri
-        (fun v fu -> Mrrg.place_node mrrg ~node:v ~fu ~slot:(slot_mod ii times.(v)))
-        place;
       let mode =
         Route.Soft
           { present_factor = params.present_factor_step *. float_of_int !iter; history }
       in
-      let paths = route_all mrrg g ~times ~place ~mode in
-      let unrouted = Array.to_list paths |> List.filter (( = ) None) |> List.length in
+      (* rip-up: snapshot the contested cells, then release every routed
+         edge whose path crosses one (the snapshot keeps the dirty set
+         well-defined while releases shrink live presence) *)
+      (match Mrrg.overused_cells mrrg with
+      | [] -> ()
+      | hot_cells ->
+        let hot = Hashtbl.create 32 in
+        List.iter (fun (res, slot, _) -> Hashtbl.replace hot (res, slot) ()) hot_cells;
+        Array.iteri
+          (fun i p ->
+            match p with
+            | None | Some [] -> ()
+            | Some path ->
+              let e = g.Dfg.edges.(i) in
+              let t_src = times.(e.src) in
+              let crosses =
+                List.exists
+                  (fun (res, elapsed) ->
+                    let slot = if exclusive then 0 else slot_mod ii (t_src + elapsed) in
+                    Hashtbl.mem hot (res, slot))
+                  path
+              in
+              if crosses then begin
+                Obs.Metrics.incr m_ripups;
+                release_edge i
+              end)
+          paths);
+      (* reroute: only the dirty edges, in edge-index order *)
+      let rerouted = ref 0 in
+      for i = 0 to ne - 1 do
+        if paths.(i) = None then begin
+          incr rerouted;
+          let e = g.Dfg.edges.(i) in
+          let length = times.(e.dst) - times.(e.src) + (e.dist * ii) in
+          if Dfg.is_ordering e then begin
+            if length >= 1 then paths.(i) <- Some []
+          end
+          else
+            match
+              Route.find mrrg ~src_fu:place.(e.src) ~src_node:e.src ~t_src:times.(e.src)
+                ~dst_fu:place.(e.dst) ~length ~mode
+            with
+            | None -> ()
+            | Some (path, _cost) ->
+              Route.occupy_path mrrg ~src_node:e.src ~t_src:times.(e.src) path;
+              paths.(i) <- Some path
+        end
+      done;
+      let unrouted = ref 0 in
+      Array.iter (fun p -> if p = None then incr unrouted) paths;
+      let unrouted = !unrouted in
       let ou = Mrrg.overuse mrrg in
       (* One observation per negotiation round traces how congestion decays
          as history costs accumulate. *)
       Obs.Metrics.incr m_iterations;
+      Obs.Metrics.add m_rerouted !rerouted;
+      Obs.Metrics.add m_kept (ne - !rerouted);
       Obs.Metrics.observe h_overuse (float_of_int ou);
       if unrouted = 0 && ou = 0 then begin
         let routes =
@@ -214,7 +287,7 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
       end
       else begin
         update_history mrrg history ~increment:params.history_increment;
-        if unrouted > 0 then repair_unrouted mrrg g ~times ~place ~paths ~rng;
+        if unrouted > 0 then repair_unrouted mrrg g ~times ~place ~paths ~touch ~rng;
         let score = (unrouted * 100) + ou in
         if score < !best_score then begin
           best_score := score;
@@ -248,24 +321,17 @@ let map_at_ii arch g ~ii ~times ~params ~rng =
               | [] -> Mrrg.place_node mrrg ~node:v ~fu:old_fu ~slot
               | cands ->
                 let fu = List.nth cands (Plaid_util.Rng.int rng (List.length cands)) in
+                if fu <> old_fu then touch v;
                 Mrrg.place_node mrrg ~node:v ~fu ~slot;
                 place.(v) <- fu)
         end
       end
     done;
     Explain.add_iterations !iter;
-    if Explain.enabled () then begin
+    if Explain.enabled () then
       (* end-of-negotiation congestion snapshot: the cells the router was
          still fighting over (empty on success, since overuse must be 0) *)
-      let cells = ref [] in
-      for res = 0 to n_res - 1 do
-        for slot = 0 to ii - 1 do
-          let p = Mrrg.presence mrrg ~res ~slot in
-          if p > 1 then cells := (res, slot, p) :: !cells
-        done
-      done;
-      Explain.congestion !cells
-    end;
+      Explain.congestion (Mrrg.overused_cells mrrg);
     match !result with
     | None -> None
     | Some m -> (

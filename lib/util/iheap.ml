@@ -1,0 +1,128 @@
+(* Indexed binary min-heap over small-integer element ids.
+
+   Each id occupies at most one heap slot; [insert] on a present id is a
+   key update.  Ordering is lexicographic on (key, sec, id) so pops are
+   fully deterministic even among equal priorities — the router relies on
+   this for reproducible exploration order.  All storage is flat arrays
+   indexed by id or slot, so a heap can be embedded in a per-domain scratch
+   arena and reused across thousands of searches without allocation. *)
+
+type t = {
+  mutable key : float array;  (* id -> primary key *)
+  mutable sec : float array;  (* id -> secondary key *)
+  mutable pos : int array;    (* id -> slot, -1 when absent *)
+  mutable ids : int array;    (* slot -> id *)
+  mutable size : int;
+}
+
+let create () = { key = [||]; sec = [||]; pos = [||]; ids = [||]; size = 0 }
+
+let capacity h = Array.length h.pos
+
+let reserve h n =
+  let cap = Array.length h.pos in
+  if n > cap then begin
+    let cap' = max n (max 16 (2 * cap)) in
+    let key = Array.make cap' 0.0 and sec = Array.make cap' 0.0 in
+    let pos = Array.make cap' (-1) and ids = Array.make cap' 0 in
+    Array.blit h.key 0 key 0 cap;
+    Array.blit h.sec 0 sec 0 cap;
+    Array.blit h.pos 0 pos 0 cap;
+    Array.blit h.ids 0 ids 0 h.size;
+    h.key <- key;
+    h.sec <- sec;
+    h.pos <- pos;
+    h.ids <- ids
+  end
+
+let size h = h.size
+
+let is_empty h = h.size = 0
+
+(* total over all ids: anything outside the reserved range is absent *)
+let contains h id = id >= 0 && id < Array.length h.pos && h.pos.(id) >= 0
+
+let key h id = h.key.(id)
+
+(* strict (key, sec, id) order *)
+let less h a b =
+  h.key.(a) < h.key.(b)
+  || (h.key.(a) = h.key.(b) && (h.sec.(a) < h.sec.(b) || (h.sec.(a) = h.sec.(b) && a < b)))
+
+let rec sift_up h slot =
+  if slot > 0 then begin
+    let parent = (slot - 1) / 2 in
+    let id = h.ids.(slot) and pid = h.ids.(parent) in
+    if less h id pid then begin
+      h.ids.(slot) <- pid;
+      h.ids.(parent) <- id;
+      h.pos.(pid) <- slot;
+      h.pos.(id) <- parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h slot =
+  let l = (2 * slot) + 1 and r = (2 * slot) + 2 in
+  let smallest = ref slot in
+  if l < h.size && less h h.ids.(l) h.ids.(!smallest) then smallest := l;
+  if r < h.size && less h h.ids.(r) h.ids.(!smallest) then smallest := r;
+  if !smallest <> slot then begin
+    let a = h.ids.(slot) and b = h.ids.(!smallest) in
+    h.ids.(slot) <- b;
+    h.ids.(!smallest) <- a;
+    h.pos.(b) <- slot;
+    h.pos.(a) <- !smallest;
+    sift_down h !smallest
+  end
+
+let insert h id ~key ~sec =
+  if id < 0 then invalid_arg "Iheap.insert: negative id";
+  reserve h (id + 1);
+  let slot = h.pos.(id) in
+  if slot < 0 then begin
+    let slot = h.size in
+    h.size <- slot + 1;
+    h.ids.(slot) <- id;
+    h.pos.(id) <- slot;
+    h.key.(id) <- key;
+    h.sec.(id) <- sec;
+    sift_up h slot
+  end
+  else begin
+    let up = key < h.key.(id) || (key = h.key.(id) && sec < h.sec.(id)) in
+    h.key.(id) <- key;
+    h.sec.(id) <- sec;
+    if up then sift_up h slot else sift_down h slot
+  end
+
+let decrease h id ~key ~sec =
+  let slot = h.pos.(id) in
+  if slot < 0 then invalid_arg "Iheap.decrease: id not present";
+  if key < h.key.(id) || (key = h.key.(id) && sec <= h.sec.(id)) then begin
+    h.key.(id) <- key;
+    h.sec.(id) <- sec;
+    sift_up h slot
+  end
+
+let pop h =
+  if h.size = 0 then -1
+  else begin
+    let top = h.ids.(0) in
+    h.pos.(top) <- -1;
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      let last = h.ids.(h.size) in
+      h.ids.(0) <- last;
+      h.pos.(last) <- 0;
+      sift_down h 0
+    end;
+    top
+  end
+
+(* O(contained ids): only slots still in the heap need their pos reset. *)
+let clear h =
+  for slot = 0 to h.size - 1 do
+    h.pos.(h.ids.(slot)) <- -1
+  done;
+  h.size <- 0

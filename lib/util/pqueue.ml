@@ -1,6 +1,11 @@
 type 'a entry = { prio : float; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+(* Slots beyond [size] are [None], never aliases of live entries: the old
+   scheme filled spare capacity with a copy of some pushed entry (growth
+   seeded from [data.(0)], pops left the tail slot untouched), which both
+   pinned popped values against the GC and crashed on a push into an
+   empty-but-previously-grown queue. *)
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
@@ -8,12 +13,7 @@ let is_empty q = q.size = 0
 
 let length q = q.size
 
-let grow q =
-  let cap = max 16 (2 * Array.length q.data) in
-  let dummy = q.data.(0) in
-  let data = Array.make cap dummy in
-  Array.blit q.data 0 data 0 q.size;
-  q.data <- data
+let get q i = match q.data.(i) with Some e -> e | None -> assert false
 
 let swap q i j =
   let tmp = q.data.(i) in
@@ -23,7 +23,7 @@ let swap q i j =
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if q.data.(i).prio < q.data.(parent).prio then begin
+    if (get q i).prio < (get q parent).prio then begin
       swap q i parent;
       sift_up q parent
     end
@@ -32,30 +32,38 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && q.data.(l).prio < q.data.(!smallest).prio then smallest := l;
-  if r < q.size && q.data.(r).prio < q.data.(!smallest).prio then smallest := r;
+  if l < q.size && (get q l).prio < (get q !smallest).prio then smallest := l;
+  if r < q.size && (get q r).prio < (get q !smallest).prio then smallest := r;
   if !smallest <> i then begin
     swap q i !smallest;
     sift_down q !smallest
   end
 
 let push q prio value =
-  if Array.length q.data = 0 then q.data <- Array.make 16 { prio; value };
-  if q.size = Array.length q.data then grow q;
-  q.data.(q.size) <- { prio; value };
+  if q.size = Array.length q.data then begin
+    let cap = max 16 (2 * Array.length q.data) in
+    let data = Array.make cap None in
+    Array.blit q.data 0 data 0 q.size;
+    q.data <- data
+  end;
+  q.data.(q.size) <- Some { prio; value };
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.data.(0) in
+    let top = get q 0 in
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.data.(0) <- q.data.(q.size);
+      q.data.(q.size) <- None;
       sift_down q 0
-    end;
+    end
+    else q.data.(0) <- None;
     Some (top.prio, top.value)
   end
 
-let clear q = q.size <- 0
+let clear q =
+  q.data <- [||];
+  q.size <- 0

@@ -15,6 +15,9 @@ val push : 'a t -> float -> 'a -> unit
 (** [push q prio x] inserts [x] with priority [prio]. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Removes and returns the minimum-priority element. *)
+(** Removes and returns the minimum-priority element.  Freed slots never
+    retain a reference to the popped value. *)
 
 val clear : 'a t -> unit
+(** Empties the queue and drops its backing storage, releasing every held
+    value to the collector. *)

@@ -53,6 +53,41 @@ let check_mapper pool =
         fail "best_of(%s) differs between sequential and -j %d" kernel jobs)
     [ "dwconv"; "atax_u2"; "cholesky_u2" ]
 
+(* ------------------------------------------- router search-core identity *)
+
+(* The differential fast-path gate at mapper level: forcing the baseline
+   Dijkstra core must reproduce the fast (A* + memo) core's mappings bit
+   for bit, sequentially and under a pool.  Run here so the gate holds at
+   both -j 1 and -j 4. *)
+let check_router_cores pool =
+  let arch = Plaid_arch.Mesh.build Plaid_arch.Mesh.spatio_temporal_4x4 ~name:"st4" in
+  let algos =
+    [ Plaid_mapping.Driver.Pf Plaid_mapping.Pathfinder.quick;
+      Plaid_mapping.Driver.Sa Plaid_mapping.Anneal.quick ]
+  in
+  let with_core forced f =
+    Fun.protect
+      ~finally:(fun () -> Plaid_mapping.Route.set_baseline None)
+      (fun () ->
+        Plaid_mapping.Route.set_baseline (Some forced);
+        f ())
+  in
+  List.iter
+    (fun kernel ->
+      let dfg = Plaid_workloads.Suite.dfg (Plaid_workloads.Suite.find kernel) in
+      let fast =
+        with_core false (fun () ->
+            Plaid_mapping.Driver.best_of ~pool ~algos ~arch ~dfg ~seed:17 ())
+      in
+      let slow =
+        with_core true (fun () ->
+            Plaid_mapping.Driver.best_of ~pool ~algos ~arch ~dfg ~seed:17 ())
+      in
+      if fingerprint fast <> fingerprint slow then
+        fail "best_of(%s) differs between fast and baseline router cores (-j %d)" kernel
+          jobs)
+    [ "dwconv"; "atax_u2"; "cholesky_u2" ]
+
 (* --------------------------------------------------- experiment identity *)
 
 let selection =
@@ -211,6 +246,7 @@ let check_obs_invariance pool =
 let () =
   Plaid_util.Pool.with_pool ~size:jobs (fun pool ->
       check_mapper pool;
+      check_router_cores pool;
       check_experiments pool;
       check_cache_invariance pool;
       check_dse pool;

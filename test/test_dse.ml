@@ -206,6 +206,37 @@ let test_paper_space_builds () =
           c.Space.config_entries b.Space.arch.Plaid_arch.Arch.config.entries)
     (List.assoc "paper" Space.presets).Space.candidates
 
+(* Regression: a bypass-less mesh candidate must build (the mesh wiring
+   used to look ports up with partial [List.nth] calls that blew up with
+   [Failure "nth"] the moment the bypass axis actually varied), carry the
+   [_nobyp] marker in its canonical name, and shed the byp_* resources. *)
+let test_mesh_nobypass_candidate_builds () =
+  let c =
+    Space.normalize
+      { Space.family = Space.Mesh; rows = 4; cols = 4; config_entries = 8;
+        regs_per_pe = 4; mem_cols = 1; bypass = false; pruned = false; spm_kb = 16 }
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "bypass survives normalization" false c.Space.bypass;
+  let name = Space.name c in
+  check Alcotest.bool (name ^ " is marked _nobyp") true (contains name "_nobyp");
+  let b = Space.build c in
+  let has_byp arch =
+    Array.exists
+      (fun (r : Plaid_arch.Arch.resource) -> contains r.rname ".byp_")
+      arch.Plaid_arch.Arch.resources
+  in
+  check Alcotest.bool "no byp resources without bypass" false (has_byp b.Space.arch);
+  (* the bypassed twin is a distinct candidate with a distinct name *)
+  let c' = Space.normalize { c with Space.bypass = true } in
+  check Alcotest.bool "bypassed twin has a different name" true (Space.name c' <> name);
+  let b' = Space.build c' in
+  check Alcotest.bool "bypassed twin keeps byp resources" true (has_byp b'.Space.arch)
+
 let test_normalization_dedup () =
   match
     Space.of_string ~name:"t" "family plaid\nbypass true\nregs_per_pe 2 4 8"
@@ -314,6 +345,8 @@ let suites =
         Alcotest.test_case "paper space builds" `Quick test_paper_space_builds;
         Alcotest.test_case "normalization collapses duplicates" `Quick
           test_normalization_dedup;
+        Alcotest.test_case "bypass-less mesh candidate builds" `Quick
+          test_mesh_nobypass_candidate_builds;
         Alcotest.test_case "space parser" `Quick test_space_parser;
         Alcotest.test_case "real halving matches exhaustive" `Slow
           test_real_halving_matches_exhaustive;

@@ -1,5 +1,5 @@
 let () =
   Alcotest.run "plaid"
-    (Test_ir.suites @ Test_mapping.suites @ Test_plaid.suites @ Test_sim.suites
+    (Test_ir.suites @ Test_router.suites @ Test_mapping.suites @ Test_plaid.suites @ Test_sim.suites
    @ Test_spatial.suites @ Test_model.suites @ Test_exp.suites @ Test_bitstream.suites @ Test_parse.suites @ Test_tools.suites @ Test_props.suites @ Test_opt.suites @ Test_mapfile.suites @ Test_gen.suites @ Test_exact.suites @ Test_adl.suites @ Test_inject.suites @ Test_pool.suites @ Test_obs.suites @ Test_fault.suites @ Test_check.suites
    @ Test_serve.suites @ Test_dse.suites)

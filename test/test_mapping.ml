@@ -183,10 +183,14 @@ let test_route_distance_needs_cycles () =
   let mrrg = Mrrg.create arch ~ii:4 in
   let src = Plaid_arch.Mesh.fu_of_pe p ~row:0 ~col:0 in
   let dst = Plaid_arch.Mesh.fu_of_pe p ~row:3 ~col:3 in
-  (* manhattan distance 6: cannot arrive in fewer than 6 cycles *)
+  (* One registered hop per straight run (HyCUBE-style bypass): the corner
+     needs an east run and a south run, so two cycles minimum — one is
+     impossible however the router pads. *)
   check Alcotest.bool "too short fails" true
-    (Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:3 ~mode:Route.Hard = None);
+    (Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:1 ~mode:Route.Hard = None);
   check Alcotest.bool "exact works" true
+    (Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:2 ~mode:Route.Hard <> None);
+  check Alcotest.bool "padded works" true
     (Route.find mrrg ~src_fu:src ~src_node:0 ~t_src:0 ~dst_fu:dst ~length:6 ~mode:Route.Hard <> None)
 
 let test_route_padding () =

@@ -1,0 +1,330 @@
+(* Router hot-path overhaul tests: Pqueue retention/growth regressions,
+   indexed-heap properties against a reference model, zero-length route
+   semantics, the architecture route tables, and the differential gate
+   that the fast (A* + memo) and baseline (plain Dijkstra) search cores
+   return byte-identical results. *)
+
+open Plaid_mapping
+module Arch = Plaid_arch.Arch
+module Mesh = Plaid_arch.Mesh
+module Pqueue = Plaid_util.Pqueue
+module Iheap = Plaid_util.Iheap
+
+let check = Alcotest.check
+
+let st4 = lazy (Mesh.build Mesh.spatio_temporal_4x4 ~name:"st4")
+
+let fu_of pe =
+  Mesh.fu_of_pe Mesh.spatio_temporal_4x4 ~row:(pe / 4) ~col:(pe mod 4)
+
+(* ---------------------------------------------------------------- pqueue *)
+
+(* Keep allocation out of the caller's frame so the only strong reference
+   to the pushed value is the queue's backing array. *)
+let[@inline never] push_tracked q w =
+  let v = Bytes.make 64 'x' in
+  Weak.set w 0 (Some v);
+  Pqueue.push q 1.0 v
+
+let collected w =
+  Gc.full_major ();
+  Gc.full_major ();
+  Weak.get w 0 = None
+
+let test_pqueue_pop_releases () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  push_tracked q w;
+  (* a second live entry keeps the backing array allocated, so the test
+     exercises the freed-tail-slot aliasing, not the array drop *)
+  Pqueue.push q 2.0 Bytes.empty;
+  ignore (Pqueue.pop q);
+  check Alcotest.bool "popped value is collectable while queue lives" true (collected w);
+  ignore (Pqueue.pop q)
+
+let test_pqueue_emptied_releases () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  push_tracked q w;
+  ignore (Pqueue.pop q);
+  check Alcotest.bool "value of emptied queue is collectable" true (collected w)
+
+let test_pqueue_clear_releases () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  push_tracked q w;
+  Pqueue.clear q;
+  check Alcotest.bool "cleared value is collectable" true (collected w)
+
+(* push into a drained-but-previously-grown queue: the old growth scheme
+   seeded the new array from data.(0) and crashed here *)
+let test_pqueue_push_after_drain () =
+  let q = Pqueue.create () in
+  for i = 0 to 40 do
+    Pqueue.push q (float_of_int (40 - i)) i
+  done;
+  while Pqueue.pop q <> None do
+    ()
+  done;
+  Pqueue.clear q;
+  for i = 0 to 40 do
+    Pqueue.push q (float_of_int i) i
+  done;
+  check
+    (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.int))
+    "min pops first after drain-refill" (Some (0.0, 0)) (Pqueue.pop q)
+
+(* ----------------------------------------------------------------- iheap *)
+
+(* reference model: id -> (key, sec), minimum under (key, sec, id) *)
+let model_min model =
+  Hashtbl.fold
+    (fun id (k, s) best ->
+      match best with
+      | Some (bk, bs, bid) when (bk, bs, bid) <= (k, s, id) -> best
+      | _ -> Some (k, s, id))
+    model None
+
+let prop_iheap_matches_model =
+  QCheck.Test.make ~name:"indexed heap agrees with a reference model" ~count:300
+    QCheck.(
+      make
+        ~print:(fun ops ->
+          String.concat ";"
+            (List.map (fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c) ops))
+        Gen.(list_size (int_range 1 80) (triple (int_range 0 24) (int_range 0 40) (int_range 0 3))))
+    (fun ops ->
+      let h = Iheap.create () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (id, k, kind) ->
+          let key = float_of_int (k / 4) and sec = float_of_int (k mod 4) in
+          match kind with
+          | 0 | 1 ->
+            Iheap.insert h id ~key ~sec;
+            Hashtbl.replace model id (key, sec);
+            Iheap.contains h id && Iheap.key h id = key
+          | 2 ->
+            if Iheap.contains h id then begin
+              Iheap.decrease h id ~key ~sec;
+              (match Hashtbl.find_opt model id with
+              | Some (k0, s0) when (key, sec) <= (k0, s0) ->
+                Hashtbl.replace model id (key, sec)
+              | _ -> ());
+              true
+            end
+            else true
+          | _ -> (
+            let got = Iheap.pop h in
+            match model_min model with
+            | None -> got = -1
+            | Some (_, _, id) ->
+              Hashtbl.remove model id;
+              got = id))
+        ops
+      && begin
+        (* drain: pops must come out in strict (key, sec, id) order and
+           empty the model *)
+        let ok = ref true in
+        let rec drain () =
+          match Iheap.pop h with
+          | -1 -> ok := Hashtbl.length model = 0 && !ok
+          | id ->
+            (match model_min model with
+            | Some (_, _, mid) when mid = id -> Hashtbl.remove model id
+            | _ -> ok := false);
+            drain ()
+        in
+        drain ();
+        !ok
+      end)
+
+let prop_iheap_clear_reuse =
+  QCheck.Test.make ~name:"cleared heap reproduces a fresh heap's pops" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 40) (pair (int_range 0 30) (int_range 0 9))))
+    (fun items ->
+      let fill h =
+        List.iter
+          (fun (id, k) ->
+            Iheap.insert h id ~key:(float_of_int k) ~sec:(float_of_int (id mod 3)))
+          items
+      in
+      let drain h =
+        let rec go acc = match Iheap.pop h with -1 -> List.rev acc | id -> go (id :: acc) in
+        go []
+      in
+      let fresh = Iheap.create () in
+      fill fresh;
+      let reused = Iheap.create () in
+      fill reused;
+      (* leave some entries live, then clear mid-flight *)
+      ignore (Iheap.pop reused);
+      Iheap.clear reused;
+      fill reused;
+      drain fresh = drain reused)
+
+(* ------------------------------------------------------ zero-length find *)
+
+let test_route_length_zero () =
+  let arch = Lazy.force st4 in
+  let mrrg = Mrrg.create arch ~ii:2 in
+  let fu = fu_of 5 in
+  let each_core f =
+    List.iter
+      (fun forced ->
+        Fun.protect
+          ~finally:(fun () -> Route.set_baseline None)
+          (fun () ->
+            Route.set_baseline (Some forced);
+            f (if forced then "baseline" else "fast")))
+      [ true; false ]
+  in
+  each_core (fun core ->
+      (match Route.find mrrg ~src_fu:fu ~src_node:0 ~t_src:1 ~dst_fu:fu ~length:0 ~mode:Route.Hard with
+      | Some ([], 0.0) -> ()
+      | Some _ -> Alcotest.failf "%s: zero-length same-FU route is not the empty path" core
+      | None -> Alcotest.failf "%s: zero-length same-FU route must exist" core);
+      check Alcotest.bool
+        (core ^ ": zero-length cross-FU is unroutable")
+        true
+        (Route.find mrrg ~src_fu:fu ~src_node:0 ~t_src:1 ~dst_fu:(fu_of 6) ~length:0
+           ~mode:Route.Hard
+        = None);
+      check Alcotest.bool
+        (core ^ ": negative length is unroutable")
+        true
+        (Route.find mrrg ~src_fu:fu ~src_node:0 ~t_src:1 ~dst_fu:fu ~length:(-1)
+           ~mode:Route.Hard
+        = None))
+
+(* ----------------------------------------------------------- route tables *)
+
+(* the hop/latency lower bounds must be consistent with the link graph:
+   0 on the diagonal, and within one link step of the successor's bound *)
+let test_route_tables_consistent () =
+  let arch = Lazy.force st4 in
+  let rt = Arch.route_tables arch in
+  let n = Arch.n_resources arch in
+  check Alcotest.int "table covers every resource" n rt.Arch.rt_n;
+  for dst = 0 to n - 1 do
+    check Alcotest.int "self distance is zero" 0
+      (Char.code (Bytes.get rt.Arch.rt_hop ((dst * n) + dst)))
+  done;
+  let dst = fu_of 0 in
+  for res = 0 to n - 1 do
+    let hop = Char.code (Bytes.get rt.Arch.rt_hop ((dst * n) + res)) in
+    if hop <> 255 then
+      List.iter
+        (fun (succ, _lat) ->
+          let hs = Char.code (Bytes.get rt.Arch.rt_hop ((dst * n) + succ)) in
+          if hs <> 255 then
+            check Alcotest.bool "triangle inequality over links" true (hop <= hs + 1))
+        arch.Arch.out_links.(res)
+  done;
+  (* breaking a link rebuilds the cache from the pruned adjacency (only
+     Broken_link faults prune links; FU/port faults mask MRRG cells, which
+     the tables — admissible lower bounds — deliberately ignore).  Break
+     the sole outgoing link of some resource: everything but itself
+     becomes unreachable from there, while the original tables keep their
+     entries. *)
+  let sole =
+    let rec scan res =
+      if res >= n then Alcotest.fail "no single-exit resource in the mesh"
+      else
+        match arch.Arch.out_links.(res) with
+        | [ (d, _) ] when d <> res -> (res, d)
+        | _ -> scan (res + 1)
+    in
+    scan 0
+  in
+  let src, link_dst = sole in
+  let faulted = Arch.set_faults arch [ Arch.Broken_link (src, link_dst) ] in
+  let rt' = Arch.route_tables faulted in
+  check Alcotest.int "dead-end source unreachable in faulted tables" 255
+    (Char.code (Bytes.get rt'.Arch.rt_hop ((dst * n) + src)));
+  check Alcotest.bool "original tables unaffected by set_faults" true
+    (Char.code (Bytes.get rt.Arch.rt_hop ((dst * n) + src)) <> 255)
+
+(* ------------------------------------------- fast vs baseline equivalence *)
+
+(* The differential gate, in-process: identical queries against identical
+   occupancy must produce structurally identical (path, cost) results from
+   both search cores — including repeat queries (memo hits) and queries
+   after occupancy mutations (memo invalidation). *)
+let prop_cores_agree =
+  QCheck.Test.make ~name:"fast and baseline search cores agree" ~count:60
+    QCheck.(
+      make
+        ~print:(fun (a, b, l, ii, t, soft) ->
+          Printf.sprintf "src=%d dst=%d len=%d ii=%d t_src=%d soft=%b" a b l ii t soft)
+        Gen.(
+          map
+            (fun ((a, b, l), (ii, t, soft)) -> (a, b, l, ii, t, soft))
+            (pair
+               (triple (int_range 0 15) (int_range 0 15) (int_range 0 8))
+               (triple (int_range 1 4) (int_range 0 3) bool))))
+    (fun (src_pe, dst_pe, len, ii, t_src, soft) ->
+      let arch = Lazy.force st4 in
+      let history =
+        Array.init (Arch.n_resources arch) (fun r ->
+            Array.init ii (fun s -> float_of_int (((r * 7) + (s * 3)) mod 5) *. 0.3))
+      in
+      let mode =
+        if soft then Route.Soft { present_factor = 0.7; history } else Route.Hard
+      in
+      let query mrrg =
+        Route.find mrrg ~src_fu:(fu_of src_pe) ~src_node:3 ~t_src ~dst_fu:(fu_of dst_pe)
+          ~length:len ~mode
+      in
+      (* pre-congest the fabric deterministically so soft pricing and
+         sharing rules are exercised, not just empty-fabric shortest paths *)
+      let congest mrrg =
+        List.iter
+          (fun (spe, dpe, l, node, t0) ->
+            match
+              Route.find mrrg ~src_fu:(fu_of spe) ~src_node:node ~t_src:t0
+                ~dst_fu:(fu_of dpe) ~length:l ~mode:Route.Hard
+            with
+            | Some (p, _) -> Route.occupy_path mrrg ~src_node:node ~t_src:t0 p
+            | None -> ())
+          [ (0, 5, 2, 11, 0); (5, 10, 3, 12, 1); (3, 0, 4, 13, 0); (12, 15, 2, 14, 2) ]
+      in
+      let run forced =
+        Fun.protect
+          ~finally:(fun () -> Route.set_baseline None)
+          (fun () ->
+            Route.set_baseline (Some forced);
+            let mrrg = Mrrg.create arch ~ii in
+            congest mrrg;
+            let r1 = query mrrg in
+            let r2 = query mrrg in
+            (* mutate occupancy, then query again: the fast core's memo
+               must notice the footprint change *)
+            let r3 =
+              match r1 with
+              | Some (p, _) when p <> [] ->
+                Route.occupy_path mrrg ~src_node:3 ~t_src p;
+                let r = query mrrg in
+                Route.release_path mrrg ~src_node:3 ~t_src p;
+                r
+              | _ -> query mrrg
+            in
+            (r1, r2, r3))
+      in
+      run true = run false)
+
+(* ----------------------------------------------------------------- suite *)
+
+let suites =
+  [ ( "router",
+      [ Alcotest.test_case "pqueue pop releases popped value" `Quick test_pqueue_pop_releases;
+        Alcotest.test_case "pqueue emptied queue releases values" `Quick
+          test_pqueue_emptied_releases;
+        Alcotest.test_case "pqueue clear releases values" `Quick test_pqueue_clear_releases;
+        Alcotest.test_case "pqueue push after drain" `Quick test_pqueue_push_after_drain;
+        Alcotest.test_case "zero-length routes" `Quick test_route_length_zero;
+        Alcotest.test_case "route tables consistent with links" `Quick
+          test_route_tables_consistent;
+        Test_qc.to_alcotest prop_iheap_matches_model;
+        Test_qc.to_alcotest prop_iheap_clear_reuse;
+        Test_qc.to_alcotest prop_cores_agree ] ) ]
